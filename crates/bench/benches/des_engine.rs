@@ -1,0 +1,32 @@
+//! Discrete-event engine throughput: the cluster simulator itself must be
+//! cheap enough to sweep 1024-node campaigns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cluster::{simulate_step, KernelCosts, Machine, MachineId, RunOptions, Workload};
+use std::hint::black_box;
+
+fn step_simulation(c: &mut Criterion) {
+    let m = Machine::get(MachineId::Fugaku);
+    let costs = KernelCosts::default();
+    let opts = RunOptions::default();
+    let mut group = c.benchmark_group("des/simulate_step");
+    for nodes in [16usize, 128, 1024] {
+        let w = Workload::rotating_star(6);
+        group.bench_function(BenchmarkId::new("nodes", nodes), |bench| {
+            bench.iter(|| black_box(simulate_step(&m, nodes, &w, &opts, &costs)))
+        });
+    }
+    group.finish();
+}
+
+fn full_figure_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des/figures");
+    group.sample_size(10);
+    group.bench_function("figure8_complete", |bench| {
+        bench.iter(|| black_box(bench::figure8()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, step_simulation, full_figure_sweep);
+criterion_main!(benches);

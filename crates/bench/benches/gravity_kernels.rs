@@ -1,0 +1,69 @@
+//! Gravity kernels: the P2P monopole kernel (the paper's dominant GPU
+//! kernel, SVE's main CPU beneficiary) and the M2L multipole kernel whose
+//! task-splitting Figure 9 studies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use octotiger::gravity::direct::{p2p_at, PointMasses};
+use octotiger::gravity::multipole::Multipole;
+use std::hint::black_box;
+use sve_simd::VectorMode;
+
+fn p2p_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gravity/p2p");
+    for npts in [512usize, 4096] {
+        let mut pts = PointMasses::default();
+        for i in 0..npts {
+            let f = i as f64;
+            pts.push(
+                [f.sin(), (0.7 * f).cos(), 1.0 + f * 1e-3],
+                1.0 + 0.1 * (0.3 * f).sin(),
+            );
+        }
+        for (label, mode) in [("scalar", VectorMode::Scalar), ("sve", VectorMode::Sve512)] {
+            group.bench_function(BenchmarkId::new(label, npts), |bench| {
+                bench.iter(|| {
+                    black_box(p2p_at(black_box(&pts), [5.0, -2.0, 3.0], mode));
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn m2l_bench(c: &mut Criterion) {
+    let cloud: Vec<([f64; 3], f64)> = (0..64)
+        .map(|i| {
+            let f = i as f64;
+            (
+                [0.1 * f.sin(), 0.1 * (2.0 * f).cos(), 0.05 * f.cos()],
+                1.0 + 0.01 * f,
+            )
+        })
+        .collect();
+    let mp = Multipole::from_points(&cloud);
+    let mut group = c.benchmark_group("gravity/m2l");
+    group.bench_function("monopole+quadrupole", |bench| {
+        bench.iter(|| black_box(mp.m2l(black_box([4.0, 1.0, -2.0]), false)))
+    });
+    group.bench_function("with_octupole", |bench| {
+        bench.iter(|| black_box(mp.m2l(black_box([4.0, 1.0, -2.0]), true)))
+    });
+    group.finish();
+}
+
+fn l2l_eval_bench(c: &mut Criterion) {
+    let cloud = [([0.0, 0.0, 0.0], 2.0), ([0.2, 0.1, -0.1], 1.0)];
+    let mp = Multipole::from_points(&cloud);
+    let local = mp.m2l([3.0, 1.0, 2.0], true);
+    let mut group = c.benchmark_group("gravity/local_expansion");
+    group.bench_function("shift", |bench| {
+        bench.iter(|| black_box(local.shifted(black_box([0.05, -0.02, 0.01]))))
+    });
+    group.bench_function("evaluate", |bench| {
+        bench.iter(|| black_box(local.evaluate(black_box([0.03, 0.01, -0.02]))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, p2p_bench, m2l_bench, l2l_eval_bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! The hydro RHS kernel (reconstruction + HLL + divergence) at both SIMD
+//! widths — the real-kernel measurement behind `KernelCosts::sve_speedup`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use octotiger::hydro::{self, HydroOptions, SourceInput};
+use octotiger::state::{field, NF};
+use octree::SubGrid;
+use std::hint::black_box;
+use sve_simd::VectorMode;
+
+fn make_state(n: usize) -> SubGrid {
+    let mut u = SubGrid::new(n, 2, NF);
+    let ext = u.ext();
+    for i in 0..ext {
+        for j in 0..ext {
+            for k in 0..ext {
+                let x = i as f64 * 0.31 + j as f64 * 0.17 + k as f64 * 0.11;
+                u.set(field::RHO, i, j, k, 1.0 + 0.3 * x.sin());
+                u.set(field::SX, i, j, k, 0.2 * x.cos());
+                u.set(field::SY, i, j, k, -0.1 * (0.5 * x).sin());
+                u.set(field::EGAS, i, j, k, 1.2 + 0.2 * (2.0 * x).cos());
+                u.set(field::TAU, i, j, k, 0.9);
+                u.set(field::FRAC1, i, j, k, 0.6);
+            }
+        }
+    }
+    u
+}
+
+fn hydro_rhs_bench(c: &mut Criterion) {
+    let src = SourceInput {
+        gravity: None,
+        omega: 0.0,
+        origin: [0.0; 3],
+        h: 0.01,
+        boundary_faces: [false; 6],
+    };
+    let mut group = c.benchmark_group("hydro/rhs");
+    for n in [8usize, 16] {
+        let u = make_state(n);
+        let mut rhs = hydro::rhs_like(&u);
+        for (label, mode) in [("scalar", VectorMode::Scalar), ("sve", VectorMode::Sve512)] {
+            let opts = HydroOptions {
+                vector_mode: mode,
+                cfl: 0.4,
+            };
+            group.bench_function(BenchmarkId::new(label, n), |bench| {
+                bench.iter(|| {
+                    let info = hydro::compute_rhs(black_box(&u), &mut rhs, &src, &opts);
+                    black_box(info.max_signal_speed);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn signal_speed_bench(c: &mut Criterion) {
+    let u = make_state(8);
+    let mut group = c.benchmark_group("hydro/signal_speed");
+    for (label, mode) in [("scalar", VectorMode::Scalar), ("sve", VectorMode::Sve512)] {
+        let opts = HydroOptions {
+            vector_mode: mode,
+            cfl: 0.4,
+        };
+        group.bench_function(label, |bench| {
+            bench.iter(|| black_box(hydro::max_signal_speed(black_box(&u), &opts)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, hydro_rhs_bench, signal_speed_bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Runtime overheads: task spawn, future continuations, kernel-splitting
+//! cost — the constants behind `KernelCosts::task_spawn_overhead_s` and
+//! the Figure 9 trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpx_rt::Runtime;
+use kokkos_rs::{parallel_for, ChunkSpec, ExecSpace, RangePolicy};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn spawn_throughput(c: &mut Criterion) {
+    let rt = Runtime::new(4);
+    let mut group = c.benchmark_group("scheduler/spawn");
+    group.bench_function("scope_spawn_1000", |bench| {
+        bench.iter(|| {
+            let acc = AtomicU64::new(0);
+            rt.scope(|s| {
+                for _ in 0..1000 {
+                    s.spawn(|| {
+                        acc.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            black_box(acc.into_inner());
+        })
+    });
+    group.finish();
+    rt.shutdown();
+}
+
+fn future_chain(c: &mut Criterion) {
+    let rt = Runtime::new(2);
+    let mut group = c.benchmark_group("scheduler/futures");
+    group.bench_function("then_chain_64", |bench| {
+        bench.iter(|| {
+            let mut f = rt.async_call(|| 0u64);
+            for _ in 0..64 {
+                f = f.then(&rt, |x| x + 1);
+            }
+            black_box(f.get());
+        })
+    });
+    group.finish();
+    rt.shutdown();
+}
+
+fn kernel_splitting(c: &mut Criterion) {
+    // The Figure 9 knob at kernel level: same work, 1 vs 16 tasks.
+    let rt = Runtime::new(4);
+    let space = ExecSpace::hpx(rt.clone());
+    let work: Vec<f64> = (0..32_768).map(|i| i as f64 * 1e-4).collect();
+    let mut group = c.benchmark_group("scheduler/kernel_split");
+    for tasks in [1usize, 16] {
+        group.bench_function(BenchmarkId::new("tasks", tasks), |bench| {
+            bench.iter(|| {
+                let acc = AtomicU64::new(0);
+                parallel_for(
+                    &space,
+                    RangePolicy::new(0, work.len()).with_chunk(ChunkSpec::Tasks(tasks)),
+                    |i| {
+                        let v = (work[i].sin() * 1e6) as u64;
+                        acc.fetch_add(v, Ordering::Relaxed);
+                    },
+                );
+                black_box(acc.into_inner());
+            })
+        });
+    }
+    group.finish();
+    rt.shutdown();
+}
+
+criterion_group!(benches, spawn_throughput, future_chain, kernel_splitting);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Microbenchmarks of the SVE SIMD types: the Figure 7 story at its
+//! smallest scale.  Compares the `W = 1` (scalar build) and `W = 8`
+//! (SVE build) instantiations of representative kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sve_simd::{for_each_simd, zip_map_simd, Simd};
+
+fn axpy_bench(c: &mut Criterion) {
+    let n = 4096;
+    let a: Vec<f64> = (0..n).map(|i| i as f64 * 0.001).collect();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.002).sin()).collect();
+    let mut out = vec![0.0; n];
+    let mut group = c.benchmark_group("simd/axpy");
+    group.bench_function(BenchmarkId::new("width", 1), |bench| {
+        bench.iter(|| {
+            zip_map_simd::<f64, 1>(black_box(&a), black_box(&b), &mut out, |x, y| {
+                x.mul_add(Simd::splat(1.5), y)
+            });
+            black_box(&out);
+        })
+    });
+    group.bench_function(BenchmarkId::new("width", 8), |bench| {
+        bench.iter(|| {
+            zip_map_simd::<f64, 8>(black_box(&a), black_box(&b), &mut out, |x, y| {
+                x.mul_add(Simd::splat(1.5), y)
+            });
+            black_box(&out);
+        })
+    });
+    group.finish();
+}
+
+fn rsqrt_bench(c: &mut Criterion) {
+    // 1/sqrt dominates the P2P gravity kernel.
+    let n = 4096;
+    let mut data: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 0.01).collect();
+    let mut group = c.benchmark_group("simd/rsqrt");
+    group.bench_function(BenchmarkId::new("width", 1), |bench| {
+        bench.iter(|| {
+            for_each_simd::<f64, 1>(black_box(&mut data), |v| Simd::splat(1.0) / v.sqrt());
+        })
+    });
+    group.bench_function(BenchmarkId::new("width", 8), |bench| {
+        bench.iter(|| {
+            for_each_simd::<f64, 8>(black_box(&mut data), |v| Simd::splat(1.0) / v.sqrt());
+        })
+    });
+    group.finish();
+}
+
+fn minmod_bench(c: &mut Criterion) {
+    // The reconstruction limiter: select-heavy, tests mask codegen.
+    use octotiger::hydro::recon::minmod;
+    let n = 4096;
+    let a: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 5) % 11) as f64 - 5.0).collect();
+    let mut out = vec![0.0; n];
+    let mut group = c.benchmark_group("simd/minmod");
+    group.bench_function(BenchmarkId::new("width", 1), |bench| {
+        bench.iter(|| {
+            zip_map_simd::<f64, 1>(black_box(&a), black_box(&b), &mut out, minmod);
+            black_box(&out);
+        })
+    });
+    group.bench_function(BenchmarkId::new("width", 8), |bench| {
+        bench.iter(|| {
+            zip_map_simd::<f64, 8>(black_box(&a), black_box(&b), &mut out, minmod);
+            black_box(&out);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, axpy_bench, rsqrt_bench, minmod_bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Run every table/figure reproduction in sequence (the whole paper
+//! evaluation) and summarize pass/fail per qualitative claim.
+
+fn main() {
+    let reports = bench::all_reports();
+    let mut failures = 0usize;
+    for r in &reports {
+        println!("{}", r.to_markdown());
+        if !r.all_pass() {
+            failures += 1;
+        }
+    }
+    println!("== {} / {} reports fully pass ==", reports.len() - failures, reports.len());
+    std::process::exit(i32::from(failures > 0));
+}

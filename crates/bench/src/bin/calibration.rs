@@ -1,0 +1,21 @@
+//! Host calibration: measure the real `octotiger` kernels (scalar vs SVE
+//! width) and compare with the `cluster::KernelCosts` constants the
+//! machine models use.  Run with `--release`; debug builds do not
+//! vectorize representatively.
+
+fn main() {
+    let costs = cluster::KernelCosts::default();
+    println!("# Host kernel calibration\n");
+    let hydro = bench::measure_hydro_simd_speedup(8, 50);
+    let p2p = bench::measure_p2p_simd_speedup(4096, 2000);
+    println!("hydro RHS kernel   W=8 vs W=1 speedup: {hydro:.2}x");
+    println!("P2P monopole kernel W=8 vs W=1 speedup: {p2p:.2}x");
+    println!("model constant (KernelCosts::sve_speedup): {:.2}x", costs.sve_speedup);
+    println!("paper's reported band: 2x - 3x 'for various parts of the code'");
+    println!();
+    println!("flops/cell/step model: {:.0}", costs.flops_per_cell_step());
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&costs).expect("costs serialize")
+    );
+}

@@ -1,0 +1,9 @@
+//! Reproduction binary for the paper's Figure 5 (DWD on Perlmutter vs Fugaku).
+//!
+//! Prints the figure's series as a markdown table plus JSON, and the
+//! qualitative checks (exit code 0 iff all hold).  See EXPERIMENTS.md for
+//! the paper-vs-measured record.
+
+fn main() {
+    std::process::exit(bench::figure5().print_and_exit_code());
+}

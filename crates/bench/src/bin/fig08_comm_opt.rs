@@ -1,0 +1,9 @@
+//! Reproduction binary for the paper's Figure 8 (communication optimization break-even).
+//!
+//! Prints the figure's series as a markdown table plus JSON, and the
+//! qualitative checks (exit code 0 iff all hold).  See EXPERIMENTS.md for
+//! the paper-vs-measured record.
+
+fn main() {
+    std::process::exit(bench::figure8().print_and_exit_code());
+}

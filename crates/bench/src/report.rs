@@ -1,0 +1,175 @@
+//! Figure reports: the series a paper figure plots plus the qualitative
+//! claims it must exhibit, printable as markdown + JSON.
+
+use cluster::FigurePoint;
+use serde::Serialize;
+
+/// A qualitative claim the paper makes about a figure, and whether our
+/// reproduction exhibits it.
+#[derive(Debug, Clone, Serialize)]
+pub struct Check {
+    /// The claim, quoted or paraphrased from the paper.
+    pub claim: String,
+    /// Whether the reproduced data exhibits it.
+    pub pass: bool,
+}
+
+/// Everything one reproduction binary produces.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureReport {
+    /// Figure/table id ("fig3" ... "table2").
+    pub id: String,
+    /// Title as in the paper.
+    pub title: String,
+    /// The plotted series.
+    pub points: Vec<FigurePoint>,
+    /// Qualitative checks.
+    pub checks: Vec<Check>,
+}
+
+impl FigureReport {
+    /// New empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> FigureReport {
+        FigureReport {
+            id: id.into(),
+            title: title.into(),
+            points: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// Append one data point.
+    pub fn point(&mut self, series: &str, x: f64, y: f64, unit: &str) {
+        self.points.push(FigurePoint {
+            figure: self.id.clone(),
+            series: series.to_owned(),
+            x,
+            y,
+            unit: unit.to_owned(),
+        });
+    }
+
+    /// Record a qualitative check.
+    pub fn check(&mut self, claim: impl Into<String>, pass: bool) {
+        self.checks.push(Check {
+            claim: claim.into(),
+            pass,
+        });
+    }
+
+    /// `true` when every qualitative check holds.
+    pub fn all_pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// Distinct series labels, in first-appearance order.
+    pub fn series_labels(&self) -> Vec<String> {
+        let mut labels = Vec::new();
+        for p in &self.points {
+            if !labels.contains(&p.series) {
+                labels.push(p.series.clone());
+            }
+        }
+        labels
+    }
+
+    /// Render the report as a markdown table plus check list.
+    pub fn to_markdown(&self) -> String {
+        use std::collections::BTreeSet;
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "## {} — {}\n", self.id, self.title).unwrap();
+        let labels = self.series_labels();
+        let xs: BTreeSet<u64> = self.points.iter().map(|p| p.x.round() as u64).collect();
+        let unit = self
+            .points
+            .first()
+            .map(|p| p.unit.clone())
+            .unwrap_or_default();
+        write!(out, "| x \\ series ({unit}) |").unwrap();
+        for l in &labels {
+            write!(out, " {l} |").unwrap();
+        }
+        out.push('\n');
+        write!(out, "|---|").unwrap();
+        for _ in &labels {
+            write!(out, "---|").unwrap();
+        }
+        out.push('\n');
+        for x in xs {
+            write!(out, "| {x} |").unwrap();
+            for l in &labels {
+                let v = self
+                    .points
+                    .iter()
+                    .find(|p| &p.series == l && p.x.round() as u64 == x);
+                match v {
+                    Some(p) => write!(out, " {:.4e} |", p.y).unwrap(),
+                    None => write!(out, " - |").unwrap(),
+                }
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+        for c in &self.checks {
+            writeln!(
+                out,
+                "- [{}] {}",
+                if c.pass { "PASS" } else { "FAIL" },
+                c.claim
+            )
+            .unwrap();
+        }
+        out
+    }
+
+    /// JSON for machine consumption.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Print markdown and JSON to stdout (what the reproduction binaries
+    /// do), and return an exit code: 0 when all checks pass.
+    pub fn print_and_exit_code(&self) -> i32 {
+        println!("{}", self.to_markdown());
+        println!("```json\n{}\n```", self.to_json());
+        i32::from(!self.all_pass())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_contains_series_and_checks() {
+        let mut r = FigureReport::new("figX", "Test figure");
+        r.point("a", 1.0, 2.0, "cells/s");
+        r.point("a", 2.0, 4.0, "cells/s");
+        r.point("b", 1.0, 1.0, "cells/s");
+        r.check("a beats b", true);
+        let md = r.to_markdown();
+        assert!(md.contains("figX"));
+        assert!(md.contains("| 1 |"));
+        assert!(md.contains("[PASS] a beats b"));
+        assert!(r.all_pass());
+        assert_eq!(r.series_labels(), vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn failed_check_fails_report() {
+        let mut r = FigureReport::new("figY", "t");
+        r.check("claim", false);
+        assert!(!r.all_pass());
+        assert!(r.to_markdown().contains("[FAIL]"));
+    }
+
+    #[test]
+    fn json_round_trips_points() {
+        let mut r = FigureReport::new("figZ", "t");
+        r.point("s", 8.0, 9.0, "W");
+        let json = r.to_json();
+        assert!(json.contains("\"figZ\""));
+        assert!(json.contains("\"W\""));
+    }
+}

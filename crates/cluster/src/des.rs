@@ -1,0 +1,618 @@
+//! The discrete-event engine: one Octo-Tiger time step on a modelled
+//! cluster.
+//!
+//! Every node runs the paper's phase sequence — bottom-up gravity pass,
+//! per-level multipole (M2L) interactions, top-down pass, then three RK
+//! stages each preceded by a ghost-layer exchange.  Ghost exchanges are
+//! *synchronizing* phases: a node cannot finish one until its six logical
+//! neighbours' boundary data has arrived, so late nodes (deterministic
+//! per-node jitter models OS noise and load imbalance) delay their
+//! neighbours — the mechanism that turns per-node imbalance into the
+//! scaling losses the paper's figures show.  Starvation during the gravity
+//! traversal appears exactly as in Section VII-C: high tree levels have
+//! fewer multipole kernels than cores, and only task splitting
+//! (`multipole_tasks` > 1) keeps the cores fed.
+
+use crate::calibrate::KernelCosts;
+use crate::machine::Machine;
+use crate::workload::{RunOptions, Workload};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of simulating one step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepResult {
+    /// Wall-clock of the step (max over nodes), seconds.
+    pub step_time_s: f64,
+    /// The paper's throughput metric.
+    pub cells_per_second: f64,
+    /// Same, in sub-grid updates per second.
+    pub subgrids_per_second: f64,
+    /// Per-node compute time folded into the step (no sync effects).
+    pub compute_time_s: f64,
+    /// Per-node ghost-exchange handling + wire time.
+    pub comm_time_s: f64,
+    /// Per-node gravity-phase time (including starvation stalls).
+    pub gravity_time_s: f64,
+    /// compute / wall fraction (≤ 1; falls when starved or sync-bound).
+    pub parallel_efficiency: f64,
+    /// DES events processed.
+    pub events_processed: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Phase {
+    /// Local work duration, seconds (before jitter).
+    duration: f64,
+    /// Whether this phase requires neighbour data (ghost exchange).
+    sync: bool,
+    /// One-way wire time of the neighbour messages for a sync phase.
+    wire: f64,
+    /// Category for the breakdown metrics.
+    kind: PhaseKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PhaseKind {
+    Gravity,
+    Comm,
+    Hydro,
+}
+
+/// Deterministic per-(node, phase) jitter in `[-1, 1]` — cheap integer
+/// hash; models OS noise / load imbalance without a stateful RNG.
+fn jitter(node: usize, phase: usize) -> f64 {
+    let mut x = (node as u64).wrapping_mul(0x9E3779B97F4A7C15)
+        ^ (phase as u64).wrapping_mul(0xD1B54A32D192ED03);
+    x ^= x >> 31;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    (x % 2_000_003) as f64 / 1_000_001.5 - 1.0
+}
+
+/// Build the per-node phase list for one step.
+fn build_phases(
+    machine: &Machine,
+    nodes: usize,
+    workload: &Workload,
+    opts: &RunOptions,
+    costs: &KernelCosts,
+) -> Vec<Phase> {
+    let s = workload.subgrids_per_node(nodes);
+    let cells_node = s * (crate::workload::SUBGRID_N as f64).powi(3);
+    let simd = costs.simd_factor(opts.sve);
+    let gpu_rate = machine.gpu_node_gflops(s) * 1e9;
+    let cpu_rate = machine.cpu_node_gflops(machine.cores_per_node, simd, opts.boost) * 1e9;
+    let use_gpu = machine.gpus_per_node > 0;
+    let node_rate = if use_gpu { gpu_rate } else { cpu_rate };
+    let core_rate = cpu_rate / machine.cores_per_node as f64;
+    let cores = machine.cores_per_node as f64;
+
+    let mut phases = Vec::new();
+
+    // One task per sub-grid is Octo-Tiger's default granularity: a node
+    // with fewer sub-grids than cores cannot keep all cores busy — the
+    // "ran out of sufficient work per core" saturation of Figure 6.  Work
+    // stealing needs ~2x over-decomposition to balance, so effective
+    // utilization drops once S falls under two tasks per core.
+    let bulk_rate = if use_gpu {
+        node_rate
+    } else {
+        core_rate * cores.min((s / 2.0).max(1.0))
+    };
+
+    // ---- Gravity phase 1: bottom-up moments. -------------------------
+    phases.push(Phase {
+        duration: cells_node * 500.0 / bulk_rate,
+        sync: false,
+        wire: 0.0,
+        kind: PhaseKind::Gravity,
+    });
+
+    // ---- Gravity phase 2: per-level M2L (the multipole kernel). ------
+    // Tree levels from 2 (8² nodes, anything coarser is negligible) down
+    // to the leaf level.
+    let leaf_level = workload.tree_levels;
+    for level in 2..=leaf_level {
+        let tree_nodes_at_level = 8f64.powi(level as i32).min(workload.subgrids);
+        let per_node = tree_nodes_at_level / nodes as f64;
+        if per_node * costs.m2l_list_len < 1.0 {
+            continue; // level has essentially no work anywhere
+        }
+        let work = per_node * costs.m2l_list_len * costs.m2l_flops_per_interaction;
+        let duration = if use_gpu {
+            work / node_rate + costs.tree_level_sync_s
+        } else {
+            // Starvation model: the kernels at this level can occupy at
+            // most `kernels × tasks_per_kernel` cores (Section VII-C).
+            let parallelism = (per_node.ceil() * opts.multipole_tasks as f64).max(1.0);
+            let used_cores = cores.min(parallelism);
+            let spawn = per_node.ceil() * opts.multipole_tasks as f64
+                * costs.task_spawn_overhead_s
+                / cores;
+            work / (core_rate * used_cores) + spawn + costs.tree_level_sync_s
+        };
+        phases.push(Phase {
+            duration,
+            sync: false,
+            wire: 0.0,
+            kind: PhaseKind::Gravity,
+        });
+    }
+
+    // ---- Gravity phase 3: top-down evaluation. ------------------------
+    phases.push(Phase {
+        duration: cells_node * 500.0 / bulk_rate,
+        sync: false,
+        wire: 0.0,
+        kind: PhaseKind::Gravity,
+    });
+
+    // ---- Three RK stages: ghost exchange + hydro compute. -------------
+    let links = s * costs.links_per_subgrid;
+    let rf = workload.remote_link_fraction(nodes);
+    let remote = links * rf;
+    let local = links - remote;
+    let host_cost = if opts.comm_opt {
+        local * costs.direct_access_overhead_s
+            + remote * (costs.action_overhead_s + costs.comm_opt_remote_extra_s)
+    } else {
+        links * costs.action_overhead_s
+    } / cores;
+    let wire = machine.interconnect.transfer_time(
+        remote.ceil() as u64,
+        (remote * costs.ghost_bytes_per_link) as u64,
+        machine.cores_per_node,
+    );
+    for stage in 0..3 {
+        phases.push(Phase {
+            duration: host_cost,
+            sync: true,
+            wire,
+            kind: PhaseKind::Comm,
+        });
+        // Fold the gravity near-field (P2P) into the first stage.
+        let extra = if stage == 0 {
+            cells_node * costs.p2p_flops_per_cell / bulk_rate
+        } else {
+            0.0
+        };
+        phases.push(Phase {
+            duration: cells_node * costs.hydro_flops_per_cell_stage / bulk_rate + extra,
+            sync: false,
+            wire: 0.0,
+            kind: PhaseKind::Hydro,
+        });
+    }
+    phases
+}
+
+/// Logical 3-D node grid (near-cubic factorization) for the neighbour
+/// topology.
+fn node_grid(nodes: usize) -> [usize; 3] {
+    let mut best = [nodes, 1, 1];
+    let mut best_surface = usize::MAX;
+    let mut x = 1;
+    while x * x * x <= nodes {
+        if nodes % x == 0 {
+            let rest = nodes / x;
+            let mut y = x;
+            while y * y <= rest {
+                if rest % y == 0 {
+                    let z = rest / y;
+                    let surface = x * y + y * z + x * z;
+                    if surface < best_surface {
+                        best_surface = surface;
+                        best = [x, y, z];
+                    }
+                }
+                y += 1;
+            }
+        }
+        x += 1;
+    }
+    best
+}
+
+fn neighbors(idx: usize, grid: [usize; 3]) -> Vec<usize> {
+    let [nx, ny, nz] = grid;
+    let x = idx % nx;
+    let y = (idx / nx) % ny;
+    let z = idx / (nx * ny);
+    let mut out = Vec::with_capacity(6);
+    let mut push = |x: isize, y: isize, z: isize| {
+        if x >= 0
+            && y >= 0
+            && z >= 0
+            && (x as usize) < nx
+            && (y as usize) < ny
+            && (z as usize) < nz
+        {
+            out.push(x as usize + nx * (y as usize + ny * z as usize));
+        }
+    };
+    let (x, y, z) = (x as isize, y as isize, z as isize);
+    push(x - 1, y, z);
+    push(x + 1, y, z);
+    push(x, y - 1, z);
+    push(x, y + 1, z);
+    push(x, y, z - 1);
+    push(x, y, z + 1);
+    out
+}
+
+#[derive(Debug, PartialEq)]
+enum EventKind {
+    /// A node's local work for its current phase finished.
+    WorkDone { node: usize, phase: usize },
+    /// Neighbour boundary data for a sync phase arrived.
+    MsgArrive { node: usize, phase: usize },
+}
+
+struct Event {
+    time: f64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .partial_cmp(&other.time)
+            .expect("event times are finite")
+    }
+}
+
+struct NodeState {
+    phase: usize,
+    /// Local work of the current phase completed.
+    work_done: bool,
+    /// Whether this phase's local work has been scheduled yet (sync phases
+    /// defer it until all neighbour data arrived — the unpack happens
+    /// after arrival).
+    work_scheduled: bool,
+    /// Time the node entered its current phase.
+    entered_at: f64,
+    /// Messages still missing for the current (sync) phase.
+    msgs_missing: usize,
+    /// Messages that arrived early for future phases: msgs_early[p].
+    early: Vec<usize>,
+    finish_time: f64,
+}
+
+/// Simulate one Octo-Tiger step of `workload` on `nodes` nodes of
+/// `machine` with the given options and cost table.
+///
+/// # Panics
+/// Panics if `nodes == 0`.
+pub fn simulate_step(
+    machine: &Machine,
+    nodes: usize,
+    workload: &Workload,
+    opts: &RunOptions,
+    costs: &KernelCosts,
+) -> StepResult {
+    assert!(nodes > 0, "need at least one node");
+    let phases = build_phases(machine, nodes, workload, opts, costs);
+    let nphases = phases.len();
+    let grid = node_grid(nodes);
+    let nbrs: Vec<Vec<usize>> = (0..nodes).map(|i| neighbors(i, grid)).collect();
+
+    let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut states: Vec<NodeState> = (0..nodes)
+        .map(|_| NodeState {
+            phase: 0,
+            work_done: false,
+            work_scheduled: true, // phase 0 work starts immediately
+            entered_at: 0.0,
+            msgs_missing: 0,
+            early: vec![0; nphases + 1],
+            finish_time: 0.0,
+        })
+        .collect();
+    let mut events = 0u64;
+
+    let dur = |node: usize, phase: usize| -> f64 {
+        phases[phase].duration * (1.0 + 0.03 * jitter(node, phase))
+    };
+
+    // Kick off phase 0 everywhere (phase 0 is never a sync phase).
+    for node in 0..nodes {
+        states[node].msgs_missing = 0;
+        queue.push(Reverse(Event {
+            time: dur(node, 0),
+            kind: EventKind::WorkDone { node, phase: 0 },
+        }));
+    }
+
+    let mut finished_nodes = 0usize;
+    let mut step_time = 0.0f64;
+
+    while let Some(Reverse(Event { time, kind })) = queue.pop() {
+        events += 1;
+        match kind {
+            EventKind::WorkDone { node, phase } => {
+                let st = &mut states[node];
+                debug_assert_eq!(st.phase, phase);
+                st.work_done = true;
+                advance(
+                    node, time, &mut states, &phases, &nbrs, &mut queue, &dur,
+                    &mut finished_nodes, &mut step_time,
+                );
+            }
+            EventKind::MsgArrive { node, phase } => {
+                let st = &mut states[node];
+                if st.phase == phase {
+                    debug_assert!(phases[phase].sync);
+                    st.msgs_missing = st.msgs_missing.saturating_sub(1);
+                    if st.msgs_missing == 0 && !st.work_scheduled {
+                        // All data present: the unpack/handling work can run.
+                        st.work_scheduled = true;
+                        queue.push(Reverse(Event {
+                            time: time.max(st.entered_at) + dur(node, phase),
+                            kind: EventKind::WorkDone { node, phase },
+                        }));
+                    }
+                } else {
+                    // Arrived before the node reached this phase.
+                    st.early[phase] += 1;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(finished_nodes, nodes, "all nodes must finish");
+
+    let compute_time: f64 = phases
+        .iter()
+        .filter(|p| p.kind == PhaseKind::Hydro)
+        .map(|p| p.duration)
+        .sum();
+    let gravity_time: f64 = phases
+        .iter()
+        .filter(|p| p.kind == PhaseKind::Gravity)
+        .map(|p| p.duration)
+        .sum();
+    let comm_time: f64 = phases
+        .iter()
+        .filter(|p| p.kind == PhaseKind::Comm)
+        .map(|p| p.duration + p.wire)
+        .sum();
+
+    StepResult {
+        step_time_s: step_time,
+        cells_per_second: workload.cells / step_time,
+        subgrids_per_second: workload.subgrids / step_time,
+        compute_time_s: compute_time,
+        comm_time_s: comm_time,
+        gravity_time_s: gravity_time,
+        parallel_efficiency: ((compute_time + gravity_time + comm_time) / step_time).min(1.0),
+        events_processed: events,
+    }
+}
+
+/// Node `node` completed phase `st.phase` at `time`: move to the next
+/// phase, sending boundary data for it if it is a sync phase.
+#[allow(clippy::too_many_arguments)]
+fn advance(
+    node: usize,
+    time: f64,
+    states: &mut [NodeState],
+    phases: &[Phase],
+    nbrs: &[Vec<usize>],
+    queue: &mut BinaryHeap<Reverse<Event>>,
+    dur: &dyn Fn(usize, usize) -> f64,
+    finished_nodes: &mut usize,
+    step_time: &mut f64,
+) {
+    let next = states[node].phase + 1;
+    if next >= phases.len() {
+        states[node].finish_time = time;
+        *finished_nodes += 1;
+        if time > *step_time {
+            *step_time = time;
+        }
+        return;
+    }
+    // Entering `next`.
+    if phases[next].sync {
+        // Send boundary data to the neighbours for their phase `next`.
+        for &nb in &nbrs[node] {
+            queue.push(Reverse(Event {
+                time: time + phases[next].wire,
+                kind: EventKind::MsgArrive {
+                    node: nb,
+                    phase: next,
+                },
+            }));
+        }
+    }
+    let st = &mut states[node];
+    st.phase = next;
+    st.work_done = false;
+    st.entered_at = time;
+    if phases[next].sync {
+        st.msgs_missing = nbrs[node].len().saturating_sub(st.early[next]);
+        if st.msgs_missing > 0 {
+            // Defer the handling work until the data is here.
+            st.work_scheduled = false;
+            return;
+        }
+    } else {
+        st.msgs_missing = 0;
+    }
+    st.work_scheduled = true;
+    queue.push(Reverse(Event {
+        time: time + dur(node, next),
+        kind: EventKind::WorkDone { node, phase: next },
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineId;
+
+    fn fugaku() -> Machine {
+        Machine::get(MachineId::Fugaku)
+    }
+
+    fn defaults() -> (RunOptions, KernelCosts) {
+        (RunOptions::default(), KernelCosts::default())
+    }
+
+    #[test]
+    fn node_grid_factorization() {
+        assert_eq!(node_grid(1), [1, 1, 1]);
+        assert_eq!(node_grid(8), [2, 2, 2]);
+        assert_eq!(node_grid(64), [4, 4, 4]);
+        let g = node_grid(128);
+        assert_eq!(g.iter().product::<usize>(), 128);
+        // Near-cubic: no dimension dominates absurdly.
+        assert!(*g.iter().max().unwrap() <= 8);
+    }
+
+    #[test]
+    fn neighbors_in_interior_and_corner() {
+        let grid = [4, 4, 4];
+        // Corner node 0 has 3 neighbours.
+        assert_eq!(neighbors(0, grid).len(), 3);
+        // Interior node has 6.
+        let interior = 1 + 4 * (1 + 4);
+        assert_eq!(neighbors(interior, grid).len(), 6);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        for node in 0..100 {
+            for phase in 0..20 {
+                let j = jitter(node, phase);
+                assert!((-1.0..=1.0).contains(&j));
+                assert_eq!(j, jitter(node, phase));
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_step_is_compute_bound() {
+        let (opts, costs) = defaults();
+        let w = Workload::rotating_star(5);
+        let r = simulate_step(&fugaku(), 1, &w, &opts, &costs);
+        assert!(r.step_time_s > 0.0);
+        assert!(r.cells_per_second > 0.0);
+        assert!(r.parallel_efficiency > 0.8, "1 node should be efficient");
+    }
+
+    #[test]
+    fn strong_scaling_increases_throughput_then_saturates() {
+        // The Figure 6 shape: level 5 scales to ~64 nodes then flattens.
+        let (opts, costs) = defaults();
+        let w = Workload::rotating_star(5);
+        let rate = |nodes| simulate_step(&fugaku(), nodes, &w, &opts, &costs).cells_per_second;
+        let r1 = rate(1);
+        let r16 = rate(16);
+        let r64 = rate(64);
+        let r256 = rate(256);
+        assert!(r16 > 6.0 * r1, "16 nodes should speed up well: {}", r16 / r1);
+        assert!(r64 > r16, "still scaling at 64");
+        // Saturation: going 64 -> 256 gains much less than 4x.
+        assert!(r256 < 2.5 * r64, "should saturate: {}", r256 / r64);
+    }
+
+    #[test]
+    fn sve_improves_throughput() {
+        let (mut opts, costs) = defaults();
+        let w = Workload::rotating_star(5);
+        opts.sve = true;
+        let on = simulate_step(&fugaku(), 8, &w, &opts, &costs).cells_per_second;
+        opts.sve = false;
+        let off = simulate_step(&fugaku(), 8, &w, &opts, &costs).cells_per_second;
+        assert!(on > 1.3 * off, "SVE should clearly help: {}", on / off);
+    }
+
+    #[test]
+    fn multipole_splitting_helps_at_scale_not_at_one_node() {
+        // Figure 9's crossover.
+        let (mut opts, costs) = defaults();
+        let w = Workload::rotating_star(5);
+        opts.multipole_tasks = 1;
+        let one_node_off = simulate_step(&fugaku(), 1, &w, &opts, &costs).step_time_s;
+        let scale_off = simulate_step(&fugaku(), 128, &w, &opts, &costs).step_time_s;
+        opts.multipole_tasks = 16;
+        let one_node_on = simulate_step(&fugaku(), 1, &w, &opts, &costs).step_time_s;
+        let scale_on = simulate_step(&fugaku(), 128, &w, &opts, &costs).step_time_s;
+        assert!(
+            one_node_on >= one_node_off * 0.999,
+            "splitting must not help a busy single node: {one_node_on} vs {one_node_off}"
+        );
+        assert!(
+            scale_on < scale_off,
+            "splitting must help at 128 nodes: {scale_on} vs {scale_off}"
+        );
+    }
+
+    #[test]
+    fn comm_opt_break_even_behaviour() {
+        // Figure 8: better at low node counts, slightly worse at scale.
+        let (mut opts, costs) = defaults();
+        let w = Workload::rotating_star(5);
+        let diff = |nodes: usize, opts: &mut RunOptions| {
+            opts.comm_opt = true;
+            let on = simulate_step(&fugaku(), nodes, &w, opts, &costs).step_time_s;
+            opts.comm_opt = false;
+            let off = simulate_step(&fugaku(), nodes, &w, opts, &costs).step_time_s;
+            off - on // positive = optimization wins
+        };
+        assert!(diff(2, &mut opts) > 0.0, "comm opt should win at 2 nodes");
+        assert!(diff(4, &mut opts) > 0.0, "comm opt should win at 4 nodes");
+        assert!(
+            diff(128, &mut opts) < 0.0,
+            "comm opt should slightly lose at 128 nodes"
+        );
+    }
+
+    #[test]
+    fn all_nodes_finish_and_events_are_bounded() {
+        let (opts, costs) = defaults();
+        let w = Workload::rotating_star(6);
+        let r = simulate_step(&fugaku(), 512, &w, &opts, &costs);
+        assert!(r.events_processed > 512);
+        assert!(r.events_processed < 2_000_000);
+        assert!(r.step_time_s.is_finite());
+    }
+
+    #[test]
+    fn gpu_machine_uses_gpu_rate() {
+        let (opts, costs) = defaults();
+        let w = Workload::dwd();
+        let gpu = simulate_step(
+            &Machine::get(MachineId::Perlmutter),
+            4,
+            &w,
+            &opts,
+            &costs,
+        );
+        let cpu = simulate_step(
+            &Machine::get(MachineId::PerlmutterCpuOnly),
+            4,
+            &w,
+            &opts,
+            &costs,
+        );
+        assert!(
+            gpu.cells_per_second > 10.0 * cpu.cells_per_second,
+            "GPUs must dominate: {} vs {}",
+            gpu.cells_per_second,
+            cpu.cells_per_second
+        );
+    }
+}

@@ -1,0 +1,595 @@
+//! The time-step driver: Octo-Tiger's per-step orchestration.
+//!
+//! One step (paper Sections IV-B/IV-C): solve gravity with the FMM, pick
+//! the global fixed Δt from the CFL reduction, then run three SSP-RK3
+//! stages, each preceded by a ghost-layer exchange.  Every leaf's hydro
+//! RHS is an independently launched kernel — the paper counts "multiple
+//! (> 10) kernel launches per sub-grid in each time-step", which is
+//! exactly what the launch counter here reproduces — and leaves execute as
+//! HPX tasks on their owner locality's worker pool.
+//!
+//! The driver reports the paper's throughput metric: **processed cells per
+//! second** (Figures 4–10 all plot cells/s or sub-grids/s).
+
+use crate::diag::ConservationLedger;
+use crate::gravity::{GravityOptions, GravitySolver, LeafField, LeafSources};
+use crate::gravity::direct::PointMasses;
+use crate::hydro::{self, HydroOptions, SourceInput};
+use crate::state::{field, NF};
+use crate::units::BOX_SIZE;
+use hpx_rt::{Future, SimCluster};
+use kokkos_rs::ExecSpace;
+use octree::{DistGrid, GhostConfig, NodeId};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use sve_simd::VectorMode;
+
+/// All the paper's run-time switches in one place.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// SIMD width (Figure 7: scalar vs SVE).
+    pub vector_mode: VectorMode,
+    /// Ghost-exchange configuration (Figure 8: communication optimization).
+    pub ghost: GhostConfig,
+    /// Solve self-gravity each step.
+    pub gravity: bool,
+    /// FMM options (Figure 9: `tasks_per_multipole_kernel`).
+    pub gravity_opts: GravityOptions,
+    /// Rotating-frame frequency (from the scenario's SCF model).
+    pub omega: f64,
+    /// CFL number.
+    pub cfl: f64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            vector_mode: VectorMode::Sve512,
+            ghost: GhostConfig::default(),
+            gravity: true,
+            gravity_opts: GravityOptions::default(),
+            omega: 0.0,
+            cfl: 0.4,
+        }
+    }
+}
+
+/// Telemetry of one step.
+#[derive(Debug, Clone, Copy)]
+pub struct StepStats {
+    /// Time step used.
+    pub dt: f64,
+    /// Simulation time after the step.
+    pub time: f64,
+    /// Interior cells processed (3 RK stages × cells).
+    pub cells_processed: u64,
+    /// Wall-clock seconds.
+    pub elapsed_seconds: f64,
+    /// The paper's throughput metric.
+    pub cells_per_second: f64,
+    /// Kernel launches this step (hydro RHS + stage combines + gravity).
+    pub kernel_launches: u64,
+    /// Ghost links served via the direct local path (Figure 8 numerator).
+    pub direct_ghost_links: u64,
+    /// Mass that left through the outflow boundary during this step.
+    pub mass_outflow: f64,
+    /// FMM interaction counts, if gravity ran.
+    pub gravity_stats: Option<crate::gravity::solver::SolveStats>,
+}
+
+/// A running simulation bound to a cluster's localities.
+pub struct Simulation {
+    /// The distributed AMR grid.
+    pub grid: DistGrid,
+    /// Options (mutable between steps, like re-launching with new flags).
+    pub opts: SimOptions,
+    /// Current simulation time.
+    pub time: f64,
+    /// Steps taken.
+    pub step_count: u64,
+    /// Cumulative mass that left the domain through the outflow boundary
+    /// (tracked so the conservation ledger closes to machine precision).
+    pub mass_outflow: f64,
+    /// APEX-style phase profiler (paper conclusion: "more runs using HPX's
+    /// performance counters or APEX are needed" — here it is built in).
+    pub apex: hpx_rt::Apex,
+    /// FMM statistics of the most recent gravity solve.
+    last_gravity_stats: Option<crate::gravity::solver::SolveStats>,
+}
+
+impl Simulation {
+    /// Wrap an initialized grid.
+    pub fn new(grid: DistGrid, opts: SimOptions) -> Simulation {
+        Simulation {
+            grid,
+            opts,
+            time: 0.0,
+            step_count: 0,
+            mass_outflow: 0.0,
+            apex: hpx_rt::Apex::new(false),
+            last_gravity_stats: None,
+        }
+    }
+
+    /// Leaf-parallel execution: each locality runs its own leaves as tasks
+    /// on its own worker pool, mirroring HPX's per-locality scheduling.
+    fn for_each_leaf(&self, cluster: &SimCluster, f: impl Fn(NodeId) + Send + Sync + 'static) {
+        let f = Arc::new(f);
+        let mut futures: Vec<Future<()>> = Vec::new();
+        for loc in cluster.localities() {
+            let leaves = self.grid.leaves_of(loc.id());
+            if leaves.is_empty() {
+                continue;
+            }
+            let f = f.clone();
+            let rt = loc.runtime().clone();
+            let rt_inner = rt.clone();
+            futures.push(rt.async_call(move || {
+                rt_inner.scope(|s| {
+                    for leaf in leaves {
+                        let f = f.clone();
+                        s.spawn(move || f(leaf));
+                    }
+                });
+            }));
+        }
+        for fut in futures {
+            fut.wait();
+        }
+    }
+
+    /// Gather per-leaf point masses for the gravity solver.
+    fn leaf_sources(&self) -> HashMap<NodeId, LeafSources> {
+        let n = self.grid.n();
+        let mut out = HashMap::new();
+        for leaf in self.grid.leaves() {
+            let (corner, size) = leaf.cube();
+            let h = size / n as f64;
+            let h_phys = h * BOX_SIZE;
+            let vol = h_phys * h_phys * h_phys;
+            let handle = self.grid.grid(leaf);
+            let g = handle.read();
+            let mut points = PointMasses::default();
+            for i in 0..n {
+                for j in 0..n {
+                    for k in 0..n {
+                        let x = (corner[0] + (i as f64 + 0.5) * h - 0.5) * BOX_SIZE;
+                        let y = (corner[1] + (j as f64 + 0.5) * h - 0.5) * BOX_SIZE;
+                        let z = (corner[2] + (k as f64 + 0.5) * h - 0.5) * BOX_SIZE;
+                        points.push([x, y, z], g.get_interior(field::RHO, i, j, k) * vol);
+                    }
+                }
+            }
+            out.insert(leaf, LeafSources { points });
+        }
+        out
+    }
+
+    /// Global CFL time step (fixed across the whole grid, per the paper).
+    pub fn compute_dt(&self) -> f64 {
+        let hopts = HydroOptions {
+            vector_mode: self.opts.vector_mode,
+            cfl: self.opts.cfl,
+        };
+        let mut max_speed: f64 = 1e-30;
+        let mut h_min = f64::INFINITY;
+        let n = self.grid.n();
+        for leaf in self.grid.leaves() {
+            let (_, size) = leaf.cube();
+            let h = size * BOX_SIZE / n as f64;
+            h_min = h_min.min(h);
+            let handle = self.grid.grid(leaf);
+            let speed = hydro::max_signal_speed(&handle.read(), &hopts);
+            max_speed = max_speed.max(speed);
+        }
+        self.opts.cfl * h_min / max_speed
+    }
+
+    /// Advance one full RK3 step; returns the step telemetry.
+    pub fn step(&mut self, cluster: &SimCluster) -> StepStats {
+        let t0 = Instant::now();
+        let leaves = self.grid.leaves();
+        let n = self.grid.n();
+        let n3 = (n * n * n) as u64;
+        let mut kernel_launches = 0u64;
+        let mut direct_ghost_links = 0u64;
+
+        // ---- Gravity (once per step; reused across RK stages). ---------
+        let gravity_fields: Option<Arc<HashMap<NodeId, LeafField>>> = if self.opts.gravity {
+            let _t = self.apex.timer("gravity:solve");
+            let sources = self.leaf_sources();
+            let solver = GravitySolver::new(GravityOptions {
+                vector_mode: self.opts.vector_mode,
+                ..self.opts.gravity_opts
+            });
+            let space = ExecSpace::hpx(cluster.locality(0).runtime().clone());
+            let (fields, stats) =
+                self.grid.with_tree(|t| solver.solve(t, &sources, &space));
+            kernel_launches += stats.multipole_kernel_launches as u64 + leaves.len() as u64;
+            self.last_gravity_stats = Some(stats);
+            Some(Arc::new(fields))
+        } else {
+            self.last_gravity_stats = None;
+            None
+        };
+
+        // ---- Global fixed time step. -----------------------------------
+        let dt = {
+            let _t = self.apex.timer("hydro:cfl_reduction");
+            self.compute_dt()
+        };
+
+        // ---- Save u⁰. ---------------------------------------------------
+        let u0: Arc<HashMap<NodeId, octree::SubGrid>> = Arc::new(
+            leaves
+                .iter()
+                .map(|&l| (l, self.grid.grid(l).read().clone()))
+                .collect(),
+        );
+
+        // ---- Three SSP-RK3 stages. --------------------------------------
+        // Effective Shu-Osher weights of the three stage RHS evaluations in
+        // the final update: uⁿ⁺¹ = uⁿ + Δt (L⁰/6 + L¹/6 + 2L²/3); boundary
+        // outflow integrates with the same weights.
+        let stage_weight = [1.0 / 6.0, 1.0 / 6.0, 2.0 / 3.0];
+        // Precompute each leaf's domain-boundary face mask.
+        let boundary_masks: Arc<HashMap<NodeId, [bool; 6]>> = Arc::new(self.grid.with_tree(|t| {
+            leaves
+                .iter()
+                .map(|&l| {
+                    let dirs = [
+                        octree::Dir::new(-1, 0, 0),
+                        octree::Dir::new(1, 0, 0),
+                        octree::Dir::new(0, -1, 0),
+                        octree::Dir::new(0, 1, 0),
+                        octree::Dir::new(0, 0, -1),
+                        octree::Dir::new(0, 0, 1),
+                    ];
+                    let mask = dirs.map(|d| {
+                        matches!(t.neighbor_of(l, d), octree::Neighbor::DomainBoundary)
+                    });
+                    (l, mask)
+                })
+                .collect()
+        }));
+        let mut step_outflow = 0.0;
+        for stage in 0..3 {
+            {
+                let _t = self.apex.timer("comm:ghost_exchange");
+                direct_ghost_links +=
+                    self.grid.exchange_ghosts(cluster, self.opts.ghost) as u64;
+            }
+            let _stage_timer = self.apex.timer("hydro:rk_stage");
+            let grid = self.grid.clone();
+            let opts = self.opts;
+            let gf = gravity_fields.clone();
+            let u0 = u0.clone();
+            let masks = boundary_masks.clone();
+            let stage_outflow = Arc::new(parking_lot::Mutex::new(0.0f64));
+            let stage_outflow_task = stage_outflow.clone();
+            self.for_each_leaf(cluster, move |leaf| {
+                let handle = grid.grid(leaf);
+                let (corner, size) = leaf.cube();
+                let nn = grid.n();
+                let h = size * BOX_SIZE / nn as f64;
+                let origin = [
+                    (corner[0] + 0.5 * size / nn as f64 - 0.5) * BOX_SIZE,
+                    (corner[1] + 0.5 * size / nn as f64 - 0.5) * BOX_SIZE,
+                    (corner[2] + 0.5 * size / nn as f64 - 0.5) * BOX_SIZE,
+                ];
+                let hopts = HydroOptions {
+                    vector_mode: opts.vector_mode,
+                    cfl: opts.cfl,
+                };
+                // Compute the RHS from the current state (reads), then
+                // apply the stage combination (writes).
+                let (mut rhs, u_cur) = {
+                    let g = handle.read();
+                    let mut rhs = hydro::rhs_like(&g);
+                    let leaf_gravity = gf.as_ref().map(|m| &m[&leaf]);
+                    let gvecs = leaf_gravity
+                        .map(|f| [&f.gx[..], &f.gy[..], &f.gz[..]]);
+                    let src = SourceInput {
+                        gravity: gvecs,
+                        omega: opts.omega,
+                        origin,
+                        h,
+                        boundary_faces: masks[&leaf],
+                    };
+                    let info = hydro::compute_rhs(&g, &mut rhs, &src, &hopts);
+                    *stage_outflow_task.lock() += info.boundary_mass_outflow_rate;
+                    (rhs, g.clone())
+                };
+                // Zero RHS in ghost zones so stage combines don't touch
+                // them with stale flux data (they are refreshed by the next
+                // exchange anyway, but keep them clean for diagnostics).
+                zero_ghost_fields(&mut rhs);
+                let base = &u0[&leaf];
+                let mut g = handle.write();
+                match stage {
+                    0 => hydro::rk3::stage_euler(&u_cur, &rhs, dt, &mut g, opts.vector_mode),
+                    1 => hydro::rk3::stage_two(base, &u_cur, &rhs, dt, &mut g, opts.vector_mode),
+                    _ => hydro::rk3::stage_three(base, &u_cur, &rhs, dt, &mut g, opts.vector_mode),
+                }
+            });
+            step_outflow += stage_weight[stage] * dt * *stage_outflow.lock();
+            kernel_launches += 2 * leaves.len() as u64; // RHS + combine
+        }
+        self.mass_outflow += step_outflow;
+
+        self.time += dt;
+        self.step_count += 1;
+        let elapsed = t0.elapsed().as_secs_f64();
+        let cells = 3 * n3 * leaves.len() as u64;
+        StepStats {
+            dt,
+            time: self.time,
+            cells_processed: cells,
+            elapsed_seconds: elapsed,
+            cells_per_second: cells as f64 / elapsed.max(1e-12),
+            kernel_launches,
+            direct_ghost_links,
+            mass_outflow: step_outflow,
+            gravity_stats: self.last_gravity_stats,
+        }
+    }
+
+    /// Run `steps` steps; returns the ledger before and after plus per-step
+    /// stats.
+    pub fn run(
+        &mut self,
+        cluster: &SimCluster,
+        steps: usize,
+    ) -> (ConservationLedger, ConservationLedger, Vec<StepStats>) {
+        let before = ConservationLedger::measure(&self.grid);
+        let mut stats = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            stats.push(self.step(cluster));
+        }
+        let after = ConservationLedger::measure(&self.grid);
+        (before, after, stats)
+    }
+}
+
+/// Zero all ghost cells of every field (keep the interior).
+fn zero_ghost_fields(g: &mut octree::SubGrid) {
+    let n = g.n();
+    let gw = g.ghost();
+    let ext = g.ext();
+    for f in 0..NF {
+        let data = g.field_mut(f);
+        for i in 0..ext {
+            for j in 0..ext {
+                for k in 0..ext {
+                    let interior = (gw..gw + n).contains(&i)
+                        && (gw..gw + n).contains(&j)
+                        && (gw..gw + n).contains(&k);
+                    if !interior {
+                        data[(i * ext + j) * ext + k] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Simulation {
+    /// FMM statistics of the most recent step (if gravity ran).
+    pub fn last_gravity_stats(&self) -> Option<crate::gravity::solver::SolveStats> {
+        self.last_gravity_stats
+    }
+
+    /// Octo-Tiger's regrid: refine every leaf whose peak interior density
+    /// exceeds `threshold`, up to `max_level` (paper Section IV-C: "AMR is
+    /// based on the density field").  Payloads are prolonged into the new
+    /// children conservatively; 2:1 balance is maintained.  Returns the
+    /// number of leaves refined.
+    pub fn regrid(&mut self, max_level: u8, threshold: f64) -> usize {
+        let mut refined = 0usize;
+        loop {
+            let candidates: Vec<NodeId> = self
+                .grid
+                .leaves()
+                .into_iter()
+                .filter(|&leaf| {
+                    if leaf.level() >= max_level {
+                        return false;
+                    }
+                    let handle = self.grid.grid(leaf);
+                    let g = handle.read();
+                    let n = g.n();
+                    let mut peak = 0.0f64;
+                    for i in 0..n {
+                        for j in 0..n {
+                            for k in 0..n {
+                                peak = peak.max(g.get_interior(field::RHO, i, j, k));
+                            }
+                        }
+                    }
+                    peak > threshold
+                })
+                .collect();
+            if candidates.is_empty() {
+                return refined;
+            }
+            for leaf in candidates {
+                // A previous refinement in this round may have consumed it.
+                if self.grid.with_tree(|t| t.is_leaf(leaf)) {
+                    self.grid.refine_balanced(leaf);
+                    refined += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioKind};
+
+    fn small_sim(cluster: &SimCluster, gravity: bool) -> Simulation {
+        let sc = Scenario::build(ScenarioKind::RotatingStar, cluster, 1, 0, 4);
+        let mut opts = SimOptions::default();
+        opts.gravity = gravity;
+        opts.omega = sc.omega;
+        Simulation::new(sc.grid, opts)
+    }
+
+    #[test]
+    fn dt_is_positive_and_finite() {
+        let cluster = SimCluster::new(1, 2);
+        let sim = small_sim(&cluster, false);
+        let dt = sim.compute_dt();
+        assert!(dt.is_finite() && dt > 0.0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn hydro_step_conserves_mass_to_machine_precision() {
+        // Mass + tracked boundary outflow must close to machine precision
+        // (the property Octo-Tiger's fixed time step exists to protect).
+        let cluster = SimCluster::new(2, 2);
+        let mut sim = small_sim(&cluster, false);
+        let (before, after, stats) = sim.run(&cluster, 2);
+        assert_eq!(stats.len(), 2);
+        let closed = (after.mass + sim.mass_outflow - before.mass).abs() / before.mass;
+        assert!(
+            closed < 1e-12,
+            "mass ledger does not close: drift {closed}, outflow {}",
+            sim.mass_outflow
+        );
+        assert!(stats[0].cells_per_second > 0.0);
+        assert!(stats[0].kernel_launches > 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn gravity_step_runs_and_reports_stats() {
+        let cluster = SimCluster::new(1, 2);
+        // Level 2: deep enough for the dual-tree traversal to produce
+        // far-field (M2L) interactions; level 1 is all near-field.
+        let sc = Scenario::build(ScenarioKind::RotatingStar, &cluster, 2, 0, 4);
+        let mut opts = SimOptions::default();
+        opts.gravity = true;
+        opts.omega = sc.omega;
+        let mut sim = Simulation::new(sc.grid, opts);
+        let s = sim.step(&cluster);
+        assert!(s.gravity_stats.is_some());
+        assert!(s.gravity_stats.unwrap().m2l_interactions > 0);
+        assert!(s.gravity_stats.unwrap().p2p_pairs > 0);
+        assert!(s.dt > 0.0);
+        // State must remain finite everywhere.
+        for leaf in sim.grid.leaves() {
+            let g = sim.grid.grid(leaf);
+            let gg = g.read();
+            assert!(gg.field(field::RHO).iter().all(|v| v.is_finite()));
+            assert!(gg.field(field::EGAS).iter().all(|v| v.is_finite()));
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn scalar_and_sve_runs_produce_identical_states() {
+        // The Figure 7 switch is performance-only.
+        let cluster_a = SimCluster::new(1, 2);
+        let cluster_b = SimCluster::new(1, 2);
+        let mut sim_a = small_sim(&cluster_a, false);
+        let mut sim_b = small_sim(&cluster_b, false);
+        sim_a.opts.vector_mode = VectorMode::Scalar;
+        sim_b.opts.vector_mode = VectorMode::Sve512;
+        sim_a.step(&cluster_a);
+        sim_b.step(&cluster_b);
+        for leaf in sim_a.grid.leaves() {
+            let ga = sim_a.grid.grid(leaf);
+            let gb = sim_b.grid.grid(leaf);
+            let (ga, gb) = (ga.read(), gb.read());
+            for f in 0..NF {
+                for (a, b) in ga.field(f).iter().zip(gb.field(f)) {
+                    assert!(
+                        (a - b).abs() <= 1e-12 * (1.0 + a.abs()),
+                        "state diverged between widths: {a} vs {b}"
+                    );
+                }
+            }
+        }
+        cluster_a.shutdown();
+        cluster_b.shutdown();
+    }
+
+    #[test]
+    fn apex_profiles_the_step_phases() {
+        let cluster = SimCluster::new(1, 2);
+        let mut sim = small_sim(&cluster, true);
+        sim.step(&cluster);
+        let gravity = sim.apex.stats("gravity:solve");
+        let stages = sim.apex.stats("hydro:rk_stage");
+        let ghosts = sim.apex.stats("comm:ghost_exchange");
+        assert_eq!(gravity.count, 1);
+        assert_eq!(stages.count, 3);
+        assert_eq!(ghosts.count, 3);
+        assert!(gravity.total_s > 0.0);
+        let table = sim.apex.summary_table();
+        assert!(table.contains("gravity:solve"));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn regrid_refines_dense_leaves_and_conserves_mass() {
+        let cluster = SimCluster::new(1, 2);
+        // Level 2 so cell centers actually sample the (small) star.
+        let sc = Scenario::build(ScenarioKind::RotatingStar, &cluster, 2, 0, 4);
+        let mut opts = SimOptions::default();
+        opts.gravity = false;
+        opts.omega = sc.omega;
+        let mut sim = Simulation::new(sc.grid, opts);
+        let before = crate::diag::ConservationLedger::measure(&sim.grid);
+        let leaves_before = sim.grid.leaves().len();
+        let refined = sim.regrid(3, 1.0);
+        assert!(refined > 0, "the star should trigger refinement");
+        assert!(sim.grid.leaves().len() > leaves_before);
+        sim.grid.with_tree(|t| t.check_invariants().expect("balanced"));
+        let after = crate::diag::ConservationLedger::measure(&sim.grid);
+        assert!(
+            after.mass_drift(&before) < 1e-12,
+            "prolongation must conserve mass: {}",
+            after.mass_drift(&before)
+        );
+        // And the refined grid still steps.
+        let s = sim.step(&cluster);
+        assert!(s.dt > 0.0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn comm_optimization_does_not_change_physics() {
+        // Figure 8's switch must be performance-only too.
+        let cluster_a = SimCluster::new(2, 1);
+        let cluster_b = SimCluster::new(2, 1);
+        let mut sim_a = small_sim(&cluster_a, false);
+        let mut sim_b = small_sim(&cluster_b, false);
+        sim_a.opts.ghost = GhostConfig {
+            direct_local_access: true,
+            notify_with_channels: false,
+        };
+        sim_b.opts.ghost = GhostConfig {
+            direct_local_access: false,
+            notify_with_channels: false,
+        };
+        let sa = sim_a.step(&cluster_a);
+        let sb = sim_b.step(&cluster_b);
+        assert!(sa.direct_ghost_links > 0);
+        assert_eq!(sb.direct_ghost_links, 0);
+        for leaf in sim_a.grid.leaves() {
+            let ga = sim_a.grid.grid(leaf);
+            let gb = sim_b.grid.grid(leaf);
+            let (ga, gb) = (ga.read(), gb.read());
+            for f in 0..NF {
+                assert_eq!(ga.field(f), gb.field(f), "field {f} differs");
+            }
+        }
+        cluster_a.shutdown();
+        cluster_b.shutdown();
+    }
+}

@@ -1,0 +1,570 @@
+//! The FMM driver: dual-tree traversal, the three solver phases, and the
+//! task-splittable multipole kernel.
+//!
+//! Phase structure follows paper Section VII-C: *"In each gravity solver
+//! iteration, we have one bottom-up tree traversal.  In the second step, we
+//! then calculate the same-level cell-to-cell interactions on each tree
+//! level.  Lastly, we do a third top-down step tree-traversal to compute
+//! the final results."*  The second step — the multipole (M2L) kernel — is
+//! launched through the Kokkos-style `ExecSpace` with a configurable
+//! [`GravityOptions::tasks_per_multipole_kernel`]: 1 task (Octo-Tiger's
+//! default, hot cache) or 16 tasks (the paper's anti-starvation setting,
+//! Figure 9).
+
+use super::direct::{p2p_at_w, PointMasses};
+use super::multipole::{LocalExpansion, Multipole};
+use crate::units::BOX_SIZE;
+use kokkos_rs::{parallel_for, ChunkSpec, ExecSpace, RangePolicy};
+use octree::{NodeId, Tree};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use sve_simd::VectorMode;
+
+/// FMM solver options.
+#[derive(Debug, Clone, Copy)]
+pub struct GravityOptions {
+    /// Multipole acceptance parameter: nodes are well separated when
+    /// `(r_a + r_b) / d < theta`.  Smaller = more accurate, more P2P.
+    pub theta: f64,
+    /// Include the octupole term — the paper's angular-momentum-conserving
+    /// FMM modification.
+    pub use_octupole: bool,
+    /// HPX tasks per multipole-kernel launch (Figure 9: 1 = OFF, 16 = ON).
+    pub tasks_per_multipole_kernel: usize,
+    /// SIMD width for the P2P kernels (Figure 7).
+    pub vector_mode: VectorMode,
+}
+
+impl Default for GravityOptions {
+    fn default() -> Self {
+        GravityOptions {
+            theta: 0.5,
+            use_octupole: true,
+            tasks_per_multipole_kernel: 1,
+            vector_mode: VectorMode::Sve512,
+        }
+    }
+}
+
+/// Point-mass content of one leaf (cell centers + cell masses, physical
+/// coordinates).
+#[derive(Debug, Clone, Default)]
+pub struct LeafSources {
+    /// SoA point masses of the leaf's cells.
+    pub points: PointMasses,
+}
+
+/// Gravity output for one leaf: potential and acceleration per cell, in the
+/// same cell order as the input points.
+#[derive(Debug, Clone, Default)]
+pub struct LeafField {
+    pub phi: Vec<f64>,
+    pub gx: Vec<f64>,
+    pub gy: Vec<f64>,
+    pub gz: Vec<f64>,
+}
+
+/// Interaction statistics of one solve (inputs to the cluster workload
+/// model and the Figure 9 discussion).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Number of M2L (multipole) interactions.
+    pub m2l_interactions: usize,
+    /// Number of ordered P2P leaf pairs (including self pairs).
+    pub p2p_pairs: usize,
+    /// Number of M2L kernel launches (targets with a non-empty list).
+    pub multipole_kernel_launches: usize,
+}
+
+/// The FMM solver.
+#[derive(Debug, Clone, Default)]
+pub struct GravitySolver {
+    pub opts: GravityOptions,
+}
+
+/// Physical center and half-diagonal of a node's cube.
+fn node_geometry(id: NodeId) -> ([f64; 3], f64) {
+    let (corner, size) = id.cube();
+    let s_phys = size * BOX_SIZE;
+    let center = [
+        (corner[0] + 0.5 * size - 0.5) * BOX_SIZE,
+        (corner[1] + 0.5 * size - 0.5) * BOX_SIZE,
+        (corner[2] + 0.5 * size - 0.5) * BOX_SIZE,
+    ];
+    (center, 0.5 * s_phys * 3f64.sqrt())
+}
+
+impl GravitySolver {
+    /// New solver with the given options.
+    pub fn new(opts: GravityOptions) -> GravitySolver {
+        GravitySolver { opts }
+    }
+
+    /// Solve for the gravitational field of `sources` on `tree`, running
+    /// the multipole and evaluation kernels on `space`.
+    pub fn solve(
+        &self,
+        tree: &Tree,
+        sources: &HashMap<NodeId, LeafSources>,
+        space: &ExecSpace,
+    ) -> (HashMap<NodeId, LeafField>, SolveStats) {
+        let leaves = tree.leaves();
+        debug_assert!(leaves.iter().all(|l| sources.contains_key(l)));
+
+        // ---- Phase 1: bottom-up (P2M + M2M). --------------------------
+        let multipoles = self.upward_pass(tree, sources, &leaves);
+
+        // ---- Dual-tree traversal: near/far decomposition. -------------
+        let (m2l_by_target, p2p_by_target) = self.traverse(tree);
+
+        // ---- Phase 2: the multipole (M2L) kernel. ----------------------
+        let locals = self.multipole_kernel(tree, &multipoles, &m2l_by_target, space);
+
+        // ---- Phase 3: top-down (L2L) + evaluation + P2P. ---------------
+        let locals = downward_pass(tree, locals);
+        let fields = self.evaluate(tree, sources, &leaves, &locals, &p2p_by_target, space);
+
+        let stats = SolveStats {
+            m2l_interactions: m2l_by_target.values().map(Vec::len).sum(),
+            p2p_pairs: p2p_by_target.values().map(Vec::len).sum(),
+            multipole_kernel_launches: m2l_by_target.len(),
+        };
+        (fields, stats)
+    }
+
+    fn upward_pass(
+        &self,
+        tree: &Tree,
+        sources: &HashMap<NodeId, LeafSources>,
+        leaves: &[NodeId],
+    ) -> HashMap<NodeId, Multipole> {
+        let mut multipoles: HashMap<NodeId, Multipole> = HashMap::new();
+        for &leaf in leaves {
+            let src = &sources[&leaf];
+            let pts: Vec<([f64; 3], f64)> = (0..src.points.len())
+                .map(|c| {
+                    (
+                        [src.points.xs[c], src.points.ys[c], src.points.zs[c]],
+                        src.points.ms[c],
+                    )
+                })
+                .collect();
+            let mut mp = Multipole::from_points(&pts);
+            if mp.m == 0.0 {
+                mp = Multipole::zero(node_geometry(leaf).0);
+            }
+            multipoles.insert(leaf, mp);
+        }
+        let max_level = tree.max_level();
+        for level in (0..max_level).rev() {
+            for node in tree.interior_at_level(level) {
+                let children: Vec<&Multipole> = octree::Octant::all()
+                    .map(|o| &multipoles[&node.child(o)])
+                    .collect();
+                let mut mp = Multipole::combine(&children);
+                if mp.m == 0.0 {
+                    mp = Multipole::zero(node_geometry(node).0);
+                }
+                multipoles.insert(node, mp);
+            }
+        }
+        multipoles
+    }
+
+    /// Dual-tree traversal producing, per target node: its M2L source list,
+    /// and per target leaf: its P2P source-leaf list.
+    #[allow(clippy::type_complexity)]
+    fn traverse(
+        &self,
+        tree: &Tree,
+    ) -> (
+        HashMap<NodeId, Vec<NodeId>>,
+        HashMap<NodeId, Vec<NodeId>>,
+    ) {
+        let mut m2l: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut p2p: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let theta = self.opts.theta;
+        let mut stack: Vec<(NodeId, NodeId)> = vec![(NodeId::ROOT, NodeId::ROOT)];
+        while let Some((a, b)) = stack.pop() {
+            if a == b {
+                if tree.is_leaf(a) {
+                    p2p.entry(a).or_default().push(a);
+                } else {
+                    let kids: Vec<NodeId> = octree::Octant::all().map(|o| a.child(o)).collect();
+                    for (i, &ci) in kids.iter().enumerate() {
+                        for &cj in &kids[i..] {
+                            stack.push((ci, cj));
+                        }
+                    }
+                }
+                continue;
+            }
+            let (ca, ra) = node_geometry(a);
+            let (cb, rb) = node_geometry(b);
+            let d = ((ca[0] - cb[0]).powi(2) + (ca[1] - cb[1]).powi(2) + (ca[2] - cb[2]).powi(2))
+                .sqrt();
+            if d > 0.0 && (ra + rb) / d < theta {
+                m2l.entry(a).or_default().push(b);
+                m2l.entry(b).or_default().push(a);
+                continue;
+            }
+            let a_leaf = tree.is_leaf(a);
+            let b_leaf = tree.is_leaf(b);
+            if a_leaf && b_leaf {
+                p2p.entry(a).or_default().push(b);
+                p2p.entry(b).or_default().push(a);
+                continue;
+            }
+            // Split the larger node (higher up the tree); if tied, split
+            // whichever is interior.
+            let split_a = if a_leaf {
+                false
+            } else if b_leaf {
+                true
+            } else {
+                a.level() <= b.level()
+            };
+            let (split, keep) = if split_a { (a, b) } else { (b, a) };
+            for o in octree::Octant::all() {
+                stack.push((split.child(o), keep));
+            }
+        }
+        (m2l, p2p)
+    }
+
+    /// Phase 2: run M2L for every target node, as a kernel split into
+    /// `tasks_per_multipole_kernel` HPX tasks (Figure 9).
+    fn multipole_kernel(
+        &self,
+        _tree: &Tree,
+        multipoles: &HashMap<NodeId, Multipole>,
+        m2l_by_target: &HashMap<NodeId, Vec<NodeId>>,
+        space: &ExecSpace,
+    ) -> HashMap<NodeId, LocalExpansion> {
+        let mut targets: Vec<NodeId> = m2l_by_target.keys().copied().collect();
+        targets.sort_by_key(|id| id.sfc_key());
+        let slots: Vec<Mutex<LocalExpansion>> = targets
+            .iter()
+            .map(|_| Mutex::new(LocalExpansion::zero()))
+            .collect();
+        let use_oct = self.opts.use_octupole;
+        let policy = RangePolicy::new(0, targets.len())
+            .with_chunk(ChunkSpec::Tasks(self.opts.tasks_per_multipole_kernel));
+        parallel_for(space, policy, |t| {
+            let target = targets[t];
+            let (center, _) = node_geometry(target);
+            let mut acc = LocalExpansion::zero();
+            for src in &m2l_by_target[&target] {
+                let mp = &multipoles[src];
+                if mp.m == 0.0 {
+                    continue;
+                }
+                acc.add_assign(&mp.m2l(center, use_oct));
+            }
+            *slots[t].lock() = acc;
+        });
+        targets
+            .into_iter()
+            .zip(slots)
+            .map(|(id, slot)| (id, slot.into_inner()))
+            .collect()
+    }
+
+    /// Phase 3b: evaluate local expansions at cell centers and add the P2P
+    /// near field.
+    fn evaluate(
+        &self,
+        _tree: &Tree,
+        sources: &HashMap<NodeId, LeafSources>,
+        leaves: &[NodeId],
+        locals: &HashMap<NodeId, LocalExpansion>,
+        p2p_by_target: &HashMap<NodeId, Vec<NodeId>>,
+        space: &ExecSpace,
+    ) -> HashMap<NodeId, LeafField> {
+        let slots: Vec<Mutex<LeafField>> =
+            leaves.iter().map(|_| Mutex::new(LeafField::default())).collect();
+        let mode = self.opts.vector_mode;
+        let policy = RangePolicy::new(0, leaves.len()).with_chunk(ChunkSpec::Auto);
+        parallel_for(space, policy, |li| {
+            let leaf = leaves[li];
+            let pts = &sources[&leaf].points;
+            let ncells = pts.len();
+            let mut field = LeafField {
+                phi: vec![0.0; ncells],
+                gx: vec![0.0; ncells],
+                gy: vec![0.0; ncells],
+                gz: vec![0.0; ncells],
+            };
+            let (center, _) = node_geometry(leaf);
+            let local = locals.get(&leaf);
+            let p2p_sources = p2p_by_target.get(&leaf);
+            for c in 0..ncells {
+                let x = [pts.xs[c], pts.ys[c], pts.zs[c]];
+                let mut phi = 0.0;
+                let mut g = [0.0; 3];
+                if let Some(local) = local {
+                    let off = [x[0] - center[0], x[1] - center[1], x[2] - center[2]];
+                    let (p, gg) = local.evaluate(off);
+                    phi += p;
+                    for a in 0..3 {
+                        g[a] += gg[a];
+                    }
+                }
+                if let Some(srcs) = p2p_sources {
+                    for src_leaf in srcs {
+                        let sp = &sources[src_leaf].points;
+                        let (p, gg) = match mode {
+                            VectorMode::Scalar => p2p_at_w::<1>(sp, x[0], x[1], x[2]),
+                            VectorMode::Sve512 => p2p_at_w::<8>(sp, x[0], x[1], x[2]),
+                        };
+                        phi += p;
+                        for a in 0..3 {
+                            g[a] += gg[a];
+                        }
+                    }
+                }
+                field.phi[c] = phi;
+                field.gx[c] = g[0];
+                field.gy[c] = g[1];
+                field.gz[c] = g[2];
+            }
+            *slots[li].lock() = field;
+        });
+        leaves
+            .iter()
+            .copied()
+            .zip(slots.into_iter().map(Mutex::into_inner))
+            .collect()
+    }
+}
+
+/// Phase 3a: propagate local expansions down the tree (L2L).
+fn downward_pass(
+    tree: &Tree,
+    mut locals: HashMap<NodeId, LocalExpansion>,
+) -> HashMap<NodeId, LocalExpansion> {
+    let max_level = tree.max_level();
+    for level in 0..max_level {
+        for node in tree.interior_at_level(level) {
+            let Some(parent_local) = locals.get(&node).cloned() else {
+                continue;
+            };
+            let (pc, _) = node_geometry(node);
+            for o in octree::Octant::all() {
+                let child = node.child(o);
+                let (cc, _) = node_geometry(child);
+                let d = [cc[0] - pc[0], cc[1] - pc[1], cc[2] - pc[2]];
+                let shifted = parent_local.shifted(d);
+                locals
+                    .entry(child)
+                    .and_modify(|l| l.add_assign(&shifted))
+                    .or_insert(shifted);
+            }
+        }
+    }
+    locals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gravity::direct::direct_field;
+
+    /// Deterministic pseudo-random density on a leaf's cell centers.
+    fn make_sources(tree: &Tree, n: usize) -> HashMap<NodeId, LeafSources> {
+        let mut out = HashMap::new();
+        for leaf in tree.leaves() {
+            let (corner, size) = leaf.cube();
+            let h = size / n as f64;
+            let mut points = PointMasses::default();
+            for i in 0..n {
+                for j in 0..n {
+                    for k in 0..n {
+                        let ux = corner[0] + (i as f64 + 0.5) * h;
+                        let uy = corner[1] + (j as f64 + 0.5) * h;
+                        let uz = corner[2] + (k as f64 + 0.5) * h;
+                        let x = (ux - 0.5) * BOX_SIZE;
+                        let y = (uy - 0.5) * BOX_SIZE;
+                        let z = (uz - 0.5) * BOX_SIZE;
+                        // Smooth blob + deterministic ripple.
+                        let r2 = x * x + y * y + z * z;
+                        let m = (1.0 + 0.3 * (13.0 * ux).sin() * (7.0 * uy).cos())
+                            * (-2.0 * r2).exp()
+                            * h
+                            * h
+                            * h;
+                        points.push([x, y, z], m);
+                    }
+                }
+            }
+            out.insert(leaf, LeafSources { points });
+        }
+        out
+    }
+
+    fn all_points(sources: &HashMap<NodeId, LeafSources>, tree: &Tree) -> PointMasses {
+        let mut all = PointMasses::default();
+        for leaf in tree.leaves() {
+            let p = &sources[&leaf].points;
+            for c in 0..p.len() {
+                all.push([p.xs[c], p.ys[c], p.zs[c]], p.ms[c]);
+            }
+        }
+        all
+    }
+
+    fn rel_g_error(
+        tree: &Tree,
+        sources: &HashMap<NodeId, LeafSources>,
+        fields: &HashMap<NodeId, LeafField>,
+    ) -> f64 {
+        let all = all_points(sources, tree);
+        let (_, g_ref) = direct_field(&all, &all, VectorMode::Sve512);
+        let mut idx = 0usize;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for leaf in tree.leaves() {
+            let f = &fields[&leaf];
+            for c in 0..f.phi.len() {
+                let gr = g_ref[idx];
+                let df = [f.gx[c] - gr[0], f.gy[c] - gr[1], f.gz[c] - gr[2]];
+                num += df.iter().map(|v| v * v).sum::<f64>();
+                den += gr.iter().map(|v| v * v).sum::<f64>();
+                idx += 1;
+            }
+        }
+        (num / den).sqrt()
+    }
+
+    #[test]
+    fn fmm_matches_direct_on_uniform_tree() {
+        let tree = Tree::new_uniform(2);
+        let sources = make_sources(&tree, 4);
+        let solver = GravitySolver::default();
+        let (fields, stats) = solver.solve(&tree, &sources, &ExecSpace::Serial);
+        assert!(stats.m2l_interactions > 0);
+        assert!(stats.p2p_pairs > 0);
+        let err = rel_g_error(&tree, &sources, &fields);
+        assert!(err < 2e-3, "FMM acceleration error too large: {err}");
+    }
+
+    #[test]
+    fn fmm_matches_direct_on_adaptive_tree() {
+        // The dual-tree traversal must cover adaptive trees without gaps.
+        let mut tree = Tree::new_uniform(1);
+        tree.refine_balanced(NodeId::from_coords(1, [0, 0, 0]));
+        tree.refine_balanced(NodeId::from_coords(2, [0, 0, 0]));
+        assert!(tree.check_invariants().is_ok());
+        let sources = make_sources(&tree, 4);
+        let solver = GravitySolver::default();
+        let (fields, _) = solver.solve(&tree, &sources, &ExecSpace::Serial);
+        let err = rel_g_error(&tree, &sources, &fields);
+        assert!(err < 5e-3, "adaptive FMM error too large: {err}");
+    }
+
+    #[test]
+    fn task_splitting_does_not_change_results() {
+        // Figure 9's knob is performance-only: 1 vs 16 tasks, same physics.
+        let rt = hpx_rt::Runtime::new(4);
+        let tree = Tree::new_uniform(2);
+        let sources = make_sources(&tree, 4);
+        let mut base = GravityOptions::default();
+        base.tasks_per_multipole_kernel = 1;
+        let (f1, _) =
+            GravitySolver::new(base).solve(&tree, &sources, &ExecSpace::hpx(rt.clone()));
+        base.tasks_per_multipole_kernel = 16;
+        let (f16, _) =
+            GravitySolver::new(base).solve(&tree, &sources, &ExecSpace::hpx(rt.clone()));
+        for leaf in tree.leaves() {
+            let a = &f1[&leaf];
+            let b = &f16[&leaf];
+            for c in 0..a.phi.len() {
+                assert!((a.phi[c] - b.phi[c]).abs() < 1e-12);
+                assert!((a.gx[c] - b.gx[c]).abs() < 1e-12);
+            }
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn octupole_reduces_error() {
+        let tree = Tree::new_uniform(2);
+        let sources = make_sources(&tree, 4);
+        let mut opts = GravityOptions::default();
+        opts.use_octupole = false;
+        let (f_no, _) = GravitySolver::new(opts).solve(&tree, &sources, &ExecSpace::Serial);
+        opts.use_octupole = true;
+        let (f_yes, _) = GravitySolver::new(opts).solve(&tree, &sources, &ExecSpace::Serial);
+        let err_no = rel_g_error(&tree, &sources, &f_no);
+        let err_yes = rel_g_error(&tree, &sources, &f_yes);
+        assert!(
+            err_yes < err_no,
+            "octupole should improve accuracy: {err_yes} vs {err_no}"
+        );
+    }
+
+    #[test]
+    fn total_force_nearly_vanishes() {
+        // Newton's third law: Σ m·g ≈ 0 (exactly for P2P, to truncation
+        // order for M2L).
+        let tree = Tree::new_uniform(2);
+        let sources = make_sources(&tree, 4);
+        let (fields, _) = GravitySolver::default().solve(&tree, &sources, &ExecSpace::Serial);
+        let mut total = [0.0f64; 3];
+        let mut scale = 0.0f64;
+        for leaf in tree.leaves() {
+            let f = &fields[&leaf];
+            let p = &sources[&leaf].points;
+            for c in 0..p.len() {
+                total[0] += p.ms[c] * f.gx[c];
+                total[1] += p.ms[c] * f.gy[c];
+                total[2] += p.ms[c] * f.gz[c];
+                scale += p.ms[c] * (f.gx[c].powi(2) + f.gy[c].powi(2) + f.gz[c].powi(2)).sqrt();
+            }
+        }
+        let mag = (total[0].powi(2) + total[1].powi(2) + total[2].powi(2)).sqrt();
+        assert!(
+            mag / scale < 1e-3,
+            "net self-force too large: {mag} vs scale {scale}"
+        );
+    }
+
+    #[test]
+    fn theta_tightening_improves_accuracy() {
+        let tree = Tree::new_uniform(2);
+        let sources = make_sources(&tree, 4);
+        let mut errs = Vec::new();
+        for theta in [0.8, 0.5, 0.3] {
+            let mut opts = GravityOptions::default();
+            opts.theta = theta;
+            let (fields, _) = GravitySolver::new(opts).solve(&tree, &sources, &ExecSpace::Serial);
+            errs.push(rel_g_error(&tree, &sources, &fields));
+        }
+        assert!(errs[0] > errs[2], "theta=0.3 must beat theta=0.8: {errs:?}");
+    }
+
+    #[test]
+    fn empty_leaves_are_tolerated() {
+        let tree = Tree::new_uniform(1);
+        let mut sources: HashMap<NodeId, LeafSources> = HashMap::new();
+        for (i, leaf) in tree.leaves().into_iter().enumerate() {
+            let mut points = PointMasses::default();
+            if i == 0 {
+                let (c, _) = node_geometry(leaf);
+                points.push(c, 1.0);
+            } else {
+                // Leaf with zero-mass cells.
+                let (c, _) = node_geometry(leaf);
+                points.push(c, 0.0);
+            }
+            sources.insert(leaf, LeafSources { points });
+        }
+        let (fields, _) = GravitySolver::default().solve(&tree, &sources, &ExecSpace::Serial);
+        // All finite.
+        for leaf in tree.leaves() {
+            let f = &fields[&leaf];
+            assert!(f.phi.iter().all(|v| v.is_finite()));
+            assert!(f.gx.iter().all(|v| v.is_finite()));
+        }
+    }
+}

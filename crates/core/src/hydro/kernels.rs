@@ -1,0 +1,384 @@
+//! The per-leaf compute kernels, width-generic over `Simd<f64, W>`.
+//!
+//! These are the Rust analogues of Octo-Tiger's Kokkos hydro kernels: the
+//! same kernel source is instantiated for the scalar width (`W = 1`) and
+//! the A64FX SVE width (`W = 8`).  Vectorization runs along the contiguous
+//! `k` index of the sub-grid; reconstruction stencils along `x`/`y` load
+//! the same contiguous lanes at strided base offsets, exactly as the SVE
+//! kernels do on A64FX.
+
+use super::flux::{hll_flux, PrimLanes};
+use super::recon::reconstruct_interface;
+use super::rotating;
+use super::SourceInput;
+use crate::state::{field, DUAL_ENERGY_SWITCH, NF};
+use crate::units::{GAMMA, P_FLOOR, RHO_FLOOR};
+use octree::SubGrid;
+use sve_simd::{ChunkedLanes, Simd};
+
+/// Primitive-variable arrays over the full ghosted block.
+struct PrimArrays {
+    rho: Vec<f64>,
+    vx: Vec<f64>,
+    vy: Vec<f64>,
+    vz: Vec<f64>,
+    p: Vec<f64>,
+    tau: Vec<f64>,
+    f1: Vec<f64>,
+    f2: Vec<f64>,
+}
+
+/// Recover primitives over the whole ghosted block (vectorized; the
+/// dual-energy `τ^γ` branch is a per-lane `powf`).
+fn primitives_w<const W: usize>(u: &SubGrid) -> PrimArrays {
+    let len = u.ext().pow(3);
+    let mut out = PrimArrays {
+        rho: vec![0.0; len],
+        vx: vec![0.0; len],
+        vy: vec![0.0; len],
+        vz: vec![0.0; len],
+        p: vec![0.0; len],
+        tau: vec![0.0; len],
+        f1: vec![0.0; len],
+        f2: vec![0.0; len],
+    };
+    let rho_c = u.field(field::RHO);
+    let sx = u.field(field::SX);
+    let sy = u.field(field::SY);
+    let sz = u.field(field::SZ);
+    let egas = u.field(field::EGAS);
+    let tau_c = u.field(field::TAU);
+    let f1_c = u.field(field::FRAC1);
+    let f2_c = u.field(field::FRAC2);
+
+    let gamma_m1 = Simd::<f64, W>::splat(GAMMA - 1.0);
+    let half = Simd::<f64, W>::splat(0.5);
+    let floor_rho = Simd::<f64, W>::splat(RHO_FLOOR);
+    let floor_p = Simd::<f64, W>::splat(P_FLOOR);
+    let switch = Simd::<f64, W>::splat(DUAL_ENERGY_SWITCH);
+
+    for (off, lanes) in ChunkedLanes::<W>::new(len) {
+        let load = |src: &[f64]| {
+            if lanes == W {
+                Simd::<f64, W>::from_slice(&src[off..])
+            } else {
+                Simd::<f64, W>::from_slice_padded(&src[off..], 0.0)
+            }
+        };
+        let store = |v: Simd<f64, W>, dst: &mut [f64]| {
+            if lanes == W {
+                v.write_to_slice(&mut dst[off..]);
+            } else {
+                v.write_to_slice_partial(&mut dst[off..]);
+            }
+        };
+        let rho = load(rho_c).simd_max(floor_rho);
+        let inv_rho = Simd::splat(1.0) / rho;
+        let vx = load(sx) * inv_rho;
+        let vy = load(sy) * inv_rho;
+        let vz = load(sz) * inv_rho;
+        let e_tot = load(egas);
+        let kinetic = half * rho * (vx * vx + vy * vy + vz * vz);
+        let e_direct = e_tot - kinetic;
+        let tau = load(tau_c);
+        // Dual-energy switch: trust E−K unless it is a tiny fraction of E.
+        let use_direct = e_direct.simd_gt(switch * e_tot.abs());
+        let e_entropy = tau.simd_max(Simd::splat(0.0)).map(|t| t.powf(GAMMA));
+        let e = Simd::select(use_direct, e_direct, e_entropy);
+        let p = (gamma_m1 * e).simd_max(floor_p);
+        store(rho, &mut out.rho);
+        store(vx, &mut out.vx);
+        store(vy, &mut out.vy);
+        store(vz, &mut out.vz);
+        store(p, &mut out.p);
+        store(tau, &mut out.tau);
+        store(load(f1_c), &mut out.f1);
+        store(load(f2_c), &mut out.f2);
+    }
+    out
+}
+
+/// Load `W` lanes (contiguous along k) from `src` at flat position `base`,
+/// `lanes` of them valid.
+#[inline(always)]
+fn load_lanes<const W: usize>(src: &[f64], base: usize, lanes: usize) -> Simd<f64, W> {
+    if lanes == W {
+        Simd::from_slice(&src[base..])
+    } else {
+        Simd::from_slice_padded(&src[base..base + lanes], 0.0)
+    }
+}
+
+/// Reconstruct the (left, right) interface states for one field along
+/// `stride` using four strided loads.
+#[inline(always)]
+fn recon_field<const W: usize>(
+    src: &[f64],
+    base: usize,
+    stride: usize,
+    lanes: usize,
+) -> (Simd<f64, W>, Simd<f64, W>) {
+    let qm2 = load_lanes::<W>(src, base - 2 * stride, lanes);
+    let qm1 = load_lanes::<W>(src, base - stride, lanes);
+    let q0 = load_lanes::<W>(src, base, lanes);
+    let qp1 = load_lanes::<W>(src, base + stride, lanes);
+    reconstruct_interface(qm2, qm1, q0, qp1)
+}
+
+/// Compute `L(u)` (flux divergence + sources) into `rhs`; returns the
+/// leaf's maximum wave speed and its boundary mass-outflow rate.
+pub fn compute_rhs_w<const W: usize>(
+    u: &SubGrid,
+    rhs: &mut SubGrid,
+    src: &SourceInput<'_>,
+) -> super::RhsInfo {
+    let n = u.n();
+    let g = u.ghost();
+    let ext = u.ext();
+    assert!(g >= 2, "hydro needs ghost width >= 2 for reconstruction");
+    assert_eq!(rhs.n(), n);
+    assert_eq!(rhs.nfields(), NF);
+    let prim = primitives_w::<W>(u);
+    let ext2 = ext * ext;
+    let strides = [ext2, ext, 1usize];
+    let h = src.h;
+
+    // Flux arrays: flux[axis][field][cell m] = flux through interface
+    // m−1/2 along that axis.
+    let mut flux: Vec<Vec<f64>> = (0..3 * NF).map(|_| vec![0.0; ext * ext2]).collect();
+    let mut max_speed = 0.0f64;
+
+    for axis in 0..3 {
+        let stride = strides[axis];
+        // Interface coordinate runs [g, g+n]; transverse coords [g, g+n).
+        let ranges: [(usize, usize); 3] = {
+            let mut r = [(g, g + n); 3];
+            r[axis] = (g, g + n + 1);
+            r
+        };
+        for i in ranges[0].0..ranges[0].1 {
+            for j in ranges[1].0..ranges[1].1 {
+                let (k_lo, k_hi) = ranges[2];
+                for (koff, lanes) in ChunkedLanes::<W>::new(k_hi - k_lo) {
+                    let k = k_lo + koff;
+                    let base = (i * ext + j) * ext + k;
+                    let (rho_l, rho_r) = recon_field::<W>(&prim.rho, base, stride, lanes);
+                    let (vx_l, vx_r) = recon_field::<W>(&prim.vx, base, stride, lanes);
+                    let (vy_l, vy_r) = recon_field::<W>(&prim.vy, base, stride, lanes);
+                    let (vz_l, vz_r) = recon_field::<W>(&prim.vz, base, stride, lanes);
+                    let (p_l, p_r) = recon_field::<W>(&prim.p, base, stride, lanes);
+                    let (tau_l, tau_r) = recon_field::<W>(&prim.tau, base, stride, lanes);
+                    let (f1_l, f1_r) = recon_field::<W>(&prim.f1, base, stride, lanes);
+                    let (f2_l, f2_r) = recon_field::<W>(&prim.f2, base, stride, lanes);
+                    let floor_rho = Simd::splat(RHO_FLOOR);
+                    let floor_p = Simd::splat(P_FLOOR);
+                    let left = PrimLanes {
+                        rho: rho_l.simd_max(floor_rho),
+                        vx: vx_l,
+                        vy: vy_l,
+                        vz: vz_l,
+                        p: p_l.simd_max(floor_p),
+                        tau: tau_l,
+                        f1: f1_l,
+                        f2: f2_l,
+                    };
+                    let right = PrimLanes {
+                        rho: rho_r.simd_max(floor_rho),
+                        vx: vx_r,
+                        vy: vy_r,
+                        vz: vz_r,
+                        p: p_r.simd_max(floor_p),
+                        tau: tau_r,
+                        f1: f1_r,
+                        f2: f2_r,
+                    };
+                    let (f, speed) = hll_flux(axis, &left, &right);
+                    max_speed = max_speed.max(speed.reduce_max());
+                    for (fi, fv) in f.into_iter().enumerate() {
+                        let dst = &mut flux[axis * NF + fi];
+                        if lanes == W {
+                            fv.write_to_slice(&mut dst[base..]);
+                        } else {
+                            fv.write_to_slice_partial(&mut dst[base..base + lanes]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Flux divergence into the RHS interior.
+    let inv_h = 1.0 / h;
+    for f in 0..NF {
+        let dst = rhs.field_mut(f);
+        for i in g..g + n {
+            for j in g..g + n {
+                let row = (i * ext + j) * ext;
+                for k in g..g + n {
+                    let c = row + k;
+                    let mut div = 0.0;
+                    for axis in 0..3 {
+                        let fl = &flux[axis * NF + f];
+                        div += fl[c + strides[axis]] - fl[c];
+                    }
+                    dst[c] = -div * inv_h;
+                }
+            }
+        }
+    }
+
+    // Sources: gravity and rotating frame (cheap relative to fluxes; scalar).
+    rotating::apply_sources(u, rhs, src);
+
+    // Boundary outflow accounting: net mass leaving the domain through this
+    // leaf's boundary faces (positive = outflow).
+    let area = h * h;
+    let mut outflow = 0.0;
+    let rho_flux = |axis: usize| &flux[axis * NF + field::RHO];
+    for (face, &is_boundary) in src.boundary_faces.iter().enumerate() {
+        if !is_boundary {
+            continue;
+        }
+        let axis = face / 2;
+        let positive_side = face % 2 == 1;
+        let m = if positive_side { g + n } else { g };
+        let fl = rho_flux(axis);
+        let mut face_flux = 0.0;
+        // Sum over the transverse interior plane at interface coord `m`.
+        for a in g..g + n {
+            for b in g..g + n {
+                let c = match axis {
+                    0 => (m * ext + a) * ext + b,
+                    1 => (a * ext + m) * ext + b,
+                    _ => (a * ext + b) * ext + m,
+                };
+                face_flux += fl[c];
+            }
+        }
+        // Flux is along +axis; on the negative face, inflow is +flux.
+        outflow += if positive_side { face_flux } else { -face_flux } * area;
+    }
+
+    super::RhsInfo {
+        max_signal_speed: max_speed,
+        boundary_mass_outflow_rate: outflow,
+    }
+}
+
+/// Maximum `|v| + c_s` over the interior.
+pub fn max_signal_speed_w<const W: usize>(u: &SubGrid) -> f64 {
+    let n = u.n();
+    let g = u.ghost();
+    let ext = u.ext();
+    let rho_c = u.field(field::RHO);
+    let sx = u.field(field::SX);
+    let sy = u.field(field::SY);
+    let sz = u.field(field::SZ);
+    let egas = u.field(field::EGAS);
+    let mut max_speed = 0.0f64;
+    let floor_rho = Simd::<f64, W>::splat(RHO_FLOOR);
+    let half = Simd::<f64, W>::splat(0.5);
+    for i in g..g + n {
+        for j in g..g + n {
+            let row = (i * ext + j) * ext;
+            for (koff, lanes) in ChunkedLanes::<W>::new(n) {
+                let base = row + g + koff;
+                let rho = load_lanes::<W>(rho_c, base, lanes).simd_max(floor_rho);
+                let inv = Simd::splat(1.0) / rho;
+                let vx = load_lanes::<W>(sx, base, lanes) * inv;
+                let vy = load_lanes::<W>(sy, base, lanes) * inv;
+                let vz = load_lanes::<W>(sz, base, lanes) * inv;
+                let v2 = vx * vx + vy * vy + vz * vz;
+                let e = (load_lanes::<W>(egas, base, lanes) - half * rho * v2)
+                    .simd_max(Simd::splat(0.0));
+                let p = (Simd::splat(GAMMA - 1.0) * e).simd_max(Simd::splat(P_FLOOR));
+                let cs = (Simd::splat(GAMMA) * p / rho).sqrt();
+                let sig = v2.sqrt() + cs;
+                // Only the valid lanes participate in the max.
+                let arr = sig.to_array();
+                for &s in arr.iter().take(lanes) {
+                    max_speed = max_speed.max(s);
+                }
+            }
+        }
+    }
+    max_speed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{from_primitive, Primitive};
+
+    /// Advection of a density bump in a uniform velocity field must move
+    /// mass in the advection direction and conserve the total (periodic
+    /// behaviour is emulated by only checking the interior balance against
+    /// boundary fluxes).
+    #[test]
+    fn rhs_mass_budget_matches_boundary_fluxes() {
+        let n = 4;
+        let mut u = SubGrid::new(n, 2, NF);
+        // Uniform v_x flow with a density gradient along x.
+        for i in 0..u.ext() {
+            for j in 0..u.ext() {
+                for k in 0..u.ext() {
+                    let rho = 1.0 + 0.1 * i as f64;
+                    let p0 = Primitive {
+                        rho,
+                        vx: 0.5,
+                        vy: 0.0,
+                        vz: 0.0,
+                        p: 1.0,
+                    };
+                    let (c, tau) = from_primitive(&p0);
+                    u.set(field::RHO, i, j, k, c.rho);
+                    u.set(field::SX, i, j, k, c.sx);
+                    u.set(field::SY, i, j, k, c.sy);
+                    u.set(field::SZ, i, j, k, c.sz);
+                    u.set(field::EGAS, i, j, k, c.egas);
+                    u.set(field::TAU, i, j, k, tau);
+                }
+            }
+        }
+        let mut rhs = SubGrid::new(n, 2, NF);
+        let src = SourceInput {
+            gravity: None,
+            omega: 0.0,
+            origin: [0.0; 3],
+            h: 0.25,
+            boundary_faces: [false; 6],
+        };
+        let info = compute_rhs_w::<8>(&u, &mut rhs, &src);
+        assert!(info.max_signal_speed > 0.5);
+        // d(total mass)/dt = -(flux out - flux in); with a linear density
+        // gradient and constant v, the interior RHS sum must equal
+        // (rho_in - rho_out) * v * area / h summed appropriately — here we
+        // just check it is negative (denser gas flows out the +x side than
+        // flows in the −x side... actually flows in from -x side at lower
+        // density), i.e. mass decreases.
+        let mut total = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    total += rhs.get_interior(field::RHO, i, j, k);
+                }
+            }
+        }
+        assert!(total < 0.0, "mass budget sign wrong: {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ghost width >= 2")]
+    fn thin_ghosts_rejected() {
+        let u = SubGrid::new(4, 1, NF);
+        let mut rhs = SubGrid::new(4, 1, NF);
+        let src = SourceInput {
+            gravity: None,
+            omega: 0.0,
+            origin: [0.0; 3],
+            h: 1.0,
+            boundary_faces: [false; 6],
+        };
+        compute_rhs_w::<1>(&u, &mut rhs, &src);
+    }
+}

@@ -1,0 +1,168 @@
+//! SSP-RK3 stage combinations (Shu–Osher form).
+//!
+//! Octo-Tiger advances the semi-discrete system with a third-order
+//! strong-stability-preserving Runge-Kutta scheme (paper Section IV-C):
+//!
+//! ```text
+//! u¹     = uⁿ + Δt L(uⁿ)
+//! u²     = ¾ uⁿ + ¼ (u¹ + Δt L(u¹))
+//! uⁿ⁺¹   = ⅓ uⁿ + ⅔ (u² + Δt L(u²))
+//! ```
+//!
+//! The combinations are plain axpy-style array operations over whole leaf
+//! blocks; they are vectorized with `sve_simd` like every other kernel.
+
+use octree::SubGrid;
+use sve_simd::{zip_map_simd, Simd, VectorMode};
+
+/// `u_new = u + dt * rhs` over all fields (stage 1), ghosts included
+/// (ghost values are refreshed by the next exchange anyway).
+pub fn stage_euler(u: &SubGrid, rhs: &SubGrid, dt: f64, out: &mut SubGrid, mode: VectorMode) {
+    match mode {
+        VectorMode::Scalar => stage_euler_w::<1>(u, rhs, dt, out),
+        VectorMode::Sve512 => stage_euler_w::<8>(u, rhs, dt, out),
+    }
+}
+
+fn stage_euler_w<const W: usize>(u: &SubGrid, rhs: &SubGrid, dt: f64, out: &mut SubGrid) {
+    for f in 0..u.nfields() {
+        zip_map_simd::<f64, W>(u.field(f), rhs.field(f), out.field_mut(f), |uu, rr| {
+            rr.mul_add(Simd::splat(dt), uu)
+        });
+    }
+}
+
+/// `u2 = 3/4 u0 + 1/4 (u1 + dt rhs1)` (stage 2).
+pub fn stage_two(
+    u0: &SubGrid,
+    u1: &SubGrid,
+    rhs1: &SubGrid,
+    dt: f64,
+    out: &mut SubGrid,
+    mode: VectorMode,
+) {
+    match mode {
+        VectorMode::Scalar => stage_combine_w::<1>(u0, u1, rhs1, dt, out, 0.75, 0.25),
+        VectorMode::Sve512 => stage_combine_w::<8>(u0, u1, rhs1, dt, out, 0.75, 0.25),
+    }
+}
+
+/// `u_new = 1/3 u0 + 2/3 (u2 + dt rhs2)` (stage 3).
+pub fn stage_three(
+    u0: &SubGrid,
+    u2: &SubGrid,
+    rhs2: &SubGrid,
+    dt: f64,
+    out: &mut SubGrid,
+    mode: VectorMode,
+) {
+    match mode {
+        VectorMode::Scalar => {
+            stage_combine_w::<1>(u0, u2, rhs2, dt, out, 1.0 / 3.0, 2.0 / 3.0)
+        }
+        VectorMode::Sve512 => {
+            stage_combine_w::<8>(u0, u2, rhs2, dt, out, 1.0 / 3.0, 2.0 / 3.0)
+        }
+    }
+}
+
+fn stage_combine_w<const W: usize>(
+    u0: &SubGrid,
+    us: &SubGrid,
+    rhs: &SubGrid,
+    dt: f64,
+    out: &mut SubGrid,
+    a: f64,
+    b: f64,
+) {
+    let len = u0.ext().pow(3);
+    for f in 0..u0.nfields() {
+        let f0 = u0.field(f);
+        let fs = us.field(f);
+        let fr = rhs.field(f);
+        let dst = out.field_mut(f);
+        let va = Simd::<f64, W>::splat(a);
+        let vb = Simd::<f64, W>::splat(b);
+        let vdt = Simd::<f64, W>::splat(dt);
+        for (off, lanes) in sve_simd::ChunkedLanes::<W>::new(len) {
+            let load = |src: &[f64]| {
+                if lanes == W {
+                    Simd::<f64, W>::from_slice(&src[off..])
+                } else {
+                    Simd::<f64, W>::from_slice_padded(&src[off..off + lanes], 0.0)
+                }
+            };
+            let v = va * load(f0) + vb * load(fs).mul_add(Simd::splat(1.0), vdt * load(fr));
+            if lanes == W {
+                v.write_to_slice(&mut dst[off..]);
+            } else {
+                v.write_to_slice_partial(&mut dst[off..off + lanes]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_of(v: f64) -> SubGrid {
+        let mut g = SubGrid::new(4, 2, 2);
+        g.fill(v);
+        g
+    }
+
+    #[test]
+    fn euler_stage() {
+        let u = grid_of(1.0);
+        let rhs = grid_of(2.0);
+        let mut out = grid_of(0.0);
+        stage_euler(&u, &rhs, 0.5, &mut out, VectorMode::Sve512);
+        assert_eq!(out.get(0, 0, 0, 0), 2.0);
+        assert_eq!(out.get(1, 5, 5, 5), 2.0);
+    }
+
+    #[test]
+    fn stages_match_shu_osher_coefficients() {
+        let u0 = grid_of(1.0);
+        let u1 = grid_of(3.0);
+        let rhs = grid_of(4.0);
+        let mut out = grid_of(0.0);
+        stage_two(&u0, &u1, &rhs, 0.25, &mut out, VectorMode::Sve512);
+        // 0.75*1 + 0.25*(3 + 0.25*4) = 0.75 + 1.0 = 1.75
+        assert!((out.get(0, 1, 1, 1) - 1.75).abs() < 1e-14);
+        stage_three(&u0, &u1, &rhs, 0.25, &mut out, VectorMode::Sve512);
+        // 1/3*1 + 2/3*(3+1) = 1/3 + 8/3 = 3
+        assert!((out.get(0, 2, 2, 2) - 3.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn scalar_and_wide_agree() {
+        let u0 = grid_of(0.7);
+        let u1 = grid_of(-0.4);
+        let rhs = grid_of(1.3);
+        let mut a = grid_of(0.0);
+        let mut b = grid_of(0.0);
+        stage_two(&u0, &u1, &rhs, 0.1, &mut a, VectorMode::Scalar);
+        stage_two(&u0, &u1, &rhs, 0.1, &mut b, VectorMode::Sve512);
+        for f in 0..2 {
+            assert_eq!(a.field(f), b.field(f));
+        }
+    }
+
+    #[test]
+    fn rk3_exact_for_linear_ode() {
+        // du/dt = c with constant c: RK3 must integrate exactly.
+        let c = 0.3;
+        let dt = 0.2;
+        let u0 = grid_of(1.0);
+        let rhs = grid_of(c);
+        let mut u1 = grid_of(0.0);
+        let mut u2 = grid_of(0.0);
+        let mut u3 = grid_of(0.0);
+        stage_euler(&u0, &rhs, dt, &mut u1, VectorMode::Sve512);
+        stage_two(&u0, &u1, &rhs, dt, &mut u2, VectorMode::Sve512);
+        stage_three(&u0, &u2, &rhs, dt, &mut u3, VectorMode::Sve512);
+        assert!((u3.get(0, 3, 3, 3) - (1.0 + c * dt)).abs() < 1e-14);
+    }
+}

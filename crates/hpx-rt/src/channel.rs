@@ -1,0 +1,205 @@
+//! HPX-style channels built from promise/future pairs.
+//!
+//! Section VII-B of the paper: *"we use simple local HPX promise/future
+//! pairs to notify neighbors when the local values are up-to-date and can be
+//! safely accessed."*  This module provides that exact primitive: an
+//! unbounded typed channel where `receive()` returns a [`Future`] that is
+//! fulfilled by a matching `send()` — in either arrival order.  It mirrors
+//! `hpx::lcos::local::channel`.
+
+use crate::future::{Future, Promise};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+struct ChannelState<T> {
+    /// Values sent before anyone asked for them.
+    ready_values: VecDeque<T>,
+    /// Promises handed out before a value arrived.
+    waiting_receivers: VecDeque<Promise<T>>,
+    senders_closed: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<ChannelState<T>>,
+}
+
+/// Sending half of an HPX-style channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half of an HPX-style channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+/// Create a connected channel pair.
+pub fn channel<T: Send + 'static>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(ChannelState {
+            ready_values: VecDeque::new(),
+            waiting_receivers: VecDeque::new(),
+            senders_closed: false,
+        }),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T: Send + 'static> Sender<T> {
+    /// Deliver one value.  If a receiver is already waiting, its future is
+    /// fulfilled immediately; otherwise the value is queued.
+    pub fn send(&self, value: T) {
+        let waiter = {
+            let mut st = self.shared.state.lock();
+            match st.waiting_receivers.pop_front() {
+                Some(p) => Some((p, value)),
+                None => {
+                    st.ready_values.push_back(value);
+                    None
+                }
+            }
+        };
+        if let Some((promise, value)) = waiter {
+            promise.set(value);
+        }
+    }
+
+    /// Close the channel: pending and future receives on an empty channel
+    /// observe abandonment (their futures panic on wait) rather than
+    /// blocking forever.
+    pub fn close(&self) {
+        let waiters: Vec<Promise<T>> = {
+            let mut st = self.shared.state.lock();
+            st.senders_closed = true;
+            st.waiting_receivers.drain(..).collect()
+        };
+        for p in waiters {
+            p.abandon("channel closed".to_owned());
+        }
+    }
+}
+
+impl<T: Send + 'static> Receiver<T> {
+    /// Obtain a future for the next value (FIFO among receive calls).
+    pub fn receive(&self) -> Future<T> {
+        let mut st = self.shared.state.lock();
+        if let Some(v) = st.ready_values.pop_front() {
+            drop(st);
+            return crate::future::make_ready_future(v);
+        }
+        if st.senders_closed {
+            drop(st);
+            let (p, f) = Promise::new_pair();
+            p.abandon("channel closed".to_owned());
+            return f;
+        }
+        let (p, f) = Promise::new_pair();
+        st.waiting_receivers.push_back(p);
+        f
+    }
+
+    /// Non-blocking poll for a queued value.
+    pub fn try_receive(&self) -> Option<T> {
+        self.shared.state.lock().ready_values.pop_front()
+    }
+
+    /// Number of values queued and not yet claimed.
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().ready_values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_then_receive() {
+        let (tx, rx) = channel();
+        tx.send(7);
+        assert_eq!(rx.receive().get(), 7);
+    }
+
+    #[test]
+    fn receive_then_send() {
+        let (tx, rx) = channel();
+        let f = rx.receive();
+        assert!(!f.is_ready());
+        tx.send(11);
+        assert_eq!(f.get(), 11);
+    }
+
+    #[test]
+    fn fifo_ordering_both_sides() {
+        let (tx, rx) = channel();
+        tx.send(1);
+        tx.send(2);
+        let f1 = rx.receive();
+        let f2 = rx.receive();
+        let f3 = rx.receive();
+        tx.send(3);
+        assert_eq!(f1.get(), 1);
+        assert_eq!(f2.get(), 2);
+        assert_eq!(f3.get(), 3);
+    }
+
+    #[test]
+    fn try_receive_and_queued() {
+        let (tx, rx) = channel();
+        assert_eq!(rx.try_receive(), None);
+        tx.send(5);
+        tx.send(6);
+        assert_eq!(rx.queued(), 2);
+        assert_eq!(rx.try_receive(), Some(5));
+        assert_eq!(rx.queued(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel closed")]
+    fn close_abandons_waiters() {
+        let (tx, rx) = channel::<i32>();
+        let f = rx.receive();
+        tx.close();
+        f.wait();
+    }
+
+    #[test]
+    fn cross_thread_notification() {
+        let (tx, rx) = channel();
+        let f = rx.receive();
+        let t = std::thread::spawn(move || tx.send(String::from("ghost-ready")));
+        assert_eq!(f.get(), "ghost-ready");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = channel();
+        let tx2 = tx.clone();
+        tx.send(1);
+        tx2.send(2);
+        assert_eq!(rx.receive().get() + rx.receive().get(), 3);
+    }
+}

@@ -1,0 +1,189 @@
+//! HPX-style performance counters.
+//!
+//! HPX exposes a hierarchical performance-counter interface
+//! (`/threads{locality#0/total}/count/cumulative`, …) that the paper's
+//! conclusion names as the tool for future performance analysis (together
+//! with APEX).  This module provides the equivalent observability for the
+//! Rust runtime: cheap relaxed atomic counters, snapshot/reset semantics,
+//! and stable names.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative counters for one runtime or one locality.
+///
+/// All increments use `Ordering::Relaxed`: the counters are monotonic
+/// statistics, not synchronization devices.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Tasks handed to the scheduler (`hpx::async`, continuations, parcels).
+    pub tasks_spawned: AtomicU64,
+    /// Tasks that finished executing.
+    pub tasks_executed: AtomicU64,
+    /// Tasks obtained by stealing from another worker's deque.
+    pub tasks_stolen: AtomicU64,
+    /// Times a worker went to sleep for lack of work (starvation signal —
+    /// the quantity the paper's Section VII-C multipole splitting attacks).
+    pub worker_parks: AtomicU64,
+    /// Futures created.
+    pub futures_created: AtomicU64,
+    /// Continuations attached via `Future::then`.
+    pub continuations_attached: AtomicU64,
+    /// Parcels sent to a *different* locality.
+    pub parcels_sent: AtomicU64,
+    /// Payload bytes in those parcels.
+    pub parcel_bytes: AtomicU64,
+    /// Remote-action invocations that were short-circuited locally
+    /// (the Section VII-B direct-memory-access communication optimization).
+    pub local_direct_accesses: AtomicU64,
+}
+
+impl Counters {
+    /// New zeroed counter block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            tasks_spawned: self.tasks_spawned.load(Ordering::Relaxed),
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
+            worker_parks: self.worker_parks.load(Ordering::Relaxed),
+            futures_created: self.futures_created.load(Ordering::Relaxed),
+            continuations_attached: self.continuations_attached.load(Ordering::Relaxed),
+            parcels_sent: self.parcels_sent.load(Ordering::Relaxed),
+            parcel_bytes: self.parcel_bytes.load(Ordering::Relaxed),
+            local_direct_accesses: self.local_direct_accesses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero (HPX's `reset_active_counters`).
+    pub fn reset(&self) {
+        self.tasks_spawned.store(0, Ordering::Relaxed);
+        self.tasks_executed.store(0, Ordering::Relaxed);
+        self.tasks_stolen.store(0, Ordering::Relaxed);
+        self.worker_parks.store(0, Ordering::Relaxed);
+        self.futures_created.store(0, Ordering::Relaxed);
+        self.continuations_attached.store(0, Ordering::Relaxed);
+        self.parcels_sent.store(0, Ordering::Relaxed);
+        self.parcel_bytes.store(0, Ordering::Relaxed);
+        self.local_direct_accesses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-data snapshot of [`Counters`], suitable for diffing across a
+/// measured region.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    pub tasks_spawned: u64,
+    pub tasks_executed: u64,
+    pub tasks_stolen: u64,
+    pub worker_parks: u64,
+    pub futures_created: u64,
+    pub continuations_attached: u64,
+    pub parcels_sent: u64,
+    pub parcel_bytes: u64,
+    pub local_direct_accesses: u64,
+}
+
+impl CountersSnapshot {
+    /// Counter deltas `self - earlier` (saturating, counters are monotonic).
+    pub fn since(&self, earlier: &CountersSnapshot) -> CountersSnapshot {
+        CountersSnapshot {
+            tasks_spawned: self.tasks_spawned.saturating_sub(earlier.tasks_spawned),
+            tasks_executed: self.tasks_executed.saturating_sub(earlier.tasks_executed),
+            tasks_stolen: self.tasks_stolen.saturating_sub(earlier.tasks_stolen),
+            worker_parks: self.worker_parks.saturating_sub(earlier.worker_parks),
+            futures_created: self.futures_created.saturating_sub(earlier.futures_created),
+            continuations_attached: self
+                .continuations_attached
+                .saturating_sub(earlier.continuations_attached),
+            parcels_sent: self.parcels_sent.saturating_sub(earlier.parcels_sent),
+            parcel_bytes: self.parcel_bytes.saturating_sub(earlier.parcel_bytes),
+            local_direct_accesses: self
+                .local_direct_accesses
+                .saturating_sub(earlier.local_direct_accesses),
+        }
+    }
+}
+
+impl std::fmt::Display for CountersSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "/threads/count/cumulative        {}", self.tasks_executed)?;
+        writeln!(f, "/threads/count/spawned           {}", self.tasks_spawned)?;
+        writeln!(f, "/threads/count/stolen            {}", self.tasks_stolen)?;
+        writeln!(f, "/threads/count/parked            {}", self.worker_parks)?;
+        writeln!(f, "/lcos/count/futures              {}", self.futures_created)?;
+        writeln!(
+            f,
+            "/lcos/count/continuations        {}",
+            self.continuations_attached
+        )?;
+        writeln!(f, "/parcels/count/sent              {}", self.parcels_sent)?;
+        writeln!(f, "/parcels/bytes/sent              {}", self.parcel_bytes)?;
+        write!(
+            f,
+            "/parcels/count/local-direct      {}",
+            self.local_direct_accesses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_add_snapshot() {
+        let c = Counters::new();
+        Counters::bump(&c.tasks_spawned);
+        Counters::bump(&c.tasks_spawned);
+        Counters::add(&c.parcel_bytes, 1024);
+        let s = c.snapshot();
+        assert_eq!(s.tasks_spawned, 2);
+        assert_eq!(s.parcel_bytes, 1024);
+        assert_eq!(s.tasks_executed, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = Counters::new();
+        Counters::add(&c.parcels_sent, 5);
+        c.reset();
+        assert_eq!(c.snapshot(), CountersSnapshot::default());
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let a = CountersSnapshot {
+            tasks_spawned: 10,
+            ..Default::default()
+        };
+        let b = CountersSnapshot {
+            tasks_spawned: 25,
+            ..Default::default()
+        };
+        assert_eq!(b.since(&a).tasks_spawned, 15);
+        // Saturates instead of panicking if snapshots are swapped.
+        assert_eq!(a.since(&b).tasks_spawned, 0);
+    }
+
+    #[test]
+    fn display_contains_hpx_style_paths() {
+        let c = Counters::new();
+        let text = format!("{}", c.snapshot());
+        assert!(text.contains("/threads/count/cumulative"));
+        assert!(text.contains("/parcels/bytes/sent"));
+    }
+}

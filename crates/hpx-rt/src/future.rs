@@ -1,0 +1,483 @@
+//! Shared futures with continuations — HPX's `lcos` layer.
+//!
+//! The paper's central programming-model claim is that Kokkos kernel
+//! launches can be woven into HPX's asynchronous execution graph: *"any HPX
+//! task may asynchronously launch Kokkos kernels and define what should be
+//! done with the results by adding HPX continuations"* (Section IV-B).  The
+//! types here provide exactly that: a write-once [`Promise`], a cloneable
+//! [`Future`] with [`Future::then`] continuations, and [`when_all`] joins.
+//!
+//! Blocking [`Future::get`]/[`Future::wait`] calls *help*: when invoked on a
+//! worker thread they execute other queued tasks while waiting, so a tree
+//! traversal that blocks on child results keeps the CPU busy — the behaviour
+//! that lets Octo-Tiger hide communication latencies behind fine-grained
+//! kernels.
+
+use crate::counters::Counters;
+use crate::runtime::{try_help_current_thread, Runtime};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+type Continuation<T> = Box<dyn FnOnce(&T) + Send>;
+
+enum State<T> {
+    Pending(Vec<Continuation<T>>),
+    Ready(T),
+    /// The producing task panicked or dropped its promise; waiting on this
+    /// future panics with the stored message instead of hanging forever.
+    Abandoned(String),
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+/// The write-once producing end of a future (HPX `hpx::promise`).
+pub struct Promise<T> {
+    shared: Arc<Shared<T>>,
+    fulfilled: bool,
+}
+
+/// A shared, cloneable handle to an eventually-available value
+/// (HPX `hpx::shared_future`).
+pub struct Future<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Future<T> {
+    fn clone(&self) -> Self {
+        Future {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T: Send + 'static> Promise<T> {
+    /// Create a connected promise/future pair.
+    pub fn new_pair() -> (Promise<T>, Future<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::Pending(Vec::new())),
+            ready: Condvar::new(),
+        });
+        (
+            Promise {
+                shared: shared.clone(),
+                fulfilled: false,
+            },
+            Future { shared },
+        )
+    }
+
+    /// Fulfil the promise.  Runs all attached continuations inline (they
+    /// are expected to be cheap trampolines that re-spawn onto a runtime).
+    ///
+    /// # Panics
+    /// Panics if the promise was already fulfilled.
+    pub fn set(mut self, value: T) {
+        self.fulfilled = true;
+        let continuations = {
+            let mut guard = self.shared.state.lock();
+            match std::mem::replace(&mut *guard, State::Ready(value)) {
+                State::Pending(conts) => conts,
+                State::Ready(_) | State::Abandoned(_) => {
+                    panic!("hpx-rt: promise fulfilled twice")
+                }
+            }
+        };
+        self.shared.ready.notify_all();
+        if !continuations.is_empty() {
+            let guard = self.shared.state.lock();
+            if let State::Ready(ref v) = *guard {
+                // Continuations run under the lock only to borrow `v`; each
+                // is a trampoline that spawns the real work, so this section
+                // is short.
+                for c in continuations {
+                    c(v);
+                }
+            }
+        }
+    }
+
+    /// Mark the promise as abandoned: waiters will panic with `reason`
+    /// instead of deadlocking.  Used when a producing task panics.
+    pub fn abandon(mut self, reason: String) {
+        self.fulfilled = true;
+        let mut guard = self.shared.state.lock();
+        if matches!(*guard, State::Pending(_)) {
+            *guard = State::Abandoned(reason);
+        }
+        drop(guard);
+        self.shared.ready.notify_all();
+    }
+}
+
+impl<T> Drop for Promise<T> {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            let mut guard = self.shared.state.lock();
+            if matches!(*guard, State::Pending(_)) {
+                *guard =
+                    State::Abandoned("promise dropped without being fulfilled".to_owned());
+            }
+            drop(guard);
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T: Send + 'static> Future<T> {
+    /// `true` once the value is available.
+    pub fn is_ready(&self) -> bool {
+        !matches!(*self.shared.state.lock(), State::Pending(_))
+    }
+
+    /// Block until the value is available, executing other tasks while
+    /// waiting when called from a worker thread.
+    ///
+    /// # Panics
+    /// Panics if the producing side abandoned the promise.
+    pub fn wait(&self) {
+        // Fast path.
+        if self.is_ready() {
+            self.check_abandoned();
+            return;
+        }
+        loop {
+            if self.is_ready() {
+                break;
+            }
+            // Help: run one task of the pool this thread belongs to.
+            if try_help_current_thread() {
+                continue;
+            }
+            // Nothing to help with — block with a timeout so that wakeups
+            // via task execution on other threads are still picked up.
+            let mut guard = self.shared.state.lock();
+            if matches!(*guard, State::Pending(_)) {
+                self.shared
+                    .ready
+                    .wait_for(&mut guard, Duration::from_micros(200));
+            }
+        }
+        self.check_abandoned();
+    }
+
+    fn check_abandoned(&self) {
+        let guard = self.shared.state.lock();
+        if let State::Abandoned(ref reason) = *guard {
+            panic!("hpx-rt: waiting on abandoned future: {reason}");
+        }
+    }
+
+    /// Wait and return a clone of the value (shared-future semantics).
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        self.wait();
+        let guard = self.shared.state.lock();
+        match *guard {
+            State::Ready(ref v) => v.clone(),
+            _ => unreachable!("wait() returned without a ready value"),
+        }
+    }
+
+    /// Attach a continuation: when this future becomes ready, spawn
+    /// `f(value)` on `rt` and complete the returned future with its result.
+    ///
+    /// This is `hpx::future::then`, the mechanism by which Octo-Tiger turns
+    /// kernel completions into follow-up tasks instead of fork/join joins.
+    pub fn then<U, F>(&self, rt: &Runtime, f: F) -> Future<U>
+    where
+        U: Send + 'static,
+        T: Clone,
+        F: FnOnce(T) -> U + Send + 'static,
+    {
+        Counters::bump(&rt.counters().continuations_attached);
+        let (promise, out) = Promise::new_pair();
+        let rt2 = rt.clone();
+        self.on_ready(move |v: &T| {
+            let v = v.clone();
+            rt2.spawn(move || {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(v))) {
+                    Ok(u) => promise.set(u),
+                    Err(p) => promise.abandon(crate::runtime::panic_message(&p)),
+                }
+            });
+        });
+        out
+    }
+
+    /// Low-level continuation hook: run `f` with a reference to the value as
+    /// soon as it is available (inline if already ready).
+    pub fn on_ready(&self, f: impl FnOnce(&T) + Send + 'static) {
+        let mut guard = self.shared.state.lock();
+        match *guard {
+            State::Pending(ref mut conts) => conts.push(Box::new(f)),
+            State::Ready(ref v) => f(v),
+            State::Abandoned(ref reason) => {
+                panic!("hpx-rt: continuation on abandoned future: {reason}")
+            }
+        }
+    }
+}
+
+/// An already-fulfilled future (HPX `make_ready_future`).
+pub fn make_ready_future<T: Send + 'static>(value: T) -> Future<T> {
+    let (p, f) = Promise::new_pair();
+    p.set(value);
+    f
+}
+
+/// Complete when the *first* of `futures` completes, with its index and
+/// value (HPX `when_any`).
+///
+/// # Panics
+/// Panics (when waited on) if `futures` is empty.
+pub fn when_any<T: Clone + Send + 'static>(
+    futures: Vec<Future<T>>,
+) -> Future<(usize, T)> {
+    let (promise, out) = Promise::new_pair();
+    if futures.is_empty() {
+        promise.abandon("when_any of an empty set".to_owned());
+        return out;
+    }
+    let promise = Arc::new(Mutex::new(Some(promise)));
+    for (i, fut) in futures.into_iter().enumerate() {
+        let promise = promise.clone();
+        fut.on_ready(move |v: &T| {
+            if let Some(p) = promise.lock().take() {
+                p.set((i, v.clone()));
+            }
+        });
+    }
+    out
+}
+
+/// HPX `dataflow`: run `f` on `rt` once both inputs are ready, producing a
+/// future of its result.  The two-argument form covers the solver's common
+/// "combine my ghost future with my kernel future" pattern; wider joins go
+/// through [`when_all`].
+pub fn dataflow2<A, B, U, F>(rt: &Runtime, a: &Future<A>, b: &Future<B>, f: F) -> Future<U>
+where
+    A: Clone + Send + Sync + 'static,
+    B: Clone + Send + 'static,
+    U: Send + 'static,
+    F: FnOnce(A, B) -> U + Send + 'static,
+{
+    let rt2 = rt.clone();
+    let b = b.clone();
+    a.then(rt, move |av: A| {
+        // The continuation itself waits on b (helping if on a worker).
+        let bv = b.get();
+        (av, bv)
+    })
+    .then(&rt2, move |(av, bv)| f(av, bv))
+}
+
+/// Join a set of futures into one future of all their values, in order
+/// (HPX `when_all` + unwrap).
+pub fn when_all<T: Clone + Send + 'static>(rt: &Runtime, futures: Vec<Future<T>>) -> Future<Vec<T>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let n = futures.len();
+    let (promise, out) = Promise::new_pair();
+    if n == 0 {
+        promise.set(Vec::new());
+        return out;
+    }
+    let slots: Arc<Mutex<Vec<Option<T>>>> = Arc::new(Mutex::new(vec![None; n]));
+    let remaining = Arc::new(AtomicUsize::new(n));
+    let promise = Arc::new(Mutex::new(Some(promise)));
+    for (i, fut) in futures.into_iter().enumerate() {
+        let slots = slots.clone();
+        let remaining = remaining.clone();
+        let promise = promise.clone();
+        let rt = rt.clone();
+        fut.on_ready(move |v: &T| {
+            slots.lock()[i] = Some(v.clone());
+            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let p = promise.lock().take().expect("when_all completed twice");
+                let values: Vec<T> = slots
+                    .lock()
+                    .iter_mut()
+                    .map(|s| s.take().expect("when_all slot missing"))
+                    .collect();
+                // Complete on a task so long continuation chains do not
+                // recurse on the completing thread's stack.
+                rt.spawn(move || p.set(values));
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ready_future_is_immediately_ready() {
+        let f = make_ready_future(5);
+        assert!(f.is_ready());
+        assert_eq!(f.get(), 5);
+    }
+
+    #[test]
+    fn promise_set_wakes_waiter() {
+        let (p, f) = Promise::new_pair();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            p.set(99);
+        });
+        assert_eq!(f.get(), 99);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn clone_shares_the_value() {
+        let (p, f) = Promise::new_pair();
+        let g = f.clone();
+        p.set("hi".to_owned());
+        assert_eq!(f.get(), "hi");
+        assert_eq!(g.get(), "hi");
+    }
+
+    #[test]
+    #[should_panic(expected = "abandoned")]
+    fn dropped_promise_panics_waiters_instead_of_hanging() {
+        let (p, f) = Promise::<i32>::new_pair();
+        drop(p);
+        f.wait();
+    }
+
+    #[test]
+    #[should_panic(expected = "fulfilled twice")]
+    fn double_set_panics() {
+        let (p, f) = Promise::new_pair();
+        let g = f.clone();
+        p.set(1);
+        let (p2, _f2) = Promise::new_pair();
+        // Simulate a second set on the same shared state via on_ready misuse:
+        // easiest honest check is a fresh promise pair pointing to the same
+        // shared state, which the public API forbids; so instead fulfil and
+        // then assert the guard in `set` by constructing the race manually.
+        drop(g);
+        // Re-fulfilling through a cloned Promise is impossible by
+        // construction (Promise is not Clone); emulate by calling set on a
+        // promise whose shared state is already Ready.
+        let shared_hack = Promise {
+            shared: p2.shared.clone(),
+            fulfilled: false,
+        };
+        p2.set(2);
+        shared_hack.set(3);
+    }
+
+    #[test]
+    fn then_chains_across_runtime() {
+        let rt = Runtime::new(2);
+        let f = rt.async_call(|| 10);
+        let g = f.then(&rt, |x| x + 1).then(&rt, |x| x * 2);
+        assert_eq!(g.get(), 22);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn then_on_already_ready_future() {
+        let rt = Runtime::new(1);
+        let f = make_ready_future(3);
+        let g = f.then(&rt, |x| x * 3);
+        assert_eq!(g.get(), 9);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn when_all_collects_in_order() {
+        let rt = Runtime::new(4);
+        let futures: Vec<Future<usize>> =
+            (0..16).map(|i| rt.async_call(move || i * i)).collect();
+        let all = when_all(&rt, futures);
+        let values = all.get();
+        assert_eq!(values.len(), 16);
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn when_all_of_nothing_is_ready() {
+        let rt = Runtime::new(1);
+        let all = when_all::<i32>(&rt, Vec::new());
+        assert_eq!(all.get(), Vec::<i32>::new());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn when_any_yields_first_completion() {
+        let rt = Runtime::new(2);
+        let (slow_p, slow_f) = Promise::new_pair();
+        let fast = make_ready_future(7);
+        let any = when_any(vec![slow_f, fast]);
+        let (idx, v) = any.get();
+        assert_eq!((idx, v), (1, 7));
+        slow_p.set(9); // the loser still completes harmlessly
+        rt.shutdown();
+    }
+
+    #[test]
+    fn when_any_is_first_wins_under_racing() {
+        let rt = Runtime::new(4);
+        let futures: Vec<Future<usize>> =
+            (0..8).map(|i| rt.async_call(move || i)).collect();
+        let (idx, v) = when_any(futures).get();
+        assert_eq!(idx, v);
+        assert!(idx < 8);
+        rt.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn when_any_of_nothing_abandons() {
+        let f = when_any::<i32>(Vec::new());
+        f.wait();
+    }
+
+    #[test]
+    fn dataflow2_combines_two_inputs() {
+        let rt = Runtime::new(2);
+        let a = rt.async_call(|| 6);
+        let b = rt.async_call(|| 7);
+        let c = dataflow2(&rt, &a, &b, |x, y| x * y);
+        assert_eq!(c.get(), 42);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn dataflow2_with_one_pending_input() {
+        let rt = Runtime::new(2);
+        let a = make_ready_future(10);
+        let (p, b) = Promise::new_pair();
+        let c = dataflow2(&rt, &a, &b, |x, y: i32| x + y);
+        assert!(!c.is_ready());
+        p.set(5);
+        assert_eq!(c.get(), 15);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn deep_dependency_chain_on_small_pool() {
+        // A chain of 100 continuations on a single worker must complete —
+        // this exercises the helping wait.
+        let rt = Runtime::new(1);
+        let mut f = rt.async_call(|| 0u64);
+        for _ in 0..100 {
+            f = f.then(&rt, |x| x + 1);
+        }
+        assert_eq!(f.get(), 100);
+        rt.shutdown();
+    }
+}

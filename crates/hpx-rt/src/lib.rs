@@ -1,0 +1,81 @@
+//! # hpx-rt — an HPX-style asynchronous many-task runtime
+//!
+//! The paper's application, Octo-Tiger, is built on HPX: a C++ runtime with
+//! lightweight user-level tasks scheduled over a fixed pool of worker
+//! threads, futures with attachable continuations (so tree traversals become
+//! dataflow graphs rather than fork/join phases), and *localities* — the
+//! distributed processes between which work and data move as *parcels*
+//! carrying *actions* (remote procedure invocations).
+//!
+//! This crate is the Rust substrate standing in for HPX:
+//!
+//! * [`Runtime`] — a work-stealing task pool (crossbeam deques, one worker
+//!   per configured "core").  Tasks spawned from inside a worker go to that
+//!   worker's local deque, exactly like HPX's thread-local scheduling;
+//!   blocked waits *help* by stealing work, so nested task graphs (the FMM
+//!   tree traversals of the paper) cannot deadlock the pool.
+//! * [`future::Promise`] / [`future::Future`] — shared futures with
+//!   `then`-continuations and `when_all`, the paper's mechanism for chaining
+//!   Kokkos kernel launches into HPX's asynchronous execution graph.
+//! * [`locality`] — N logical localities in one process, with an action
+//!   registry and an in-process parcel transport whose traffic is metered by
+//!   [`counters::Counters`].  This stands in for HPX's distributed AGAS +
+//!   parcelport layer (see DESIGN.md substitution table).
+//! * [`channel`] — HPX-style `promise`/`future` channels, used by the
+//!   Section VII-B communication optimization ("simple local HPX
+//!   promise/future pairs to notify neighbors when the local values are
+//!   up-to-date").
+//! * [`pjm`] — a model of the Fugaku Parallel Job Manager resource
+//!   specification the paper added HPX support for (HPX PR #5870).
+//! * [`apex`] — APEX-style autonomic performance instrumentation, the
+//!   analysis layer the paper's conclusion points to for future work.
+
+pub mod apex;
+pub mod channel;
+pub mod counters;
+pub mod future;
+pub mod locality;
+pub mod pjm;
+pub mod runtime;
+
+pub use apex::{Apex, TimerStats};
+pub use channel::{channel, Receiver, Sender};
+pub use counters::{Counters, CountersSnapshot};
+pub use future::{dataflow2, make_ready_future, when_all, when_any, Future, Promise};
+pub use locality::{ActionRegistry, Locality, LocalityId, Parcel, SimCluster};
+pub use pjm::JobSpec;
+pub use runtime::{Runtime, Scope};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn end_to_end_task_future_chain() {
+        let rt = Runtime::new(4);
+        let f = rt.async_call(|| 21);
+        let g = f.then(&rt, |x| x * 2);
+        assert_eq!(g.get(), 42);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn cluster_smoke() {
+        let cluster = SimCluster::new(2, 2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = hits.clone();
+        cluster.register_action("ping", move |_arg, _loc| {
+            hits2.fetch_add(1, Ordering::SeqCst);
+            Box::new(7usize)
+        });
+        let f = cluster
+            .locality(0)
+            .apply_async(LocalityId(1), "ping", Box::new(()), 8);
+        let out = f.get();
+        assert_eq!(*locality::downcast_payload::<usize>(&out).unwrap(), 7);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        cluster.shutdown();
+    }
+}

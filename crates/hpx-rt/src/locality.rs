@@ -1,0 +1,402 @@
+//! Localities, actions, and parcels — HPX's distributed layer, simulated
+//! in-process.
+//!
+//! A real Octo-Tiger run places one HPX *locality* (process) per compute
+//! node; octree sub-grids are distributed over localities, and neighbour
+//! ghost-layer exchanges and FMM traversals happen via *actions* (remote
+//! procedure calls) carried by *parcels*.  We have no Fugaku, so localities
+//! here are N logical processes inside one OS process, each with its own
+//! task pool, connected by an in-process transport that **meters every
+//! parcel** (count + bytes) — the measurements behind the Section VII-B
+//! communication-optimization experiment (Figure 8).
+//!
+//! Per DESIGN.md, this substitution preserves what the paper measures: the
+//! *structure* of communication (which exchanges cross locality boundaries,
+//! how many messages, how many bytes) is identical; only the wire is
+//! simulated.  The `cluster` crate maps metered traffic onto interconnect
+//! models (Tofu-D vs. InfiniBand) to recover time.
+
+use crate::counters::Counters;
+use crate::future::{Future, Promise};
+use crate::runtime::Runtime;
+use parking_lot::RwLock;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// Identifier of a logical locality (0-based, dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocalityId(pub usize);
+
+impl std::fmt::Display for LocalityId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "locality#{}", self.0)
+    }
+}
+
+/// Untyped action payload.  In-process we pass `Box<dyn Any>` instead of
+/// serialized bytes; the declared `size_bytes` stands in for the wire size
+/// (used by counters and by the cluster-level interconnect models).
+pub type Payload = Box<dyn Any + Send>;
+
+/// An action handler: runs on the destination locality's task pool.
+pub type Handler = Arc<dyn Fn(Payload, &Locality) -> Payload + Send + Sync>;
+
+/// Registry of named actions, shared by all localities of a cluster
+/// (HPX registers actions globally at static-init time; we register at
+/// cluster construction).
+#[derive(Default)]
+pub struct ActionRegistry {
+    handlers: RwLock<HashMap<&'static str, Handler>>,
+}
+
+impl ActionRegistry {
+    /// Register `name`; replaces any previous handler with that name.
+    pub fn register(
+        &self,
+        name: &'static str,
+        handler: impl Fn(Payload, &Locality) -> Payload + Send + Sync + 'static,
+    ) {
+        self.handlers.write().insert(name, Arc::new(handler));
+    }
+
+    fn lookup(&self, name: &str) -> Option<Handler> {
+        self.handlers.read().get(name).cloned()
+    }
+}
+
+/// A parcel: an action invocation in flight to another locality.
+pub struct Parcel {
+    /// Action to invoke at the destination.
+    pub action: &'static str,
+    /// Argument payload.
+    pub arg: Payload,
+    /// Declared wire size of `arg` in bytes.
+    pub size_bytes: usize,
+    /// Completion promise fulfilled with the handler's result.
+    reply: Promise<ArcPayload>,
+    /// Originating locality (for diagnostics).
+    pub source: LocalityId,
+}
+
+/// Results are shared (futures are cloneable), so the payload crosses the
+/// reply path behind an `Arc`.
+pub type ArcPayload = Arc<dyn Any + Send + Sync>;
+
+struct Inbox {
+    tx: mpsc::Sender<Parcel>,
+}
+
+/// One logical HPX locality: a task pool plus a parcel port.
+pub struct Locality {
+    id: LocalityId,
+    runtime: Runtime,
+    registry: Arc<ActionRegistry>,
+    peers: RwLock<Vec<Inbox>>,
+    counters: Counters,
+}
+
+impl Locality {
+    /// This locality's id.
+    pub fn id(&self) -> LocalityId {
+        self.id
+    }
+
+    /// The task pool of this locality.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// Parcel/task counters of this locality.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Invoke `action` on locality `dest` with `arg` (declared wire size
+    /// `size_bytes`); returns a future for the handler's boxed result.
+    ///
+    /// A same-locality destination still takes the full parcel path — the
+    /// *communication optimization* of the paper's Section VII-B is
+    /// implemented above this layer (in `octree::ghost`) precisely because
+    /// short-circuiting is an application-level decision there.
+    pub fn apply_async(
+        &self,
+        dest: LocalityId,
+        action: &'static str,
+        arg: Payload,
+        size_bytes: usize,
+    ) -> Future<ArcPayload> {
+        let (reply, future) = Promise::new_pair();
+        Counters::bump(&self.counters.parcels_sent);
+        Counters::add(&self.counters.parcel_bytes, size_bytes as u64);
+        Counters::bump(&self.counters.futures_created);
+        let parcel = Parcel {
+            action,
+            arg,
+            size_bytes,
+            reply,
+            source: self.id,
+        };
+        let peers = self.peers.read();
+        let inbox = peers
+            .get(dest.0)
+            .unwrap_or_else(|| panic!("unknown destination {dest}"));
+        inbox
+            .tx
+            .send(parcel)
+            .expect("destination locality has shut down");
+        future
+    }
+
+    /// Record a remote-access that was satisfied by direct memory access on
+    /// this locality (the Section VII-B optimization's fast path).
+    pub fn note_local_direct_access(&self) {
+        Counters::bump(&self.counters.local_direct_accesses);
+    }
+}
+
+/// A simulated cluster: `n` localities, each with `workers` worker threads,
+/// plus one parcel-pump thread per locality.
+pub struct SimCluster {
+    localities: Vec<Arc<Locality>>,
+    registry: Arc<ActionRegistry>,
+    pumps: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SimCluster {
+    /// Build a cluster of `n` localities with `workers` task workers each.
+    pub fn new(n: usize, workers: usize) -> Self {
+        assert!(n > 0, "a cluster needs at least one locality");
+        let registry = Arc::new(ActionRegistry::default());
+        let mut rxs = Vec::with_capacity(n);
+        let mut inboxes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::channel::<Parcel>();
+            inboxes.push(tx);
+            rxs.push(rx);
+        }
+        let localities: Vec<Arc<Locality>> = (0..n)
+            .map(|i| {
+                Arc::new(Locality {
+                    id: LocalityId(i),
+                    runtime: Runtime::new(workers),
+                    registry: registry.clone(),
+                    peers: RwLock::new(
+                        inboxes.iter().map(|tx| Inbox { tx: tx.clone() }).collect(),
+                    ),
+                    counters: Counters::new(),
+                })
+            })
+            .collect();
+        drop(inboxes); // pump threads hold the only receivers; senders live in peers
+
+        let mut pumps = Vec::with_capacity(n);
+        for (i, rx) in rxs.into_iter().enumerate() {
+            let loc = localities[i].clone();
+            pumps.push(
+                std::thread::Builder::new()
+                    .name(format!("hpx-parcelport-{i}"))
+                    .spawn(move || parcel_pump(loc, rx))
+                    .expect("failed to spawn parcel pump"),
+            );
+        }
+        SimCluster {
+            localities,
+            registry,
+            pumps,
+        }
+    }
+
+    /// Number of localities.
+    pub fn num_localities(&self) -> usize {
+        self.localities.len()
+    }
+
+    /// Locality `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn locality(&self, i: usize) -> &Arc<Locality> {
+        &self.localities[i]
+    }
+
+    /// All localities.
+    pub fn localities(&self) -> &[Arc<Locality>] {
+        &self.localities
+    }
+
+    /// Register an action on every locality of this cluster.
+    pub fn register_action(
+        &self,
+        name: &'static str,
+        handler: impl Fn(Payload, &Locality) -> Payload + Send + Sync + 'static,
+    ) {
+        self.registry.register(name, handler);
+    }
+
+    /// Aggregate counter snapshot over all localities.
+    pub fn total_counters(&self) -> crate::counters::CountersSnapshot {
+        let mut total = crate::counters::CountersSnapshot::default();
+        for loc in &self.localities {
+            let s = loc.counters().snapshot();
+            total.parcels_sent += s.parcels_sent;
+            total.parcel_bytes += s.parcel_bytes;
+            total.local_direct_accesses += s.local_direct_accesses;
+            total.futures_created += s.futures_created;
+            let r = loc.runtime().counters().snapshot();
+            total.tasks_spawned += r.tasks_spawned;
+            total.tasks_executed += r.tasks_executed;
+            total.tasks_stolen += r.tasks_stolen;
+            total.worker_parks += r.worker_parks;
+            total.continuations_attached += r.continuations_attached;
+        }
+        total
+    }
+
+    /// Stop parcel pumps and all locality runtimes.
+    pub fn shutdown(mut self) {
+        // Closing the senders ends each pump's recv loop.
+        for loc in &self.localities {
+            loc.peers.write().clear();
+        }
+        for pump in self.pumps.drain(..) {
+            let _ = pump.join();
+        }
+        for loc in &self.localities {
+            loc.runtime().shutdown();
+        }
+    }
+}
+
+fn parcel_pump(loc: Arc<Locality>, rx: mpsc::Receiver<Parcel>) {
+    while let Ok(parcel) = rx.recv() {
+        let handler = loc
+            .registry
+            .lookup(parcel.action)
+            .unwrap_or_else(|| panic!("unregistered action '{}'", parcel.action));
+        let loc2 = loc.clone();
+        loc.runtime().spawn(move || {
+            let result = handler(parcel.arg, &loc2);
+            // Box<dyn Any + Send> -> Arc<dyn Any + Send + Sync>: handlers
+            // return plain data; require Sync via a wrapper box.
+            let arc: ArcPayload = Arc::new(SendBox(result));
+            parcel.reply.set(arc);
+        });
+    }
+}
+
+/// Wrapper making a `Box<dyn Any + Send>` payload shareable behind an `Arc`.
+/// Downcast with [`downcast_payload`].
+pub struct SendBox(pub Payload);
+
+// SAFETY: the inner payload is only ever accessed by value-consuming
+// `downcast` or by shared reference; `SendBox` exposes no interior
+// mutability, so `Sync` requires only `Send` of the payload (guaranteed).
+unsafe impl Sync for SendBox {}
+
+/// Downcast an action-reply payload to its concrete type.
+///
+/// Returns `None` if the type does not match.
+pub fn downcast_payload<T: 'static>(payload: &ArcPayload) -> Option<&T> {
+    payload
+        .downcast_ref::<SendBox>()
+        .and_then(|sb| sb.0.downcast_ref::<T>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_roundtrip_with_typed_payload() {
+        let cluster = SimCluster::new(3, 1);
+        cluster.register_action("double", |arg, _loc| {
+            let x = *arg.downcast::<u64>().expect("want u64");
+            Box::new(x * 2)
+        });
+        let f = cluster
+            .locality(0)
+            .apply_async(LocalityId(2), "double", Box::new(21u64), 8);
+        let reply = f.get();
+        assert_eq!(*downcast_payload::<u64>(&reply).unwrap(), 42);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn parcels_are_metered() {
+        let cluster = SimCluster::new(2, 1);
+        cluster.register_action("noop", |_arg, _loc| Box::new(()));
+        for _ in 0..5 {
+            cluster
+                .locality(0)
+                .apply_async(LocalityId(1), "noop", Box::new(()), 100)
+                .wait();
+        }
+        let s = cluster.locality(0).counters().snapshot();
+        assert_eq!(s.parcels_sent, 5);
+        assert_eq!(s.parcel_bytes, 500);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn handler_runs_on_destination_locality() {
+        let cluster = SimCluster::new(2, 1);
+        cluster.register_action("whoami", |_arg, loc| Box::new(loc.id().0));
+        let f = cluster
+            .locality(0)
+            .apply_async(LocalityId(1), "whoami", Box::new(()), 0);
+        let reply = f.get();
+        assert_eq!(*downcast_payload::<usize>(&reply).unwrap(), 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn self_send_works() {
+        let cluster = SimCluster::new(1, 1);
+        cluster.register_action("inc", |arg, _| {
+            Box::new(*arg.downcast::<i32>().unwrap() + 1)
+        });
+        let f = cluster
+            .locality(0)
+            .apply_async(LocalityId(0), "inc", Box::new(1i32), 4);
+        assert_eq!(*downcast_payload::<i32>(&f.get()).unwrap(), 2);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn many_concurrent_actions() {
+        let cluster = SimCluster::new(4, 2);
+        cluster.register_action("sq", |arg, _| {
+            let x = *arg.downcast::<u64>().unwrap();
+            Box::new(x * x)
+        });
+        let futures: Vec<_> = (0..64u64)
+            .map(|i| {
+                cluster.locality((i % 4) as usize).apply_async(
+                    LocalityId(((i + 1) % 4) as usize),
+                    "sq",
+                    Box::new(i),
+                    8,
+                )
+            })
+            .collect();
+        for (i, f) in futures.iter().enumerate() {
+            let reply = f.get();
+            assert_eq!(*downcast_payload::<u64>(&reply).unwrap(), (i * i) as u64);
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn local_direct_access_counter() {
+        let cluster = SimCluster::new(1, 1);
+        cluster.locality(0).note_local_direct_access();
+        cluster.locality(0).note_local_direct_access();
+        assert_eq!(
+            cluster.locality(0).counters().snapshot().local_direct_accesses,
+            2
+        );
+        cluster.shutdown();
+    }
+}

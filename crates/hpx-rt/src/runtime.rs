@@ -1,0 +1,561 @@
+//! The work-stealing task pool: HPX's thread scheduler, in miniature.
+//!
+//! HPX schedules millions of lightweight tasks over one OS thread per core.
+//! The properties Octo-Tiger depends on — and which the paper's experiments
+//! probe — are reproduced here:
+//!
+//! * **Local-first scheduling.** A task spawned from a worker goes to that
+//!   worker's own deque (hot cache; the reason one task per Kokkos kernel
+//!   launch is the paper's default, Section VII-C).
+//! * **Work stealing.** Idle workers steal from the global injector and from
+//!   other workers, so splitting a kernel into more tasks spreads it across
+//!   starved cores (the Section VII-C multipole-splitting optimization).
+//! * **Cooperative blocking.** Any wait (`Future::get`, `Runtime::scope`)
+//!   executes other tasks while waiting instead of blocking the worker, so
+//!   deeply nested task graphs (FMM tree traversals) cannot deadlock the
+//!   pool.
+
+use crate::counters::Counters;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct SleepState {
+    shutdown: bool,
+}
+
+struct PoolInner {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    sleep: Mutex<SleepState>,
+    wake: Condvar,
+    counters: Counters,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    num_workers: usize,
+    shutdown_flag: AtomicBool,
+}
+
+#[derive(Clone, Copy)]
+struct WorkerCtx {
+    pool: *const PoolInner,
+    local: *const Deque<Job>,
+}
+
+thread_local! {
+    static CTX: Cell<Option<WorkerCtx>> = const { Cell::new(None) };
+}
+
+/// A handle to a work-stealing task pool.
+///
+/// Cheaply cloneable; all clones refer to the same pool.  Worker threads
+/// keep the pool alive until [`Runtime::shutdown`] is called, so dropping
+/// the last handle without shutting down leaks the workers until process
+/// exit (the same contract as `hpx::start` without `hpx::finalize`).
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<PoolInner>,
+}
+
+impl Runtime {
+    /// Start a pool with `num_workers` worker threads (>= 1).
+    pub fn new(num_workers: usize) -> Self {
+        let num_workers = num_workers.max(1);
+        let deques: Vec<Deque<Job>> = (0..num_workers).map(|_| Deque::new_fifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let inner = Arc::new(PoolInner {
+            injector: Injector::new(),
+            stealers,
+            sleep: Mutex::new(SleepState { shutdown: false }),
+            wake: Condvar::new(),
+            counters: Counters::new(),
+            threads: Mutex::new(Vec::new()),
+            num_workers,
+            shutdown_flag: AtomicBool::new(false),
+        });
+        let mut handles = Vec::with_capacity(num_workers);
+        for (i, deque) in deques.into_iter().enumerate() {
+            let pool = inner.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("hpx-worker-{i}"))
+                    .spawn(move || worker_loop(pool, deque))
+                    .expect("failed to spawn hpx-rt worker thread"),
+            );
+        }
+        *inner.threads.lock() = handles;
+        Runtime { inner }
+    }
+
+    /// The process-wide default pool, sized to the host's parallelism.
+    ///
+    /// Mirrors HPX's implicit runtime; it is never shut down.
+    pub fn global() -> &'static Runtime {
+        static GLOBAL: OnceLock<Runtime> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let n = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4);
+            Runtime::new(n)
+        })
+    }
+
+    /// Number of worker threads ("cores") in this pool.
+    pub fn num_workers(&self) -> usize {
+        self.inner.num_workers
+    }
+
+    /// The pool's performance counters.
+    pub fn counters(&self) -> &Counters {
+        &self.inner.counters
+    }
+
+    /// `true` if the calling thread is one of this pool's workers.
+    pub fn on_worker_thread(&self) -> bool {
+        CTX.with(|c| {
+            c.get()
+                .is_some_and(|ctx| std::ptr::eq(ctx.pool, Arc::as_ptr(&self.inner)))
+        })
+    }
+
+    /// Fire-and-forget spawn (HPX `apply`).
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        self.spawn_boxed(Box::new(f));
+    }
+
+    fn spawn_boxed(&self, job: Job) {
+        Counters::bump(&self.inner.counters.tasks_spawned);
+        let leftover = CTX.with(|c| {
+            if let Some(ctx) = c.get() {
+                if std::ptr::eq(ctx.pool, Arc::as_ptr(&self.inner)) {
+                    // SAFETY: `ctx.local` points to the deque owned by this
+                    // very thread's worker loop, which is alive for as long
+                    // as the thread runs inside `worker_loop`.  Pushing from
+                    // the owning thread is the intended use of
+                    // `crossbeam::deque::Worker`.
+                    unsafe { (*ctx.local).push(job) };
+                    return None;
+                }
+            }
+            Some(job)
+        });
+        if let Some(job) = leftover {
+            self.inner.injector.push(job);
+        }
+        self.inner.wake.notify_one();
+    }
+
+    /// Spawn `f` and get a [`Future`](crate::future::Future) for its result
+    /// (HPX `async`).
+    pub fn async_call<T, F>(&self, f: F) -> crate::future::Future<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (promise, future) = crate::future::Promise::new_pair();
+        Counters::bump(&self.inner.counters.futures_created);
+        self.spawn(move || match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(v) => promise.set(v),
+            Err(payload) => promise.abandon(panic_message(&payload)),
+        });
+        future
+    }
+
+    /// Run `f` with a [`Scope`] that can spawn tasks borrowing from the
+    /// caller's stack; returns only after every scoped task finished.
+    ///
+    /// The waiting thread executes other tasks meanwhile, so `scope` may be
+    /// nested arbitrarily (kernels inside kernels), as the Kokkos HPX
+    /// execution space requires.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'env, '_>) -> R) -> R {
+        let pending = AtomicUsize::new(0);
+        let panicked = AtomicBool::new(false);
+        let scope = Scope {
+            rt: self,
+            pending: &pending,
+            panicked: &panicked,
+            _env: PhantomData,
+        };
+        let out = f(&scope);
+        self.help_while(|| pending.load(Ordering::Acquire) > 0);
+        if panicked.load(Ordering::Acquire) {
+            panic!("a task spawned in hpx_rt::Runtime::scope panicked");
+        }
+        out
+    }
+
+    /// Execute other tasks while `cond` holds.  Usable from worker threads
+    /// *and* external threads (external threads steal from the injector and
+    /// the workers but have no local deque).
+    pub fn help_while(&self, mut cond: impl FnMut() -> bool) {
+        let mut idle_spins = 0u32;
+        while cond() {
+            if let Some(job) = self.inner.find_task(current_local(&self.inner)) {
+                self.inner.execute(job);
+                idle_spins = 0;
+            } else {
+                idle_spins += 1;
+                if idle_spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::sleep(Duration::from_micros(20));
+                }
+            }
+        }
+    }
+
+    /// Block until the pool is momentarily drained: no queued tasks anywhere.
+    ///
+    /// Only a quiescence heuristic for tests/benchmarks — running tasks may
+    /// spawn more work afterwards.
+    pub fn wait_quiescent(&self) {
+        loop {
+            let empty = self.inner.injector.is_empty()
+                && self.inner.stealers.iter().all(|s| s.is_empty());
+            if empty {
+                let spawned = self.inner.counters.tasks_spawned.load(Ordering::Relaxed);
+                let executed = self.inner.counters.tasks_executed.load(Ordering::Relaxed);
+                if spawned == executed {
+                    return;
+                }
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    /// Stop all workers and join them.  Queued tasks that have not started
+    /// are dropped.  Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut guard = self.inner.sleep.lock();
+            guard.shutdown = true;
+            self.inner.shutdown_flag.store(true, Ordering::SeqCst);
+            self.inner.wake.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.inner.threads.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn current_local(pool: &PoolInner) -> Option<*const Deque<Job>> {
+    CTX.with(|c| {
+        c.get().and_then(|ctx| {
+            if std::ptr::eq(ctx.pool, pool as *const _) {
+                Some(ctx.local)
+            } else {
+                None
+            }
+        })
+    })
+}
+
+impl PoolInner {
+    fn find_task(&self, local: Option<*const Deque<Job>>) -> Option<Job> {
+        // 1. Own deque (hot cache).
+        if let Some(local) = local {
+            // SAFETY: `local` is this thread's own deque (see `current_local`).
+            if let Some(job) = unsafe { (*local).pop() } {
+                return Some(job);
+            }
+        }
+        // 2. Global injector.
+        loop {
+            match self.injector.steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        // 3. Steal from peers.
+        for stealer in &self.stealers {
+            loop {
+                match stealer.steal() {
+                    Steal::Success(job) => {
+                        Counters::bump(&self.counters.tasks_stolen);
+                        return Some(job);
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+
+    fn execute(&self, job: Job) {
+        // Panics in detached tasks are contained so one bad kernel cannot
+        // take down a worker (HPX converts them into error futures; promise
+        // abandonment plays that role here — see `Runtime::async_call`).
+        let result = catch_unwind(AssertUnwindSafe(job));
+        Counters::bump(&self.counters.tasks_executed);
+        if let Err(payload) = result {
+            eprintln!(
+                "hpx-rt: task panicked (contained): {}",
+                panic_message(&payload)
+            );
+        }
+    }
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// If the calling thread belongs to *some* pool, try to execute one task of
+/// that pool.  Returns `true` if a task ran.  Used by futures to help while
+/// blocked.
+pub(crate) fn try_help_current_thread() -> bool {
+    let ctx = CTX.with(|c| c.get());
+    let Some(ctx) = ctx else { return false };
+    // SAFETY: the pool outlives the worker thread (workers hold an Arc), and
+    // we are on a worker thread of exactly this pool.
+    let pool = unsafe { &*ctx.pool };
+    if let Some(job) = pool.find_task(Some(ctx.local)) {
+        pool.execute(job);
+        true
+    } else {
+        false
+    }
+}
+
+fn worker_loop(pool: Arc<PoolInner>, local: Deque<Job>) {
+    CTX.with(|c| {
+        c.set(Some(WorkerCtx {
+            pool: Arc::as_ptr(&pool),
+            local: &local as *const _,
+        }))
+    });
+    loop {
+        if let Some(job) = pool.find_task(Some(&local as *const _)) {
+            pool.execute(job);
+            continue;
+        }
+        let mut guard = pool.sleep.lock();
+        if guard.shutdown {
+            break;
+        }
+        // Re-check under the lock: a spawner always notifies after pushing,
+        // and we re-poll after at most one timeout tick, so no task is lost.
+        if !pool.injector.is_empty() {
+            continue;
+        }
+        Counters::bump(&pool.counters.worker_parks);
+        pool.wake
+            .wait_for(&mut guard, Duration::from_micros(200));
+        if guard.shutdown {
+            break;
+        }
+    }
+    CTX.with(|c| c.set(None));
+}
+
+/// Spawns tasks that may borrow from the enclosing stack frame.
+///
+/// Created by [`Runtime::scope`]; all tasks are joined before `scope`
+/// returns, which is what makes the borrow sound.
+pub struct Scope<'env, 'scope> {
+    rt: &'scope Runtime,
+    pending: &'scope AtomicUsize,
+    panicked: &'scope AtomicBool,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env, 'scope> Scope<'env, 'scope> {
+    /// Spawn a task that may borrow data living at least as long as `'env`.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        let pending: &'static AtomicUsize =
+            // SAFETY: `Runtime::scope` does not return until `pending`
+            // reaches zero, so this reference never outlives the stack slot.
+            unsafe { &*(self.pending as *const AtomicUsize) };
+        let panicked: &'static AtomicBool =
+            // SAFETY: as above.
+            unsafe { &*(self.panicked as *const AtomicBool) };
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
+        // SAFETY: the closure is joined (pending==0) before `'env` data can
+        // be invalidated, because `Runtime::scope` blocks on it.  This is the
+        // standard scoped-spawn lifetime erasure (cf. rayon / crossbeam).
+        let job: Job = unsafe { std::mem::transmute(job) };
+        self.rt.spawn(move || {
+            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                panicked.store(true, Ordering::Release);
+            }
+            pending.fetch_sub(1, Ordering::AcqRel);
+        });
+    }
+
+    /// The runtime this scope spawns onto.
+    pub fn runtime(&self) -> &Runtime {
+        self.rt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn spawn_executes_tasks() {
+        let rt = Runtime::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = counter.clone();
+            rt.spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        rt.wait_quiescent();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn async_call_returns_value() {
+        let rt = Runtime::new(2);
+        let f = rt.async_call(|| 1 + 1);
+        assert_eq!(f.get(), 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn nested_spawn_from_worker_uses_local_queue() {
+        let rt = Runtime::new(2);
+        let rt2 = rt.clone();
+        let f = rt.async_call(move || {
+            let inner = rt2.async_call(|| 40);
+            inner.get() + 2
+        });
+        assert_eq!(f.get(), 42);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn scope_joins_borrowing_tasks() {
+        let rt = Runtime::new(4);
+        let mut data = vec![0u64; 64];
+        rt.scope(|s| {
+            for chunk in data.chunks_mut(8) {
+                s.spawn(move || {
+                    for x in chunk {
+                        *x += 1;
+                    }
+                });
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let rt = Runtime::new(2);
+        let total = Arc::new(AtomicU64::new(0));
+        let t = total.clone();
+        let rt2 = rt.clone();
+        let f = rt.async_call(move || {
+            rt2.scope(|outer| {
+                for _ in 0..4 {
+                    let t = t.clone();
+                    let rt3 = outer.runtime().clone();
+                    outer.spawn(move || {
+                        rt3.scope(|inner| {
+                            for _ in 0..4 {
+                                let t = t.clone();
+                                inner.spawn(move || {
+                                    t.fetch_add(1, Ordering::SeqCst);
+                                });
+                            }
+                        });
+                    });
+                }
+            });
+        });
+        f.wait();
+        assert_eq!(total.load(Ordering::SeqCst), 16);
+        rt.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "scope panicked")]
+    fn scope_propagates_task_panic() {
+        let rt = Runtime::new(2);
+        rt.scope(|s| {
+            s.spawn(|| panic!("boom"));
+        });
+    }
+
+    #[test]
+    fn counters_track_spawn_and_execute() {
+        let rt = Runtime::new(2);
+        let before = rt.counters().snapshot();
+        for _ in 0..10 {
+            rt.spawn(|| {});
+        }
+        rt.wait_quiescent();
+        let delta = rt.counters().snapshot().since(&before);
+        assert_eq!(delta.tasks_spawned, 10);
+        assert_eq!(delta.tasks_executed, 10);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn on_worker_thread_detection() {
+        let rt = Runtime::new(1);
+        assert!(!rt.on_worker_thread());
+        let rt2 = rt.clone();
+        let f = rt.async_call(move || rt2.on_worker_thread());
+        assert!(f.get());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let rt = Runtime::new(2);
+        rt.shutdown();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn panicking_detached_task_does_not_kill_pool() {
+        let rt = Runtime::new(1);
+        rt.spawn(|| panic!("contained"));
+        rt.wait_quiescent();
+        let f = rt.async_call(|| 5);
+        assert_eq!(f.get(), 5);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn heavy_fan_out_stress() {
+        let rt = Runtime::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        rt.scope(|s| {
+            for _ in 0..1000 {
+                let c = counter.clone();
+                s.spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1000);
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,150 @@
+//! HPX-Kokkos: asynchronous kernel launches as HPX futures.
+//!
+//! Plain Kokkos can *run* a kernel on HPX worker threads, but cannot hand
+//! the caller a handle to its completion.  The paper's stack adds the
+//! HPX-Kokkos interoperability library (its Section IV-B, reference [32])
+//! so that *"any HPX task may asynchronously launch Kokkos kernels and
+//! define what should be done with the results by adding HPX
+//! continuations"*.  These functions are that layer: they return
+//! `hpx_rt::Future`s that complete when the kernel does, composable with
+//! `then` / `when_all` into the solver's dependency graph.
+
+use crate::parallel::{parallel_for, parallel_reduce};
+use crate::policy::RangePolicy;
+use crate::space::ExecSpace;
+use hpx_rt::{Future, Runtime};
+
+/// Launch `parallel_for(space, policy, kernel)` asynchronously on `rt`;
+/// the returned future becomes ready when the whole kernel has executed.
+///
+/// Unlike [`parallel_for`], the kernel must be `'static`: it outlives the
+/// caller's stack frame, exactly as a real asynchronous Kokkos launch
+/// requires device-visible (not stack) data.
+pub fn launch_for_async<F>(
+    rt: &Runtime,
+    space: ExecSpace,
+    policy: RangePolicy,
+    kernel: F,
+) -> Future<()>
+where
+    F: Fn(usize) + Sync + Send + 'static,
+{
+    rt.async_call(move || parallel_for(&space, policy, kernel))
+}
+
+/// Launch a reduction asynchronously; the future carries the reduced value.
+pub fn launch_reduce_async<T, M, C>(
+    rt: &Runtime,
+    space: ExecSpace,
+    policy: RangePolicy,
+    identity: T,
+    map: M,
+    combine: C,
+) -> Future<T>
+where
+    T: Clone + Send + Sync + 'static,
+    M: Fn(usize) -> T + Sync + Send + 'static,
+    C: Fn(T, T) -> T + Sync + Send + 'static,
+{
+    rt.async_call(move || parallel_reduce(&space, policy, identity, map, combine))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ChunkSpec;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn async_launch_completes_future() {
+        let rt = Runtime::new(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        let f = launch_for_async(
+            &rt,
+            ExecSpace::hpx(rt.clone()),
+            RangePolicy::new(0, 64).with_chunk(ChunkSpec::Tasks(4)),
+            move |_| {
+                h.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        f.wait();
+        assert_eq!(hits.load(Ordering::SeqCst), 64);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn continuation_on_kernel_completion() {
+        // The paper's headline pattern: kernel -> continuation -> kernel.
+        let rt = Runtime::new(2);
+        let data = Arc::new((0..100).map(AtomicU64::new).collect::<Vec<_>>());
+        let d1 = data.clone();
+        let space = ExecSpace::hpx(rt.clone());
+        let space2 = space.clone();
+        let rt2 = rt.clone();
+        let d2 = data.clone();
+        let f = launch_for_async(
+            &rt,
+            space,
+            RangePolicy::new(0, 100).with_chunk(ChunkSpec::Auto),
+            move |i| {
+                d1[i].fetch_add(1, Ordering::Relaxed);
+            },
+        )
+        .then(&rt2, move |_| {
+            // Second kernel, launched from the continuation.
+            let d3 = d2.clone();
+            parallel_for(&space2, RangePolicy::new(0, 100), move |i| {
+                d3[i].fetch_add(10, Ordering::Relaxed);
+            });
+        });
+        f.wait();
+        assert!(data
+            .iter()
+            .enumerate()
+            .all(|(i, c)| c.load(Ordering::Relaxed) == i as u64 + 11));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn async_reduce_returns_value() {
+        let rt = Runtime::new(4);
+        let f = launch_reduce_async(
+            &rt,
+            ExecSpace::hpx(rt.clone()),
+            RangePolicy::new(1, 101).with_chunk(ChunkSpec::Tasks(8)),
+            0u64,
+            |i| i as u64,
+            |a, b| a + b,
+        );
+        assert_eq!(f.get(), 5050);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn when_all_over_kernel_launches() {
+        // Octo-Tiger launches >10 kernels per sub-grid per step and joins
+        // them; emulate a burst of launches joined by when_all.
+        let rt = Runtime::new(4);
+        let futures: Vec<Future<u64>> = (0..12)
+            .map(|k| {
+                launch_reduce_async(
+                    &rt,
+                    ExecSpace::hpx(rt.clone()),
+                    RangePolicy::new(0, 128).with_chunk(ChunkSpec::Tasks(4)),
+                    0u64,
+                    move |i| (i as u64) * (k + 1),
+                    |a, b| a + b,
+                )
+            })
+            .collect();
+        let all = hpx_rt::when_all(&rt, futures);
+        let sums = all.get();
+        let base: u64 = (0..128).sum();
+        for (k, s) in sums.iter().enumerate() {
+            assert_eq!(*s, base * (k as u64 + 1));
+        }
+        rt.shutdown();
+    }
+}

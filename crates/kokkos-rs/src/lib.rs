@@ -1,0 +1,63 @@
+//! # kokkos-rs — Kokkos-style performance-portable kernel execution
+//!
+//! Octo-Tiger writes every solver kernel once against Kokkos abstractions
+//! and retargets it by choosing an *execution space*: the CUDA space on
+//! Summit/Perlmutter/Piz Daint GPUs, and the **HPX execution space** on
+//! A64FX CPUs — the space that runs a kernel as one or more HPX tasks on the
+//! runtime's worker threads (paper Section IV-B).  The per-launch choice of
+//! *how many tasks a kernel is split into* is the knob behind the paper's
+//! Figure 9 (multipole work splitting: 1 task vs. 16 tasks per kernel).
+//!
+//! This crate reproduces that abstraction layer on top of `hpx-rt`:
+//!
+//! * [`view::View`] — n-dimensional arrays with LayoutRight/LayoutLeft.
+//! * [`policy`] — `RangePolicy`, `MDRangePolicy3`, `TeamPolicy`, and
+//!   [`policy::ChunkSpec`] (the tasks-per-kernel knob).
+//! * [`space::ExecSpace`] — `Serial`, `Hpx`, and a *modelled* `Device`
+//!   space.  Device kernels execute on the host for correctness; their
+//!   *performance* is modelled by the `cluster` crate (see the DESIGN.md
+//!   substitution table — we have no GPUs, the paper's GPU numbers are
+//!   reproduced by the machine models).
+//! * [`parallel`] — `parallel_for` / `parallel_reduce` / `parallel_scan`.
+//! * [`hpx_kokkos`] — asynchronous kernel launches returning `hpx-rt`
+//!   futures, the HPX-Kokkos integration layer of the paper.
+
+pub mod hpx_kokkos;
+pub mod parallel;
+pub mod policy;
+pub mod space;
+pub mod view;
+
+pub use hpx_kokkos::{launch_for_async, launch_reduce_async};
+pub use parallel::{parallel_for, parallel_for_md3, parallel_for_team, parallel_reduce, parallel_scan};
+pub use policy::{ChunkSpec, MDRangePolicy3, RangePolicy, TeamPolicy};
+pub use space::{DeviceKind, DeviceSpec, ExecSpace, HpxSpace};
+pub use view::{Layout, View};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpx_rt::Runtime;
+
+    #[test]
+    fn kernel_runs_identically_on_all_spaces() {
+        let rt = Runtime::new(4);
+        let n = 1000usize;
+        let mut outputs = Vec::new();
+        for space in [
+            ExecSpace::Serial,
+            ExecSpace::hpx(rt.clone()),
+            ExecSpace::device(DeviceKind::A100),
+        ] {
+            let acc = std::sync::atomic::AtomicU64::new(0);
+            parallel_for(&space, RangePolicy::new(0, n), |i| {
+                acc.fetch_add(i as u64, std::sync::atomic::Ordering::Relaxed);
+            });
+            outputs.push(acc.into_inner());
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+        assert_eq!(outputs[0], (n as u64 - 1) * n as u64 / 2);
+        rt.shutdown();
+    }
+}

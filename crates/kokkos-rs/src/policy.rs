@@ -1,0 +1,286 @@
+//! Execution policies: what index space a kernel runs over and how it is
+//! chunked into tasks.
+//!
+//! [`ChunkSpec`] is the load-bearing piece for the paper: the Kokkos HPX
+//! execution space "allows splitting launched kernels into an arbitrary
+//! amount of HPX tasks" (Section VII-C).  Octo-Tiger defaults to **one task
+//! per kernel launch** (hot cache, kernel runs on the launching worker) and
+//! switches the gravity solver's multipole kernel to **16 tasks** at scale
+//! to avoid starvation — the Figure 9 experiment.
+
+/// How a kernel's index range is split into scheduler tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkSpec {
+    /// One task per kernel launch — Octo-Tiger's default: the kernel runs
+    /// on the launching HPX worker and benefits from its hot cache.
+    #[default]
+    SingleTask,
+    /// Split the range into exactly `n` tasks (the Figure 9 "ON" setting
+    /// uses 16).
+    Tasks(usize),
+    /// Split into tasks of at most `n` consecutive indices.
+    ChunkSize(usize),
+    /// One task per worker thread of the executing runtime.
+    Auto,
+}
+
+impl ChunkSpec {
+    /// Resolve to a concrete task count for a range of `len` indices on a
+    /// pool of `workers` threads.  Always at least 1; never more tasks than
+    /// indices (except for the empty range, which yields 0).
+    pub fn resolve(self, len: usize, workers: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let n = match self {
+            ChunkSpec::SingleTask => 1,
+            ChunkSpec::Tasks(n) => n.max(1),
+            ChunkSpec::ChunkSize(c) => len.div_ceil(c.max(1)),
+            ChunkSpec::Auto => workers.max(1),
+        };
+        n.min(len)
+    }
+}
+
+/// A 1-D half-open index range `[begin, end)` with a chunking directive
+/// (Kokkos `RangePolicy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangePolicy {
+    pub begin: usize,
+    pub end: usize,
+    pub chunk: ChunkSpec,
+}
+
+impl RangePolicy {
+    /// Policy over `[begin, end)` with the default single-task chunking.
+    pub fn new(begin: usize, end: usize) -> Self {
+        assert!(begin <= end, "RangePolicy requires begin <= end");
+        RangePolicy {
+            begin,
+            end,
+            chunk: ChunkSpec::SingleTask,
+        }
+    }
+
+    /// Replace the chunk specification (builder style).
+    pub fn with_chunk(mut self, chunk: ChunkSpec) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// Number of indices in the range.
+    pub fn len(&self) -> usize {
+        self.end - self.begin
+    }
+
+    /// `true` if the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.begin == self.end
+    }
+
+    /// Split into `tasks` contiguous sub-ranges of near-equal length.
+    /// Returns fewer (possibly zero) ranges if the policy is short/empty.
+    pub fn split(&self, tasks: usize) -> Vec<(usize, usize)> {
+        let len = self.len();
+        if len == 0 || tasks == 0 {
+            return Vec::new();
+        }
+        let tasks = tasks.min(len);
+        let base = len / tasks;
+        let extra = len % tasks;
+        let mut out = Vec::with_capacity(tasks);
+        let mut start = self.begin;
+        for t in 0..tasks {
+            let sz = base + usize::from(t < extra);
+            out.push((start, start + sz));
+            start += sz;
+        }
+        debug_assert_eq!(start, self.end);
+        out
+    }
+}
+
+/// A 3-D rectangular index space (Kokkos `MDRangePolicy<Rank<3>>`) —
+/// the natural policy for sub-grid cell loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MDRangePolicy3 {
+    pub lower: [usize; 3],
+    pub upper: [usize; 3],
+    pub chunk: ChunkSpec,
+}
+
+impl MDRangePolicy3 {
+    /// Policy over the box `lower..upper` in each dimension.
+    pub fn new(lower: [usize; 3], upper: [usize; 3]) -> Self {
+        for d in 0..3 {
+            assert!(lower[d] <= upper[d], "MDRangePolicy3 requires lower <= upper");
+        }
+        MDRangePolicy3 {
+            lower,
+            upper,
+            chunk: ChunkSpec::SingleTask,
+        }
+    }
+
+    /// Replace the chunk specification (builder style).
+    pub fn with_chunk(mut self, chunk: ChunkSpec) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// Extent in each dimension.
+    pub fn extent(&self) -> [usize; 3] {
+        [
+            self.upper[0] - self.lower[0],
+            self.upper[1] - self.lower[1],
+            self.upper[2] - self.lower[2],
+        ]
+    }
+
+    /// Total number of index triples.
+    pub fn len(&self) -> usize {
+        let e = self.extent();
+        e[0] * e[1] * e[2]
+    }
+
+    /// `true` if the box is empty in any dimension.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flatten to an equivalent linear policy; `unflatten` maps back.
+    pub fn linear(&self) -> RangePolicy {
+        RangePolicy {
+            begin: 0,
+            end: self.len(),
+            chunk: self.chunk,
+        }
+    }
+
+    /// Map a flat index from [`Self::linear`] back to `(i, j, k)`
+    /// (row-major: `k` fastest).
+    #[inline(always)]
+    pub fn unflatten(&self, flat: usize) -> [usize; 3] {
+        let e = self.extent();
+        let k = flat % e[2];
+        let j = (flat / e[2]) % e[1];
+        let i = flat / (e[1] * e[2]);
+        [self.lower[0] + i, self.lower[1] + j, self.lower[2] + k]
+    }
+}
+
+/// A league of teams (Kokkos `TeamPolicy`): `league_size` work items, each
+/// processed by a team of `team_size` cooperating "threads".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TeamPolicy {
+    pub league_size: usize,
+    pub team_size: usize,
+}
+
+impl TeamPolicy {
+    /// Policy with `league_size` teams of `team_size` members.
+    pub fn new(league_size: usize, team_size: usize) -> Self {
+        assert!(team_size >= 1, "team_size must be >= 1");
+        TeamPolicy {
+            league_size,
+            team_size,
+        }
+    }
+}
+
+/// Handle passed to team kernels: which team and member is executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TeamMember {
+    /// Index of this team within the league.
+    pub league_rank: usize,
+    /// Index of this member within its team.
+    pub team_rank: usize,
+    /// Team size (for intra-team strided loops).
+    pub team_size: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunkspec_resolution() {
+        assert_eq!(ChunkSpec::SingleTask.resolve(100, 8), 1);
+        assert_eq!(ChunkSpec::Tasks(16).resolve(100, 8), 16);
+        assert_eq!(ChunkSpec::Tasks(16).resolve(10, 8), 10); // capped at len
+        assert_eq!(ChunkSpec::ChunkSize(25).resolve(100, 8), 4);
+        assert_eq!(ChunkSpec::ChunkSize(30).resolve(100, 8), 4); // ceil
+        assert_eq!(ChunkSpec::Auto.resolve(100, 8), 8);
+        assert_eq!(ChunkSpec::Auto.resolve(0, 8), 0);
+        assert_eq!(ChunkSpec::Tasks(0).resolve(5, 8), 1); // degenerate input
+    }
+
+    #[test]
+    fn range_split_covers_exactly() {
+        let p = RangePolicy::new(10, 110);
+        let parts = p.split(7);
+        assert_eq!(parts.len(), 7);
+        assert_eq!(parts.first().unwrap().0, 10);
+        assert_eq!(parts.last().unwrap().1, 110);
+        let mut prev_end = 10;
+        let mut total = 0;
+        for (b, e) in parts {
+            assert_eq!(b, prev_end);
+            assert!(e > b);
+            total += e - b;
+            prev_end = e;
+        }
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn range_split_more_tasks_than_indices() {
+        let p = RangePolicy::new(0, 3);
+        assert_eq!(p.split(10).len(), 3);
+    }
+
+    #[test]
+    fn empty_range() {
+        let p = RangePolicy::new(5, 5);
+        assert!(p.is_empty());
+        assert!(p.split(4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "begin <= end")]
+    fn backwards_range_panics() {
+        RangePolicy::new(5, 4);
+    }
+
+    #[test]
+    fn md3_flatten_unflatten_roundtrip() {
+        let p = MDRangePolicy3::new([1, 2, 3], [4, 6, 10]);
+        assert_eq!(p.extent(), [3, 4, 7]);
+        assert_eq!(p.len(), 84);
+        let mut seen = std::collections::HashSet::new();
+        for flat in 0..p.len() {
+            let [i, j, k] = p.unflatten(flat);
+            assert!((1..4).contains(&i));
+            assert!((2..6).contains(&j));
+            assert!((3..10).contains(&k));
+            assert!(seen.insert([i, j, k]));
+        }
+        assert_eq!(seen.len(), 84);
+    }
+
+    #[test]
+    fn md3_k_is_fastest_index() {
+        let p = MDRangePolicy3::new([0, 0, 0], [2, 2, 2]);
+        assert_eq!(p.unflatten(0), [0, 0, 0]);
+        assert_eq!(p.unflatten(1), [0, 0, 1]);
+        assert_eq!(p.unflatten(2), [0, 1, 0]);
+        assert_eq!(p.unflatten(4), [1, 0, 0]);
+    }
+
+    #[test]
+    fn team_policy_construction() {
+        let t = TeamPolicy::new(10, 4);
+        assert_eq!(t.league_size, 10);
+        assert_eq!(t.team_size, 4);
+    }
+}

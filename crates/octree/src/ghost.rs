@@ -1,0 +1,701 @@
+//! Distributed ghost-layer exchange with the Section VII-B communication
+//! optimization.
+//!
+//! Before each solver stage every leaf fills its ghost shells from its 26
+//! neighbours.  In HPX Octo-Tiger this is an action per (leaf, direction)
+//! pair; the paper's optimization short-circuits pairs whose source lives
+//! on the **same locality** to direct memory access, "avoiding HPX actions
+//! and temporary communication buffers where possible", with promise/future
+//! pairs guaranteeing the source is up to date.  Our exchange has the same
+//! two paths:
+//!
+//! * **parcel path** — an action request/reply through the locality's
+//!   parcelport (always used across localities, and also used locally when
+//!   the optimization is off), metered in the locality counters;
+//! * **direct path** — a read through the shared-memory grid handle,
+//!   counted in `local_direct_accesses`.  The exchange's phase structure
+//!   (all interiors are final before any ghost is read) plays the role of
+//!   the paper's promise/future readiness notifications; the
+//!   [`GhostConfig::notify_with_channels`] option additionally routes the
+//!   readiness signal through real `hpx_rt::channel` promise/future pairs
+//!   to mirror the paper's mechanism literally.
+//!
+//! Level jumps are handled as in Octo-Tiger: data from a coarser neighbour
+//! is prolonged (piecewise-constant), data from finer neighbours is
+//! restricted (conservative 8-cell average).
+
+use crate::index::{Dir, NodeId};
+use crate::partition::partition_morton;
+use crate::subgrid::SubGrid;
+use crate::tree::{Neighbor, Tree};
+use hpx_rt::locality::downcast_payload;
+use hpx_rt::{LocalityId, SimCluster};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Options of a ghost exchange.
+#[derive(Debug, Clone, Copy)]
+pub struct GhostConfig {
+    /// The Section VII-B optimization: same-locality neighbours are read
+    /// directly from memory instead of through parcels.
+    pub direct_local_access: bool,
+    /// Route direct-path readiness through `hpx_rt::channel` promise/future
+    /// pairs (the paper's literal mechanism).  Off by default because the
+    /// phase barrier already guarantees readiness; the channel variant
+    /// exists to measure its overhead.
+    pub notify_with_channels: bool,
+}
+
+impl Default for GhostConfig {
+    fn default() -> Self {
+        GhostConfig {
+            direct_local_access: true,
+            notify_with_channels: false,
+        }
+    }
+}
+
+/// Request payload of the `ghost_pack` action.
+struct GhostRequest {
+    leaf: NodeId,
+    dir: Dir,
+}
+
+struct DistGridInner {
+    tree: RwLock<Tree>,
+    owner: RwLock<HashMap<NodeId, LocalityId>>,
+    grids: RwLock<HashMap<NodeId, Arc<RwLock<SubGrid>>>>,
+    n: usize,
+    ghost: usize,
+    nfields: usize,
+}
+
+/// A distributed AMR grid: a [`Tree`] whose leaves carry [`SubGrid`]s
+/// partitioned over the localities of a [`SimCluster`].
+#[derive(Clone)]
+pub struct DistGrid {
+    inner: Arc<DistGridInner>,
+}
+
+impl DistGrid {
+    /// Build a distributed grid over `cluster` from `tree`, creating one
+    /// zeroed sub-grid per leaf (`n` cells, `ghost` ghost width, `nfields`
+    /// fields) and partitioning leaves in Morton order.
+    ///
+    /// Registers the `ghost_pack` action on the cluster; at most one
+    /// `DistGrid` should be active per cluster at a time.
+    pub fn new(
+        tree: Tree,
+        n: usize,
+        ghost: usize,
+        nfields: usize,
+        cluster: &SimCluster,
+    ) -> DistGrid {
+        let owner = partition_morton(&tree, cluster.num_localities());
+        let grids: HashMap<NodeId, Arc<RwLock<SubGrid>>> = tree
+            .leaves()
+            .into_iter()
+            .map(|leaf| (leaf, Arc::new(RwLock::new(SubGrid::new(n, ghost, nfields)))))
+            .collect();
+        let inner = Arc::new(DistGridInner {
+            tree: RwLock::new(tree),
+            owner: RwLock::new(owner),
+            grids: RwLock::new(grids),
+            n,
+            ghost,
+            nfields,
+        });
+        let handler_inner = inner.clone();
+        cluster.register_action("ghost_pack", move |arg, _loc| {
+            let req = arg.downcast::<GhostRequest>().expect("GhostRequest payload");
+            let payload =
+                compute_payload(&handler_inner, req.leaf, req.dir).unwrap_or_default();
+            Box::new(payload)
+        });
+        DistGrid { inner }
+    }
+
+    /// Interior extent per dimension of every sub-grid.
+    pub fn n(&self) -> usize {
+        self.inner.n
+    }
+
+    /// Ghost width of every sub-grid.
+    pub fn ghost_width(&self) -> usize {
+        self.inner.ghost
+    }
+
+    /// Fields per sub-grid.
+    pub fn nfields(&self) -> usize {
+        self.inner.nfields
+    }
+
+    /// SFC-sorted leaves.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.inner.tree.read().leaves()
+    }
+
+    /// Run `f` with shared access to the tree.
+    pub fn with_tree<R>(&self, f: impl FnOnce(&Tree) -> R) -> R {
+        f(&self.inner.tree.read())
+    }
+
+    /// Handle to a leaf's sub-grid.
+    ///
+    /// # Panics
+    /// Panics if `id` has no grid.
+    pub fn grid(&self, id: NodeId) -> Arc<RwLock<SubGrid>> {
+        self.inner.grids.read()[&id].clone()
+    }
+
+    /// Owner locality of a leaf.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a leaf of the grid.
+    pub fn owner(&self, id: NodeId) -> LocalityId {
+        self.inner.owner.read()[&id]
+    }
+
+    /// Leaves owned by `loc`, SFC-sorted.
+    pub fn leaves_of(&self, loc: LocalityId) -> Vec<NodeId> {
+        let owner = self.inner.owner.read();
+        self.leaves()
+            .into_iter()
+            .filter(|l| owner[l] == loc)
+            .collect()
+    }
+
+    /// Refine `leaf` (keeping 2:1 balance), prolonging its payload into the
+    /// new children.  New children inherit the refined leaf's owner.
+    pub fn refine_balanced(&self, leaf: NodeId) {
+        let refined = self.inner.tree.write().refine_balanced(leaf);
+        let mut grids = self.inner.grids.write();
+        let mut owner = self.inner.owner.write();
+        for r in refined {
+            let parent_grid = grids.remove(&r).expect("refined leaf had a grid");
+            let parent_owner = owner.remove(&r).expect("refined leaf had an owner");
+            let parent = parent_grid.read();
+            for oct in crate::index::Octant::all() {
+                let child = r.child(oct);
+                grids.insert(child, Arc::new(RwLock::new(parent.prolong_child(oct))));
+                owner.insert(child, parent_owner);
+            }
+        }
+    }
+
+    /// Fill every leaf's ghost shells: interior data from neighbours
+    /// (with prolongation/restriction across level jumps) and outflow
+    /// extrapolation at the domain boundary.
+    ///
+    /// Returns the number of (leaf, direction) links that used the direct
+    /// local path.
+    pub fn exchange_ghosts(&self, cluster: &SimCluster, config: GhostConfig) -> usize {
+        // Optional literal promise/future readiness notification: one
+        // channel per locality, signalled before any direct read happens.
+        let ready_channels: Vec<(hpx_rt::Sender<()>, hpx_rt::Receiver<()>)> = (0..cluster
+            .num_localities())
+            .map(|_| hpx_rt::channel())
+            .collect();
+        if config.notify_with_channels {
+            for (tx, _) in &ready_channels {
+                tx.send(()); // interiors are final: announce readiness
+            }
+        }
+
+        let leaves = self.leaves();
+        let owner = self.inner.owner.read().clone();
+        let mut direct_links = 0usize;
+
+        // Phase 1: gather payloads (reads only — interiors are stable).
+        // Each entry: (leaf, dir, payload or pending future).
+        enum Pending {
+            Data(Vec<f64>),
+            Remote(hpx_rt::Future<hpx_rt::locality::ArcPayload>),
+            Boundary,
+        }
+        let mut pending: Vec<(NodeId, Dir, Pending)> = Vec::new();
+        {
+            let tree = self.inner.tree.read();
+            for &leaf in &leaves {
+                let me = owner[&leaf];
+                for dir in Dir::all26() {
+                    let sources: Vec<NodeId> = match tree.neighbor_of(leaf, dir) {
+                        Neighbor::SameLevel(nb) => vec![nb],
+                        Neighbor::Coarser(c) => vec![c],
+                        Neighbor::Finer(kids) => kids,
+                        Neighbor::DomainBoundary => {
+                            pending.push((leaf, dir, Pending::Boundary));
+                            continue;
+                        }
+                    };
+                    let all_local = sources.iter().all(|s| owner[s] == me);
+                    if all_local && config.direct_local_access {
+                        if config.notify_with_channels {
+                            // Wait on the readiness future before touching
+                            // neighbour memory (paper Section VII-B).
+                            let f = ready_channels[me.0].1.receive();
+                            f.wait();
+                            ready_channels[me.0].0.send(()); // re-arm
+                        }
+                        cluster.locality(me.0).note_local_direct_access();
+                        direct_links += 1;
+                        let payload = compute_payload(&self.inner, leaf, dir)
+                            .expect("non-boundary link must produce data");
+                        pending.push((leaf, dir, Pending::Data(payload)));
+                    } else {
+                        // Parcel path: ask the owner of the *first* source
+                        // to assemble the payload (it can read all grids —
+                        // shared memory under the simulation — but pays the
+                        // parcel metering that the cluster models charge).
+                        let dest = owner[&sources[0]];
+                        let bytes = {
+                            let grids = self.inner.grids.read();
+                            let g = grids[&leaf].read();
+                            g.payload_bytes(dir.opposite())
+                        };
+                        let fut = cluster.locality(me.0).apply_async(
+                            dest,
+                            "ghost_pack",
+                            Box::new(GhostRequest { leaf, dir }),
+                            bytes,
+                        );
+                        pending.push((leaf, dir, Pending::Remote(fut)));
+                    }
+                }
+            }
+        }
+
+        // Phase 2: unpack into ghost shells (writes).
+        for (leaf, dir, p) in pending {
+            match p {
+                Pending::Boundary => {
+                    let grid = self.grid(leaf);
+                    apply_outflow(&mut grid.write(), dir);
+                }
+                Pending::Data(data) => {
+                    let grid = self.grid(leaf);
+                    grid.write().unpack_recv(dir, &data);
+                }
+                Pending::Remote(fut) => {
+                    let reply = fut.get();
+                    let data = downcast_payload::<Vec<f64>>(&reply)
+                        .expect("ghost_pack returns Vec<f64>");
+                    let grid = self.grid(leaf);
+                    grid.write().unpack_recv(dir, data);
+                }
+            }
+        }
+        direct_links
+    }
+}
+
+/// Assemble the ghost payload `leaf` needs from direction `dir`, in the
+/// element order expected by `SubGrid::unpack_recv(dir, ..)`.
+/// `None` at the domain boundary.
+fn compute_payload(inner: &DistGridInner, leaf: NodeId, dir: Dir) -> Option<Vec<f64>> {
+    let tree = inner.tree.read();
+    let grids = inner.grids.read();
+    match tree.neighbor_of(leaf, dir) {
+        Neighbor::SameLevel(nb) => Some(grids[&nb].read().pack_send(dir.opposite())),
+        Neighbor::Coarser(c) => {
+            let coarse = grids[&c].read();
+            Some(pack_prolonged(&coarse, c, leaf, dir, inner.n, inner.ghost))
+        }
+        Neighbor::Finer(kids) => {
+            let kid_grids: HashMap<NodeId, Arc<RwLock<SubGrid>>> = kids
+                .iter()
+                .map(|k| (*k, grids[k].clone()))
+                .collect();
+            Some(pack_restricted(
+                &kid_grids,
+                leaf,
+                dir,
+                inner.n,
+                inner.ghost,
+                inner.nfields,
+            ))
+        }
+        Neighbor::DomainBoundary => None,
+    }
+}
+
+/// Fill the ghost region toward `dir` by copying the nearest interior layer
+/// (zero-gradient outflow, Octo-Tiger's outer boundary condition).
+pub fn apply_outflow(grid: &mut SubGrid, dir: Dir) {
+    let b = grid.recv_box(dir);
+    let g = grid.ghost();
+    let n = grid.n();
+    let clamp = |v: usize| v.clamp(g, g + n - 1);
+    for f in 0..grid.nfields() {
+        for i in b[0].0..b[0].1 {
+            for j in b[1].0..b[1].1 {
+                for k in b[2].0..b[2].1 {
+                    let v = grid.get(f, clamp(i), clamp(j), clamp(k));
+                    grid.set(f, i, j, k, v);
+                }
+            }
+        }
+    }
+}
+
+/// Floor division of possibly-negative global indices.
+#[inline]
+fn div_floor(a: i64, b: i64) -> i64 {
+    a.div_euclid(b)
+}
+
+/// Payload for a fine leaf whose neighbour in `dir` is one level coarser:
+/// piecewise-constant prolongation of the coarse interior onto the fine
+/// ghost region.
+fn pack_prolonged(
+    coarse: &SubGrid,
+    coarse_id: NodeId,
+    fine_id: NodeId,
+    dir: Dir,
+    n: usize,
+    ghost: usize,
+) -> Vec<f64> {
+    let fine_coords = fine_id.coords();
+    let coarse_coords = coarse_id.coords();
+    // Shape of the fine ghost region (same as recv_box of the fine grid).
+    let probe = SubGrid::new(n, ghost, 1);
+    let b = probe.recv_box(dir);
+    let mut out = Vec::with_capacity(coarse.nfields() * SubGrid::box_cells(&b));
+    let ni = n as i64;
+    let gi = ghost as i64;
+    for f in 0..coarse.nfields() {
+        for i in b[0].0..b[0].1 {
+            for j in b[1].0..b[1].1 {
+                for k in b[2].0..b[2].1 {
+                    let s = [i as i64, j as i64, k as i64];
+                    let mut lc = [0usize; 3];
+                    for a in 0..3 {
+                        // Global fine index of this ghost cell.
+                        let gf = i64::from(fine_coords[a]) * ni + s[a] - gi;
+                        // Enclosing global coarse cell.
+                        let gc = div_floor(gf, 2);
+                        // Local storage index within the coarse grid.
+                        let l = gc - i64::from(coarse_coords[a]) * ni + gi;
+                        debug_assert!(
+                            (0..(ni + 2 * gi)).contains(&l),
+                            "prolongation index out of range"
+                        );
+                        lc[a] = l as usize;
+                    }
+                    out.push(coarse.get(f, lc[0], lc[1], lc[2]));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Payload for a coarse leaf whose same-level neighbour in `dir` is refined:
+/// conservative 8-cell average of the fine children's interiors onto the
+/// coarse ghost region.
+fn pack_restricted(
+    kids: &HashMap<NodeId, Arc<RwLock<SubGrid>>>,
+    coarse_id: NodeId,
+    dir: Dir,
+    n: usize,
+    ghost: usize,
+    nfields: usize,
+) -> Vec<f64> {
+    let coarse_coords = coarse_id.coords();
+    let probe = SubGrid::new(n, ghost, 1);
+    let b = probe.recv_box(dir);
+    let mut out = Vec::with_capacity(nfields * SubGrid::box_cells(&b));
+    let ni = n as i64;
+    let gi = ghost as i64;
+    // Lock each child once.
+    let locked: HashMap<NodeId, parking_lot::RwLockReadGuard<'_, SubGrid>> =
+        kids.iter().map(|(id, g)| (*id, g.read())).collect();
+    for f in 0..nfields {
+        for i in b[0].0..b[0].1 {
+            for j in b[1].0..b[1].1 {
+                for k in b[2].0..b[2].1 {
+                    let s = [i as i64, j as i64, k as i64];
+                    // Global coarse cell of this ghost cell.
+                    let mut gc = [0i64; 3];
+                    for a in 0..3 {
+                        gc[a] = i64::from(coarse_coords[a]) * ni + s[a] - gi;
+                    }
+                    // Average the 2×2×2 fine cells it covers.
+                    let mut acc = 0.0;
+                    for di in 0..2i64 {
+                        for dj in 0..2i64 {
+                            for dk in 0..2i64 {
+                                let gf = [2 * gc[0] + di, 2 * gc[1] + dj, 2 * gc[2] + dk];
+                                // Which fine leaf holds this cell?
+                                let leaf_coords = [
+                                    div_floor(gf[0], ni),
+                                    div_floor(gf[1], ni),
+                                    div_floor(gf[2], ni),
+                                ];
+                                let fine_level = coarse_id.level() + 1;
+                                let fid = NodeId::from_coords(
+                                    fine_level,
+                                    [
+                                        leaf_coords[0] as u32,
+                                        leaf_coords[1] as u32,
+                                        leaf_coords[2] as u32,
+                                    ],
+                                );
+                                let grid = locked
+                                    .get(&fid)
+                                    .unwrap_or_else(|| panic!("restriction source {fid} missing"));
+                                let li = (gf[0] - leaf_coords[0] * ni + gi) as usize;
+                                let lj = (gf[1] - leaf_coords[1] * ni + gi) as usize;
+                                let lk = (gf[2] - leaf_coords[2] * ni + gi) as usize;
+                                acc += grid.get(f, li, lj, lk);
+                            }
+                        }
+                    }
+                    out.push(acc / 8.0);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fill every leaf with a globally smooth linear field so ghost values
+    /// are predictable: field value = physical x + 10 y + 100 z at the cell
+    /// center.
+    fn fill_linear(dg: &DistGrid) {
+        for leaf in dg.leaves() {
+            let (corner, size) = leaf.cube();
+            let n = dg.n();
+            let h = size / n as f64;
+            let grid = dg.grid(leaf);
+            let mut g = grid.write();
+            for i in 0..n {
+                for j in 0..n {
+                    for k in 0..n {
+                        let x = corner[0] + (i as f64 + 0.5) * h;
+                        let y = corner[1] + (j as f64 + 0.5) * h;
+                        let z = corner[2] + (k as f64 + 0.5) * h;
+                        g.set_interior(0, i, j, k, x + 10.0 * y + 100.0 * z);
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_same_level_ghosts(dg: &DistGrid) {
+        // After exchange, for same-level interior-adjacent leaves the ghost
+        // cells must equal the linear field evaluated at the ghost cell
+        // centers.
+        for leaf in dg.leaves() {
+            let (corner, size) = leaf.cube();
+            let n = dg.n();
+            let gw = dg.ghost_width();
+            let h = size / n as f64;
+            let tree_ok = dg.with_tree(|t| {
+                Dir::all26().all(|d| {
+                    !matches!(t.neighbor_of(leaf, d), Neighbor::DomainBoundary)
+                        && matches!(t.neighbor_of(leaf, d), Neighbor::SameLevel(_))
+                })
+            });
+            if !tree_ok {
+                continue; // only interior same-level leaves in this check
+            }
+            let grid = dg.grid(leaf);
+            let g = grid.read();
+            let ext = g.ext();
+            for i in 0..ext {
+                for j in 0..ext {
+                    for k in 0..ext {
+                        let x = corner[0] + (i as f64 - gw as f64 + 0.5) * h;
+                        let y = corner[1] + (j as f64 - gw as f64 + 0.5) * h;
+                        let z = corner[2] + (k as f64 - gw as f64 + 0.5) * h;
+                        let expect = x + 10.0 * y + 100.0 * z;
+                        let got = g.get(0, i, j, k);
+                        assert!(
+                            (got - expect).abs() < 1e-12,
+                            "leaf {leaf} cell ({i},{j},{k}): got {got}, want {expect}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_exchange_direct_path() {
+        let cluster = SimCluster::new(2, 2);
+        let dg = DistGrid::new(Tree::new_uniform(2), 4, 2, 1, &cluster);
+        fill_linear(&dg);
+        let direct = dg.exchange_ghosts(&cluster, GhostConfig::default());
+        assert!(direct > 0, "expected some direct local links");
+        check_same_level_ghosts(&dg);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn uniform_exchange_parcel_path_matches_direct() {
+        let cluster = SimCluster::new(2, 2);
+        let dg = DistGrid::new(Tree::new_uniform(2), 4, 2, 1, &cluster);
+        fill_linear(&dg);
+        let direct = dg.exchange_ghosts(
+            &cluster,
+            GhostConfig {
+                direct_local_access: false,
+                notify_with_channels: false,
+            },
+        );
+        assert_eq!(direct, 0, "optimization off: no direct links");
+        check_same_level_ghosts(&dg);
+        // Every link went through parcels.
+        let totals = cluster.total_counters();
+        assert!(totals.parcels_sent > 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn channel_notification_variant_works() {
+        let cluster = SimCluster::new(1, 2);
+        let dg = DistGrid::new(Tree::new_uniform(1), 4, 1, 1, &cluster);
+        fill_linear(&dg);
+        dg.exchange_ghosts(
+            &cluster,
+            GhostConfig {
+                direct_local_access: true,
+                notify_with_channels: true,
+            },
+        );
+        check_same_level_ghosts(&dg);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn outflow_boundary_extrapolates() {
+        let cluster = SimCluster::new(1, 1);
+        let dg = DistGrid::new(Tree::new_uniform(0), 4, 2, 1, &cluster);
+        fill_linear(&dg);
+        dg.exchange_ghosts(&cluster, GhostConfig::default());
+        let grid = dg.grid(NodeId::ROOT);
+        let g = grid.read();
+        // -x ghost cells replicate the first interior layer.
+        for j in 2..6 {
+            for k in 2..6 {
+                let inner = g.get(0, 2, j, k);
+                assert_eq!(g.get(0, 0, j, k), inner);
+                assert_eq!(g.get(0, 1, j, k), inner);
+            }
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn amr_exchange_prolongs_and_restricts() {
+        let cluster = SimCluster::new(1, 2);
+        let mut tree = Tree::new_uniform(1);
+        tree.refine_balanced(NodeId::from_coords(1, [0, 0, 0]));
+        let dg = DistGrid::new(tree, 4, 2, 1, &cluster);
+        fill_linear(&dg);
+        dg.exchange_ghosts(&cluster, GhostConfig::default());
+
+        // Fine leaf looking at the coarser region: ghost = coarse cell value
+        // (piecewise constant), i.e. within one coarse cell width of the
+        // linear field.
+        let fine = NodeId::from_coords(2, [1, 0, 0]);
+        let coarse_h = 0.5 / 4.0; // coarse leaf size 0.5, n = 4
+        let (corner, size) = fine.cube();
+        let h = size / 4.0;
+        let grid = dg.grid(fine);
+        let g = grid.read();
+        // +x ghosts come from the coarser leaf at [1,0,0] level 1.
+        for i in 6..8usize {
+            for j in 2..6usize {
+                for k in 2..6usize {
+                    let x = corner[0] + (i as f64 - 2.0 + 0.5) * h;
+                    let y = corner[1] + (j as f64 - 2.0 + 0.5) * h;
+                    let z = corner[2] + (k as f64 - 2.0 + 0.5) * h;
+                    let expect = x + 10.0 * y + 100.0 * z;
+                    let got = g.get(0, i, j, k);
+                    assert!(
+                        (got - expect).abs() <= 111.0 * coarse_h,
+                        "prolonged ghost too far off: got {got}, want ~{expect}"
+                    );
+                }
+            }
+        }
+        drop(g);
+
+        // Coarse leaf looking at the refined region: ghost = average of fine
+        // cells; for a linear field the average is exact at the coarse cell
+        // center.
+        let coarse = NodeId::from_coords(1, [1, 0, 0]);
+        let (ccorner, csize) = coarse.cube();
+        let ch = csize / 4.0;
+        let cgrid = dg.grid(coarse);
+        let cg = cgrid.read();
+        for i in 0..2usize {
+            for j in 2..6usize {
+                for k in 2..6usize {
+                    let x = ccorner[0] + (i as f64 - 2.0 + 0.5) * ch;
+                    let y = ccorner[1] + (j as f64 - 2.0 + 0.5) * ch;
+                    let z = ccorner[2] + (k as f64 - 2.0 + 0.5) * ch;
+                    let expect = x + 10.0 * y + 100.0 * z;
+                    let got = cg.get(0, i, j, k);
+                    assert!(
+                        (got - expect).abs() < 1e-12,
+                        "restricted ghost: got {got}, want {expect}"
+                    );
+                }
+            }
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn refine_prolongs_payload_and_reassigns_owner() {
+        let cluster = SimCluster::new(2, 1);
+        let dg = DistGrid::new(Tree::new_uniform(1), 4, 1, 1, &cluster);
+        fill_linear(&dg);
+        let target = NodeId::from_coords(1, [0, 0, 0]);
+        let parent_owner = dg.owner(target);
+        let parent_sum = dg.grid(target).read().interior_sum(0);
+        dg.refine_balanced(target);
+        // Children exist, inherit the owner, and conserve the parent's mean.
+        let mut child_sum = 0.0;
+        for oct in crate::index::Octant::all() {
+            let child = target.child(oct);
+            assert_eq!(dg.owner(child), parent_owner);
+            child_sum += dg.grid(child).read().interior_sum(0);
+        }
+        // Piecewise-constant prolongation: each parent value appears 8×.
+        assert!((child_sum - 8.0 * parent_sum).abs() < 1e-9);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn direct_link_count_matches_partition_locality() {
+        let cluster = SimCluster::new(1, 1);
+        let dg = DistGrid::new(Tree::new_uniform(1), 4, 1, 1, &cluster);
+        fill_linear(&dg);
+        let direct = dg.exchange_ghosts(&cluster, GhostConfig::default());
+        // Single locality: every non-boundary link is direct.
+        let expected: usize = dg.with_tree(|t| {
+            t.leaves()
+                .iter()
+                .map(|&l| {
+                    Dir::all26()
+                        .filter(|&d| {
+                            !matches!(t.neighbor_of(l, d), Neighbor::DomainBoundary)
+                        })
+                        .count()
+                })
+                .sum()
+        });
+        assert_eq!(direct, expected);
+        assert_eq!(cluster.total_counters().parcels_sent, 0);
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,208 @@
+//! Space-filling-curve partitioning of leaves over localities.
+//!
+//! Octo-Tiger distributes sub-grids over HPX localities along a Morton
+//! curve; contiguous curve segments give compact partitions whose surface
+//! (the ghost exchanges that cross locality boundaries) stays small.  The
+//! statistics computed here — how many neighbour links stay on-locality vs.
+//! cross localities — are exactly what decides whether the Section VII-B
+//! communication optimization pays off (Figure 8: big win at 1–4 localities
+//! where most links are local, break-even at 8, slightly negative beyond).
+
+use crate::index::Dir;
+use crate::tree::{Neighbor, Tree};
+use crate::NodeId;
+use hpx_rt::LocalityId;
+use std::collections::HashMap;
+
+/// Assign the tree's leaves to `num_localities` localities by splitting the
+/// SFC-sorted leaf list into contiguous, near-equal chunks.
+///
+/// # Panics
+/// Panics if `num_localities == 0`.
+pub fn partition_morton(tree: &Tree, num_localities: usize) -> HashMap<NodeId, LocalityId> {
+    assert!(num_localities > 0, "need at least one locality");
+    let leaves = tree.leaves(); // already SFC-sorted
+    let total = leaves.len();
+    let mut out = HashMap::with_capacity(total);
+    if total == 0 {
+        return out;
+    }
+    let parts = num_localities.min(total);
+    let base = total / parts;
+    let extra = total % parts;
+    let mut idx = 0usize;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        for leaf in &leaves[idx..idx + size] {
+            out.insert(*leaf, LocalityId(p));
+        }
+        idx += size;
+    }
+    out
+}
+
+/// Locality-boundary statistics of a partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Leaves per locality.
+    pub leaves_per_locality: Vec<usize>,
+    /// Neighbour links (leaf, dir) whose data source is on the same
+    /// locality.
+    pub local_links: usize,
+    /// Neighbour links crossing locality boundaries.
+    pub remote_links: usize,
+}
+
+impl PartitionStats {
+    /// Fraction of links that stay on-locality (`1.0` when everything is
+    /// local, e.g. a single-locality run).
+    pub fn local_fraction(&self) -> f64 {
+        let total = self.local_links + self.remote_links;
+        if total == 0 {
+            1.0
+        } else {
+            self.local_links as f64 / total as f64
+        }
+    }
+
+    /// Largest / smallest leaf count over localities (load imbalance).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.leaves_per_locality.iter().copied().max().unwrap_or(0);
+        let min = self
+            .leaves_per_locality
+            .iter()
+            .copied()
+            .filter(|&c| c > 0)
+            .min()
+            .unwrap_or(1);
+        max as f64 / min as f64
+    }
+}
+
+/// Compute [`PartitionStats`] for a partition over all 26-direction links.
+pub fn partition_stats(
+    tree: &Tree,
+    owner: &HashMap<NodeId, LocalityId>,
+    num_localities: usize,
+) -> PartitionStats {
+    let mut leaves_per_locality = vec![0usize; num_localities];
+    let mut local_links = 0usize;
+    let mut remote_links = 0usize;
+    for leaf in tree.leaves() {
+        let me = owner[&leaf];
+        leaves_per_locality[me.0] += 1;
+        for dir in Dir::all26() {
+            let sources: Vec<NodeId> = match tree.neighbor_of(leaf, dir) {
+                Neighbor::SameLevel(nb) => vec![nb],
+                Neighbor::Coarser(c) => vec![c],
+                Neighbor::Finer(kids) => kids,
+                Neighbor::DomainBoundary => continue,
+            };
+            for src in sources {
+                if owner[&src] == me {
+                    local_links += 1;
+                } else {
+                    remote_links += 1;
+                }
+            }
+        }
+    }
+    PartitionStats {
+        leaves_per_locality,
+        local_links,
+        remote_links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_total_and_balanced() {
+        let tree = Tree::new_uniform(2); // 64 leaves
+        let owner = partition_morton(&tree, 4);
+        assert_eq!(owner.len(), 64);
+        let mut counts = [0usize; 4];
+        for loc in owner.values() {
+            counts[loc.0] += 1;
+        }
+        assert_eq!(counts, [16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn partition_handles_non_dividing_counts() {
+        let tree = Tree::new_uniform(1); // 8 leaves
+        let owner = partition_morton(&tree, 3);
+        let mut counts = [0usize; 3];
+        for loc in owner.values() {
+            counts[loc.0] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 8);
+        assert!(counts.iter().all(|&c| (2..=3).contains(&c)));
+    }
+
+    #[test]
+    fn more_localities_than_leaves() {
+        let tree = Tree::new(); // 1 leaf
+        let owner = partition_morton(&tree, 16);
+        assert_eq!(owner.len(), 1);
+        assert_eq!(owner[&NodeId::ROOT], LocalityId(0));
+    }
+
+    #[test]
+    fn partition_is_sfc_contiguous() {
+        let tree = Tree::new_uniform(2);
+        let owner = partition_morton(&tree, 4);
+        let leaves = tree.leaves();
+        // Along the SFC, locality ids must be non-decreasing.
+        let mut prev = 0usize;
+        for leaf in leaves {
+            let l = owner[&leaf].0;
+            assert!(l >= prev, "SFC contiguity violated");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn single_locality_stats_are_fully_local() {
+        let tree = Tree::new_uniform(2);
+        let owner = partition_morton(&tree, 1);
+        let stats = partition_stats(&tree, &owner, 1);
+        assert_eq!(stats.remote_links, 0);
+        assert!(stats.local_links > 0);
+        assert_eq!(stats.local_fraction(), 1.0);
+        assert_eq!(stats.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn local_fraction_decreases_with_locality_count() {
+        // This monotonic trend is the geometric fact behind the paper's
+        // Figure 8 break-even behaviour.
+        let tree = Tree::new_uniform(3); // 512 leaves
+        let mut prev_fraction = 1.1;
+        for parts in [1usize, 2, 4, 8, 16] {
+            let owner = partition_morton(&tree, parts);
+            let stats = partition_stats(&tree, &owner, parts);
+            let f = stats.local_fraction();
+            assert!(
+                f < prev_fraction + 1e-12,
+                "local fraction should not increase: {parts} parts -> {f}"
+            );
+            prev_fraction = f;
+        }
+    }
+
+    #[test]
+    fn stats_on_adaptive_tree() {
+        let mut tree = Tree::new_uniform(1);
+        tree.refine_balanced(NodeId::from_coords(1, [0, 0, 0]));
+        let owner = partition_morton(&tree, 2);
+        let stats = partition_stats(&tree, &owner, 2);
+        assert_eq!(
+            stats.leaves_per_locality.iter().sum::<usize>(),
+            tree.num_leaves()
+        );
+        assert!(stats.local_links + stats.remote_links > 0);
+    }
+}

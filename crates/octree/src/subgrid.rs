@@ -1,0 +1,533 @@
+//! The `N × N × N` sub-grid each octree leaf carries, with ghost shells.
+//!
+//! Octo-Tiger associates each leaf with a sub-grid of evolved state
+//! variables (N typically 8) surrounded by ghost layers filled from the 26
+//! neighbours before each solver stage.  This module owns the raw storage
+//! (`nfields` fields of `(N+2G)³` cells), the ghost-region geometry, the
+//! pack/unpack routines used by the exchange, and the inter-level transfer
+//! operators (piecewise-constant prolongation, conservative averaging
+//! restriction) used across AMR level jumps and on refine/derefine.
+
+use crate::index::Dir;
+
+/// A dense block of `nfields` scalar fields over `(n + 2*ghost)³` cells.
+///
+/// Storage coordinates run over `[0, n + 2*ghost)` per dimension; the
+/// interior occupies `[ghost, ghost + n)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubGrid {
+    n: usize,
+    ghost: usize,
+    nfields: usize,
+    data: Vec<f64>,
+}
+
+/// Half-open per-dimension index ranges describing a box in storage
+/// coordinates.
+pub type Box3 = [(usize, usize); 3];
+
+impl SubGrid {
+    /// Create a zero-initialized sub-grid.
+    ///
+    /// # Panics
+    /// Panics if `n` or `nfields` is zero (ghost width may be zero for
+    /// gravity-only grids).
+    pub fn new(n: usize, ghost: usize, nfields: usize) -> SubGrid {
+        assert!(n > 0, "sub-grid extent must be positive");
+        assert!(nfields > 0, "need at least one field");
+        assert!(ghost <= n, "ghost width wider than the interior is unsupported");
+        let ext = n + 2 * ghost;
+        SubGrid {
+            n,
+            ghost,
+            nfields,
+            data: vec![0.0; nfields * ext * ext * ext],
+        }
+    }
+
+    /// Interior extent per dimension (the paper's N).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Ghost width per side.
+    pub fn ghost(&self) -> usize {
+        self.ghost
+    }
+
+    /// Number of fields.
+    pub fn nfields(&self) -> usize {
+        self.nfields
+    }
+
+    /// Storage extent per dimension (`n + 2*ghost`).
+    pub fn ext(&self) -> usize {
+        self.n + 2 * self.ghost
+    }
+
+    /// Number of interior cells (`n³`).
+    pub fn interior_cells(&self) -> usize {
+        self.n * self.n * self.n
+    }
+
+    #[inline(always)]
+    fn offset(&self, f: usize, i: usize, j: usize, k: usize) -> usize {
+        let ext = self.ext();
+        debug_assert!(f < self.nfields && i < ext && j < ext && k < ext);
+        ((f * ext + i) * ext + j) * ext + k
+    }
+
+    /// Read a cell in storage coordinates (ghosts included).
+    #[inline(always)]
+    pub fn get(&self, f: usize, i: usize, j: usize, k: usize) -> f64 {
+        self.data[self.offset(f, i, j, k)]
+    }
+
+    /// Write a cell in storage coordinates (ghosts included).
+    #[inline(always)]
+    pub fn set(&mut self, f: usize, i: usize, j: usize, k: usize, v: f64) {
+        let o = self.offset(f, i, j, k);
+        self.data[o] = v;
+    }
+
+    /// Read an interior cell (`i, j, k ∈ [0, n)`).
+    #[inline(always)]
+    pub fn get_interior(&self, f: usize, i: usize, j: usize, k: usize) -> f64 {
+        debug_assert!(i < self.n && j < self.n && k < self.n);
+        self.get(f, i + self.ghost, j + self.ghost, k + self.ghost)
+    }
+
+    /// Write an interior cell (`i, j, k ∈ [0, n)`).
+    #[inline(always)]
+    pub fn set_interior(&mut self, f: usize, i: usize, j: usize, k: usize, v: f64) {
+        debug_assert!(i < self.n && j < self.n && k < self.n);
+        self.set(f, i + self.ghost, j + self.ghost, k + self.ghost, v);
+    }
+
+    /// Whole field as a flat slice in storage order.
+    pub fn field(&self, f: usize) -> &[f64] {
+        let ext3 = self.ext().pow(3);
+        &self.data[f * ext3..(f + 1) * ext3]
+    }
+
+    /// Whole field as a mutable flat slice in storage order.
+    pub fn field_mut(&mut self, f: usize) -> &mut [f64] {
+        let ext3 = self.ext().pow(3);
+        &mut self.data[f * ext3..(f + 1) * ext3]
+    }
+
+    /// Two distinct fields, one mutable (for `dst[i] = f(src[i])` kernels).
+    ///
+    /// # Panics
+    /// Panics if `fa == fb`.
+    pub fn fields_pair_mut(&mut self, fa: usize, fb: usize) -> (&mut [f64], &[f64]) {
+        assert_ne!(fa, fb, "fields_pair_mut requires distinct fields");
+        let ext3 = self.ext().pow(3);
+        if fa < fb {
+            let (lo, hi) = self.data.split_at_mut(fb * ext3);
+            (&mut lo[fa * ext3..(fa + 1) * ext3], &hi[..ext3])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(fa * ext3);
+            (&mut hi[..ext3], &lo[fb * ext3..(fb + 1) * ext3])
+        }
+    }
+
+    /// Fill every cell of every field with `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Sum of a field over the interior (for conservation ledgers).
+    pub fn interior_sum(&self, f: usize) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                for k in 0..self.n {
+                    acc += self.get_interior(f, i, j, k);
+                }
+            }
+        }
+        acc
+    }
+
+    // ---------------------------------------------------------------
+    // Ghost-region geometry
+    // ---------------------------------------------------------------
+
+    /// Source box (in storage coords) of the interior data this grid must
+    /// *send* toward direction `dir`.
+    pub fn send_box(&self, dir: Dir) -> Box3 {
+        let mut out = [(0usize, 0usize); 3];
+        for (axis, d) in dir.as_array().into_iter().enumerate() {
+            out[axis] = match d {
+                -1 => (self.ghost, 2 * self.ghost),
+                0 => (self.ghost, self.ghost + self.n),
+                1 => (self.n, self.n + self.ghost),
+                _ => unreachable!(),
+            };
+        }
+        out
+    }
+
+    /// Destination box (in storage coords) of the ghost cells this grid
+    /// *receives* from its neighbour in direction `dir`.
+    pub fn recv_box(&self, dir: Dir) -> Box3 {
+        let mut out = [(0usize, 0usize); 3];
+        for (axis, d) in dir.as_array().into_iter().enumerate() {
+            out[axis] = match d {
+                -1 => (0, self.ghost),
+                0 => (self.ghost, self.ghost + self.n),
+                1 => (self.ghost + self.n, self.ext()),
+                _ => unreachable!(),
+            };
+        }
+        out
+    }
+
+    /// Number of cells in a box.
+    pub fn box_cells(b: &Box3) -> usize {
+        b.iter().map(|&(lo, hi)| hi - lo).product()
+    }
+
+    /// Pack all fields over `b` (field-major, then i, j, k order).
+    pub fn pack_box(&self, b: &Box3) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.nfields * Self::box_cells(b));
+        for f in 0..self.nfields {
+            for i in b[0].0..b[0].1 {
+                for j in b[1].0..b[1].1 {
+                    for k in b[2].0..b[2].1 {
+                        out.push(self.get(f, i, j, k));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Unpack `data` (as produced by [`SubGrid::pack_box`] over a box of the
+    /// same shape) into `b`.
+    ///
+    /// # Panics
+    /// Panics if `data` has the wrong length.
+    pub fn unpack_box(&mut self, b: &Box3, data: &[f64]) {
+        assert_eq!(
+            data.len(),
+            self.nfields * Self::box_cells(b),
+            "ghost payload length mismatch"
+        );
+        let mut it = data.iter();
+        for f in 0..self.nfields {
+            for i in b[0].0..b[0].1 {
+                for j in b[1].0..b[1].1 {
+                    for k in b[2].0..b[2].1 {
+                        self.set(f, i, j, k, *it.next().expect("length checked"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pack the slab this grid sends toward `dir` (same-level exchange).
+    pub fn pack_send(&self, dir: Dir) -> Vec<f64> {
+        self.pack_box(&self.send_box(dir))
+    }
+
+    /// Unpack a same-level slab received *from* direction `dir`.
+    ///
+    /// The payload must come from the neighbour's `pack_send(dir.opposite())`.
+    pub fn unpack_recv(&mut self, dir: Dir, data: &[f64]) {
+        self.unpack_box(&self.recv_box(dir), data);
+    }
+
+    /// Wire size in bytes of one same-level exchange payload toward `dir`.
+    pub fn payload_bytes(&self, dir: Dir) -> usize {
+        self.nfields * Self::box_cells(&self.send_box(dir)) * std::mem::size_of::<f64>()
+    }
+
+    // ---------------------------------------------------------------
+    // Inter-level transfer (AMR)
+    // ---------------------------------------------------------------
+
+    /// Build the child sub-grid for `octant` by piecewise-constant
+    /// prolongation of this grid's interior (used on refine).  Ghosts of
+    /// the child are left zero (filled by the next exchange).
+    ///
+    /// # Panics
+    /// Panics if `n` is odd.
+    pub fn prolong_child(&self, octant: crate::index::Octant) -> SubGrid {
+        assert!(self.n % 2 == 0, "prolongation requires even N");
+        let half = self.n / 2;
+        let [ox, oy, oz] = octant.xyz();
+        let mut child = SubGrid::new(self.n, self.ghost, self.nfields);
+        for f in 0..self.nfields {
+            for i in 0..self.n {
+                for j in 0..self.n {
+                    for k in 0..self.n {
+                        let pi = usize::from(ox) * half + i / 2;
+                        let pj = usize::from(oy) * half + j / 2;
+                        let pk = usize::from(oz) * half + k / 2;
+                        child.set_interior(f, i, j, k, self.get_interior(f, pi, pj, pk));
+                    }
+                }
+            }
+        }
+        child
+    }
+
+    /// Accumulate `child`'s interior into the `octant` region of this grid
+    /// by conservative 2×2×2 averaging (used on derefine and in the FMM's
+    /// upward pass restriction of densities).
+    ///
+    /// # Panics
+    /// Panics if `n` is odd or the grids disagree in shape.
+    pub fn restrict_from_child(&mut self, octant: crate::index::Octant, child: &SubGrid) {
+        assert!(self.n % 2 == 0, "restriction requires even N");
+        assert_eq!(self.n, child.n, "parent/child N mismatch");
+        assert_eq!(self.nfields, child.nfields, "parent/child field mismatch");
+        let half = self.n / 2;
+        let [ox, oy, oz] = octant.xyz();
+        for f in 0..self.nfields {
+            for i in 0..half {
+                for j in 0..half {
+                    for k in 0..half {
+                        let mut acc = 0.0;
+                        for di in 0..2 {
+                            for dj in 0..2 {
+                                for dk in 0..2 {
+                                    acc += child.get_interior(
+                                        f,
+                                        2 * i + di,
+                                        2 * j + dj,
+                                        2 * k + dk,
+                                    );
+                                }
+                            }
+                        }
+                        self.set_interior(
+                            f,
+                            usize::from(ox) * half + i,
+                            usize::from(oy) * half + j,
+                            usize::from(oz) * half + k,
+                            acc / 8.0,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::Octant;
+
+    fn filled(n: usize, g: usize, nf: usize) -> SubGrid {
+        let mut sg = SubGrid::new(n, g, nf);
+        let ext = sg.ext();
+        for f in 0..nf {
+            for i in 0..ext {
+                for j in 0..ext {
+                    for k in 0..ext {
+                        sg.set(f, i, j, k, (f * 1000 + i * 100 + j * 10 + k) as f64);
+                    }
+                }
+            }
+        }
+        sg
+    }
+
+    #[test]
+    fn construction_and_extents() {
+        let sg = SubGrid::new(8, 2, 5);
+        assert_eq!(sg.ext(), 12);
+        assert_eq!(sg.interior_cells(), 512);
+        assert_eq!(sg.field(0).len(), 12 * 12 * 12);
+        assert_eq!(sg.nfields(), 5);
+    }
+
+    #[test]
+    fn interior_indexing_offsets_by_ghost() {
+        let mut sg = SubGrid::new(4, 2, 1);
+        sg.set_interior(0, 0, 0, 0, 7.0);
+        assert_eq!(sg.get(0, 2, 2, 2), 7.0);
+        sg.set_interior(0, 3, 3, 3, 9.0);
+        assert_eq!(sg.get(0, 5, 5, 5), 9.0);
+    }
+
+    #[test]
+    fn send_recv_boxes_are_consistent() {
+        let sg = SubGrid::new(8, 2, 1);
+        for dir in Dir::all26() {
+            let s = sg.send_box(dir);
+            let r = sg.recv_box(dir.opposite());
+            // The slab I send toward `dir` has the same shape as the ghost
+            // region my neighbour fills from me (received from `-dir`).
+            let s_shape: Vec<usize> = s.iter().map(|&(a, b)| b - a).collect();
+            let r_shape: Vec<usize> = r.iter().map(|&(a, b)| b - a).collect();
+            assert_eq!(s_shape, r_shape, "shape mismatch for {dir:?}");
+        }
+    }
+
+    #[test]
+    fn face_exchange_roundtrip() {
+        // Grid A's +x slab must land in grid B's -x ghost region such that
+        // continuing the global index space is seamless.
+        let mut a = SubGrid::new(4, 2, 2);
+        let mut b = SubGrid::new(4, 2, 2);
+        // Fill a with values encoding global x-index (a occupies x in 0..4).
+        for f in 0..2 {
+            for i in 0..4 {
+                for j in 0..4 {
+                    for k in 0..4 {
+                        a.set_interior(f, i, j, k, (f * 100 + i) as f64);
+                        b.set_interior(f, i, j, k, (f * 100 + i + 4) as f64);
+                    }
+                }
+            }
+        }
+        let dir = Dir::new(1, 0, 0);
+        let payload = a.pack_send(dir);
+        // B receives from its -x side.
+        b.unpack_recv(dir.opposite(), &payload);
+        // B's ghost cells at storage x=0,1 must now carry a's interior x=2,3.
+        for f in 0..2 {
+            for j in 2..6 {
+                for k in 2..6 {
+                    assert_eq!(b.get(f, 0, j, k), (f * 100 + 2) as f64);
+                    assert_eq!(b.get(f, 1, j, k), (f * 100 + 3) as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corner_exchange_has_ghost_cubed_cells() {
+        let sg = filled(8, 2, 1);
+        let dir = Dir::new(1, 1, 1);
+        let payload = sg.pack_send(dir);
+        assert_eq!(payload.len(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn edge_exchange_size() {
+        let sg = SubGrid::new(8, 2, 3);
+        let dir = Dir::new(1, 0, -1);
+        assert_eq!(sg.pack_send(dir).len(), 3 * 2 * 8 * 2);
+        assert_eq!(sg.payload_bytes(dir), 3 * 2 * 8 * 2 * 8);
+    }
+
+    #[test]
+    fn pack_unpack_box_roundtrip() {
+        let src = filled(4, 1, 2);
+        let b: Box3 = [(1, 3), (0, 2), (2, 5)];
+        let data = src.pack_box(&b);
+        let mut dst = SubGrid::new(4, 1, 2);
+        dst.unpack_box(&b, &data);
+        for f in 0..2 {
+            for i in 1..3 {
+                for j in 0..2 {
+                    for k in 2..5 {
+                        assert_eq!(dst.get(f, i, j, k), src.get(f, i, j, k));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "payload length mismatch")]
+    fn unpack_wrong_length_panics() {
+        let mut sg = SubGrid::new(4, 1, 1);
+        let b = sg.recv_box(Dir::new(1, 0, 0));
+        sg.unpack_box(&b, &[0.0; 3]);
+    }
+
+    #[test]
+    fn fields_pair_mut_disjoint() {
+        let mut sg = filled(4, 1, 3);
+        let expect_src: Vec<f64> = sg.field(2).to_vec();
+        let (dst, src) = sg.fields_pair_mut(0, 2);
+        assert_eq!(src, &expect_src[..]);
+        dst[0] = -1.0;
+        assert_eq!(sg.field(0)[0], -1.0);
+        let (dst2, src2) = sg.fields_pair_mut(2, 0);
+        assert_eq!(src2[0], -1.0);
+        dst2[0] = -2.0;
+        assert_eq!(sg.field(2)[0], -2.0);
+    }
+
+    #[test]
+    fn prolong_then_restrict_is_identity_on_means() {
+        // Piecewise-constant prolongation followed by 8-cell averaging must
+        // reproduce the parent exactly (conservation round-trip).
+        let mut parent = SubGrid::new(8, 1, 2);
+        for f in 0..2 {
+            for i in 0..8 {
+                for j in 0..8 {
+                    for k in 0..8 {
+                        parent.set_interior(f, i, j, k, (f * 512 + i * 64 + j * 8 + k) as f64);
+                    }
+                }
+            }
+        }
+        let mut rebuilt = SubGrid::new(8, 1, 2);
+        for oct in Octant::all() {
+            let child = parent.prolong_child(oct);
+            rebuilt.restrict_from_child(oct, &child);
+        }
+        for f in 0..2 {
+            for i in 0..8 {
+                for j in 0..8 {
+                    for k in 0..8 {
+                        assert_eq!(
+                            rebuilt.get_interior(f, i, j, k),
+                            parent.get_interior(f, i, j, k)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restriction_conserves_totals() {
+        let mut parent = SubGrid::new(4, 1, 1);
+        let mut total_children = 0.0;
+        for oct in Octant::all() {
+            let mut child = SubGrid::new(4, 1, 1);
+            for i in 0..4 {
+                for j in 0..4 {
+                    for k in 0..4 {
+                        child.set_interior(0, i, j, k, (oct.0 as f64) + 0.125);
+                    }
+                }
+            }
+            total_children += child.interior_sum(0) / 8.0; // child cells are 8× smaller
+            parent.restrict_from_child(oct, &child);
+        }
+        let total_parent = parent.interior_sum(0);
+        assert!((total_parent - total_children).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interior_sum_ignores_ghosts() {
+        let mut sg = SubGrid::new(2, 1, 1);
+        sg.fill(100.0);
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    sg.set_interior(0, i, j, k, 1.0);
+                }
+            }
+        }
+        assert_eq!(sg.interior_sum(0), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct fields")]
+    fn fields_pair_mut_same_field_panics() {
+        let mut sg = SubGrid::new(2, 0, 2);
+        let _ = sg.fields_pair_mut(1, 1);
+    }
+}

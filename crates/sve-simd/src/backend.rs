@@ -1,0 +1,95 @@
+//! Run-time selection between the scalar and SVE-width vector backends.
+//!
+//! The paper switches between scalar and SVE types at *compile* time and
+//! builds the application twice.  Rust monomorphisation gives us both
+//! instantiations in one binary, so the switch becomes a run-time enum that
+//! the `octotiger` kernels dispatch on.  The observable behaviour is the
+//! same: identical kernel source, two vector widths, directly comparable
+//! timings (Figure 7 of the paper).
+
+/// The SVE vector length of the Fujitsu A64FX, in bits.
+///
+/// SVE is length-agnostic in the ISA, but the A64FX implements 512-bit
+/// vectors; the paper's SVE types are fixed to that width.
+pub const SVE_VECTOR_BITS: usize = 512;
+
+/// `f64` lanes in one A64FX SVE vector.
+pub const SVE_LANES_F64: usize = SVE_VECTOR_BITS / 64;
+
+/// `f32` lanes in one A64FX SVE vector.
+pub const SVE_LANES_F32: usize = SVE_VECTOR_BITS / 32;
+
+/// Which vector backend a kernel should be instantiated with.
+///
+/// Mirrors the paper's compile-time choice between scalar types and the
+/// authors' `sve::experimental::simd` types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VectorMode {
+    /// One lane per operation — the reference scalar build.
+    Scalar,
+    /// 512-bit explicit vectorization — the A64FX SVE build.
+    #[default]
+    Sve512,
+}
+
+impl VectorMode {
+    /// Number of `f64` lanes processed per vector operation in this mode.
+    #[inline]
+    pub const fn lanes_f64(self) -> usize {
+        match self {
+            VectorMode::Scalar => 1,
+            VectorMode::Sve512 => SVE_LANES_F64,
+        }
+    }
+
+    /// Number of `f32` lanes processed per vector operation in this mode.
+    #[inline]
+    pub const fn lanes_f32(self) -> usize {
+        match self {
+            VectorMode::Scalar => 1,
+            VectorMode::Sve512 => SVE_LANES_F32,
+        }
+    }
+
+    /// Human-readable name matching the labels used in the paper's plots.
+    pub const fn label(self) -> &'static str {
+        match self {
+            VectorMode::Scalar => "SIMD OFF (scalar)",
+            VectorMode::Sve512 => "SIMD ON (SVE)",
+        }
+    }
+
+    /// All modes, in the order the paper presents them.
+    pub const fn all() -> [VectorMode; 2] {
+        [VectorMode::Scalar, VectorMode::Sve512]
+    }
+}
+
+impl std::fmt::Display for VectorMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_counts() {
+        assert_eq!(VectorMode::Scalar.lanes_f64(), 1);
+        assert_eq!(VectorMode::Sve512.lanes_f64(), 8);
+        assert_eq!(VectorMode::Scalar.lanes_f32(), 1);
+        assert_eq!(VectorMode::Sve512.lanes_f32(), 16);
+    }
+
+    #[test]
+    fn default_is_sve() {
+        assert_eq!(VectorMode::default(), VectorMode::Sve512);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(VectorMode::Scalar.label(), VectorMode::Sve512.label());
+    }
+}

@@ -1,0 +1,179 @@
+//! Lane masks produced by SIMD comparisons, in the style of
+//! `std::experimental::simd_mask`.
+
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A boolean per lane; the result type of `Simd::simd_lt` and friends and
+/// the selector for `Simd::select`.
+///
+/// SVE is a predicated ISA: essentially every A64FX vector instruction takes
+/// a predicate register.  Masks are therefore first-class in the paper's SVE
+/// types, and they are first-class here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct Mask<const W: usize>([bool; W]);
+
+impl<const W: usize> Mask<W> {
+    /// Number of lanes.
+    pub const LANES: usize = W;
+
+    /// All lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: bool) -> Self {
+        Mask([v; W])
+    }
+
+    /// Build from an array of lane booleans.
+    #[inline(always)]
+    pub fn from_array(a: [bool; W]) -> Self {
+        Mask(a)
+    }
+
+    /// The lanes as an array.
+    #[inline(always)]
+    pub fn to_array(self) -> [bool; W] {
+        self.0
+    }
+
+    /// Value of lane `l`.
+    ///
+    /// # Panics
+    /// Panics if `l >= W`.
+    #[inline(always)]
+    pub fn test(self, l: usize) -> bool {
+        self.0[l]
+    }
+
+    /// Set lane `l` to `v`.
+    #[inline(always)]
+    pub fn set(&mut self, l: usize, v: bool) {
+        self.0[l] = v;
+    }
+
+    /// `true` if any lane is set (SVE `ptest`).
+    #[inline(always)]
+    pub fn any(self) -> bool {
+        self.0.iter().any(|&b| b)
+    }
+
+    /// `true` if every lane is set.
+    #[inline(always)]
+    pub fn all(self) -> bool {
+        self.0.iter().all(|&b| b)
+    }
+
+    /// `true` if no lane is set.
+    #[inline(always)]
+    pub fn none(self) -> bool {
+        !self.any()
+    }
+
+    /// Number of set lanes (SVE `cntp`).
+    #[inline(always)]
+    pub fn count_set(self) -> usize {
+        self.0.iter().filter(|&&b| b).count()
+    }
+
+    /// Index of the first set lane, if any (SVE `brka`-style scan).
+    #[inline]
+    pub fn first_set(self) -> Option<usize> {
+        self.0.iter().position(|&b| b)
+    }
+
+    /// A mask with the first `n` lanes set — SVE's `whilelt` predicate,
+    /// which the paper's kernels use for loop tails.
+    #[inline]
+    pub fn first_n(n: usize) -> Self {
+        let mut m = [false; W];
+        for lane in m.iter_mut().take(n.min(W)) {
+            *lane = true;
+        }
+        Mask(m)
+    }
+}
+
+impl<const W: usize> BitAnd for Mask<W> {
+    type Output = Self;
+    #[inline(always)]
+    fn bitand(self, rhs: Self) -> Self {
+        let mut out = [false; W];
+        for l in 0..W {
+            out[l] = self.0[l] & rhs.0[l];
+        }
+        Mask(out)
+    }
+}
+
+impl<const W: usize> BitOr for Mask<W> {
+    type Output = Self;
+    #[inline(always)]
+    fn bitor(self, rhs: Self) -> Self {
+        let mut out = [false; W];
+        for l in 0..W {
+            out[l] = self.0[l] | rhs.0[l];
+        }
+        Mask(out)
+    }
+}
+
+impl<const W: usize> BitXor for Mask<W> {
+    type Output = Self;
+    #[inline(always)]
+    fn bitxor(self, rhs: Self) -> Self {
+        let mut out = [false; W];
+        for l in 0..W {
+            out[l] = self.0[l] ^ rhs.0[l];
+        }
+        Mask(out)
+    }
+}
+
+impl<const W: usize> Not for Mask<W> {
+    type Output = Self;
+    #[inline(always)]
+    fn not(self) -> Self {
+        let mut out = [false; W];
+        for l in 0..W {
+            out[l] = !self.0[l];
+        }
+        Mask(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_any_all_none() {
+        assert!(Mask::<8>::splat(true).all());
+        assert!(Mask::<8>::splat(false).none());
+        let mut m = Mask::<8>::splat(false);
+        m.set(3, true);
+        assert!(m.any());
+        assert!(!m.all());
+        assert_eq!(m.count_set(), 1);
+        assert_eq!(m.first_set(), Some(3));
+    }
+
+    #[test]
+    fn first_n_is_whilelt() {
+        let m = Mask::<8>::first_n(3);
+        assert_eq!(
+            m.to_array(),
+            [true, true, true, false, false, false, false, false]
+        );
+        assert_eq!(Mask::<4>::first_n(10).count_set(), 4);
+        assert_eq!(Mask::<4>::first_n(0).count_set(), 0);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = Mask::<4>::from_array([true, true, false, false]);
+        let b = Mask::<4>::from_array([true, false, true, false]);
+        assert_eq!((a & b).to_array(), [true, false, false, false]);
+        assert_eq!((a | b).to_array(), [true, true, true, false]);
+        assert_eq!((a ^ b).to_array(), [false, true, true, false]);
+        assert_eq!((!a).to_array(), [false, false, true, true]);
+    }
+}

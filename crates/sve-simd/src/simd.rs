@@ -1,0 +1,584 @@
+//! The fixed-width vector type [`Simd<T, W>`] and its element trait.
+
+use crate::mask::Mask;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Scalar types usable as SIMD lanes.
+///
+/// Only the floating-point types needed by the Octo-Tiger kernels are
+/// implemented; the trait exists so `Simd` stays open for integer lanes.
+pub trait SimdElement:
+    Copy
+    + Default
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Smallest representable value (for max-reductions).
+    const MIN_VALUE: Self;
+    /// Largest representable value (for min-reductions).
+    const MAX_VALUE: Self;
+
+    /// `|self|`.
+    fn abs_elem(self) -> Self;
+    /// `sqrt(self)`.
+    fn sqrt_elem(self) -> Self;
+    /// Fused (or at least contracted) multiply-add `self * a + b`.
+    fn mul_add_elem(self, a: Self, b: Self) -> Self;
+    /// Lane-wise minimum with NaN-insensitive semantics of `f64::min`.
+    fn min_elem(self, other: Self) -> Self;
+    /// Lane-wise maximum.
+    fn max_elem(self, other: Self) -> Self;
+    /// Copy the sign of `sign` onto `self`.
+    fn copysign_elem(self, sign: Self) -> Self;
+}
+
+macro_rules! impl_simd_element_float {
+    ($t:ty) => {
+        impl SimdElement for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const MIN_VALUE: Self = <$t>::NEG_INFINITY;
+            const MAX_VALUE: Self = <$t>::INFINITY;
+
+            #[inline(always)]
+            fn abs_elem(self) -> Self {
+                self.abs()
+            }
+            #[inline(always)]
+            fn sqrt_elem(self) -> Self {
+                self.sqrt()
+            }
+            #[inline(always)]
+            fn mul_add_elem(self, a: Self, b: Self) -> Self {
+                // Plain `a*b+c`: lets LLVM contract when profitable without
+                // forcing a libm call per lane in debug builds.
+                self * a + b
+            }
+            #[inline(always)]
+            fn min_elem(self, other: Self) -> Self {
+                if self < other {
+                    self
+                } else {
+                    other
+                }
+            }
+            #[inline(always)]
+            fn max_elem(self, other: Self) -> Self {
+                if self > other {
+                    self
+                } else {
+                    other
+                }
+            }
+            #[inline(always)]
+            fn copysign_elem(self, sign: Self) -> Self {
+                self.copysign(sign)
+            }
+        }
+    };
+}
+
+impl_simd_element_float!(f64);
+impl_simd_element_float!(f32);
+
+/// A fixed-width SIMD vector of `W` lanes of `T`.
+///
+/// Modeled on `std::experimental::simd<T, simd_abi::fixed_size<W>>`, the
+/// abstraction the paper uses for all its compute kernels.  Operations are
+/// lane-wise; comparisons produce a [`Mask`]; `select` blends two vectors
+/// under a mask.  With `W = 8` and `T = f64` this corresponds to one A64FX
+/// SVE register.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(transparent)]
+pub struct Simd<T, const W: usize>(pub(crate) [T; W]);
+
+impl<T: SimdElement, const W: usize> Default for Simd<T, W> {
+    fn default() -> Self {
+        Self::splat(T::ZERO)
+    }
+}
+
+impl<T: SimdElement, const W: usize> Simd<T, W> {
+    /// Number of lanes.
+    pub const LANES: usize = W;
+
+    /// Broadcast `v` into every lane.
+    #[inline(always)]
+    pub fn splat(v: T) -> Self {
+        Simd([v; W])
+    }
+
+    /// Build from an array of lane values.
+    #[inline(always)]
+    pub fn from_array(a: [T; W]) -> Self {
+        Simd(a)
+    }
+
+    /// Return the lanes as an array.
+    #[inline(always)]
+    pub fn to_array(self) -> [T; W] {
+        self.0
+    }
+
+    /// Borrow the lanes as a slice.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        &self.0
+    }
+
+    /// Load `W` consecutive elements starting at `slice[0]`.
+    ///
+    /// # Panics
+    /// Panics if `slice.len() < W`.
+    #[inline(always)]
+    pub fn from_slice(slice: &[T]) -> Self {
+        let mut out = [T::ZERO; W];
+        out.copy_from_slice(&slice[..W]);
+        Simd(out)
+    }
+
+    /// Store all lanes to the first `W` elements of `slice`.
+    ///
+    /// # Panics
+    /// Panics if `slice.len() < W`.
+    #[inline(always)]
+    pub fn write_to_slice(self, slice: &mut [T]) {
+        slice[..W].copy_from_slice(&self.0);
+    }
+
+    /// Load `min(W, slice.len())` lanes, filling the tail with `fill`.
+    ///
+    /// The paper's kernels handle sub-grid edges whose extent is not a
+    /// multiple of the vector width with masked/partial loads; this is the
+    /// equivalent.
+    #[inline]
+    pub fn from_slice_padded(slice: &[T], fill: T) -> Self {
+        let mut out = [fill; W];
+        let n = W.min(slice.len());
+        out[..n].copy_from_slice(&slice[..n]);
+        Simd(out)
+    }
+
+    /// Store `min(W, slice.len())` lanes.
+    #[inline]
+    pub fn write_to_slice_partial(self, slice: &mut [T]) {
+        let n = W.min(slice.len());
+        slice[..n].copy_from_slice(&self.0[..n]);
+    }
+
+    /// Gather lanes from `src` at positions `idx`.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    #[inline]
+    pub fn gather(src: &[T], idx: &[usize; W]) -> Self {
+        let mut out = [T::ZERO; W];
+        for l in 0..W {
+            out[l] = src[idx[l]];
+        }
+        Simd(out)
+    }
+
+    /// Scatter lanes into `dst` at positions `idx`.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.  Duplicate indices write in
+    /// lane order (the last lane wins), matching `std::experimental::simd`.
+    #[inline]
+    pub fn scatter(self, dst: &mut [T], idx: &[usize; W]) {
+        for l in 0..W {
+            dst[idx[l]] = self.0[l];
+        }
+    }
+
+    /// Lane-wise fused multiply-add: `self * a + b`.
+    #[inline(always)]
+    pub fn mul_add(self, a: Self, b: Self) -> Self {
+        let mut out = [T::ZERO; W];
+        for l in 0..W {
+            out[l] = self.0[l].mul_add_elem(a.0[l], b.0[l]);
+        }
+        Simd(out)
+    }
+
+    /// Lane-wise square root.
+    #[inline(always)]
+    pub fn sqrt(self) -> Self {
+        let mut out = [T::ZERO; W];
+        for l in 0..W {
+            out[l] = self.0[l].sqrt_elem();
+        }
+        Simd(out)
+    }
+
+    /// Lane-wise absolute value.
+    #[inline(always)]
+    pub fn abs(self) -> Self {
+        let mut out = [T::ZERO; W];
+        for l in 0..W {
+            out[l] = self.0[l].abs_elem();
+        }
+        Simd(out)
+    }
+
+    /// Lane-wise minimum.
+    #[inline(always)]
+    pub fn simd_min(self, other: Self) -> Self {
+        let mut out = [T::ZERO; W];
+        for l in 0..W {
+            out[l] = self.0[l].min_elem(other.0[l]);
+        }
+        Simd(out)
+    }
+
+    /// Lane-wise maximum.
+    #[inline(always)]
+    pub fn simd_max(self, other: Self) -> Self {
+        let mut out = [T::ZERO; W];
+        for l in 0..W {
+            out[l] = self.0[l].max_elem(other.0[l]);
+        }
+        Simd(out)
+    }
+
+    /// Lane-wise clamp into `[lo, hi]`.
+    #[inline(always)]
+    pub fn simd_clamp(self, lo: Self, hi: Self) -> Self {
+        self.simd_max(lo).simd_min(hi)
+    }
+
+    /// Lane-wise copysign.
+    #[inline(always)]
+    pub fn copysign(self, sign: Self) -> Self {
+        let mut out = [T::ZERO; W];
+        for l in 0..W {
+            out[l] = self.0[l].copysign_elem(sign.0[l]);
+        }
+        Simd(out)
+    }
+
+    /// Horizontal sum of all lanes.
+    #[inline(always)]
+    pub fn reduce_sum(self) -> T {
+        let mut acc = T::ZERO;
+        for l in 0..W {
+            acc = acc + self.0[l];
+        }
+        acc
+    }
+
+    /// Horizontal product of all lanes.
+    #[inline(always)]
+    pub fn reduce_product(self) -> T {
+        let mut acc = T::ONE;
+        for l in 0..W {
+            acc = acc * self.0[l];
+        }
+        acc
+    }
+
+    /// Smallest lane value.
+    #[inline(always)]
+    pub fn reduce_min(self) -> T {
+        let mut acc = T::MAX_VALUE;
+        for l in 0..W {
+            acc = acc.min_elem(self.0[l]);
+        }
+        acc
+    }
+
+    /// Largest lane value.
+    #[inline(always)]
+    pub fn reduce_max(self) -> T {
+        let mut acc = T::MIN_VALUE;
+        for l in 0..W {
+            acc = acc.max_elem(self.0[l]);
+        }
+        acc
+    }
+
+    /// Lane-wise `self < other`.
+    #[inline(always)]
+    pub fn simd_lt(self, other: Self) -> Mask<W> {
+        let mut m = [false; W];
+        for l in 0..W {
+            m[l] = self.0[l] < other.0[l];
+        }
+        Mask::from_array(m)
+    }
+
+    /// Lane-wise `self <= other`.
+    #[inline(always)]
+    pub fn simd_le(self, other: Self) -> Mask<W> {
+        let mut m = [false; W];
+        for l in 0..W {
+            m[l] = self.0[l] <= other.0[l];
+        }
+        Mask::from_array(m)
+    }
+
+    /// Lane-wise `self > other`.
+    #[inline(always)]
+    pub fn simd_gt(self, other: Self) -> Mask<W> {
+        other.simd_lt(self)
+    }
+
+    /// Lane-wise `self >= other`.
+    #[inline(always)]
+    pub fn simd_ge(self, other: Self) -> Mask<W> {
+        other.simd_le(self)
+    }
+
+    /// Lane-wise equality.
+    #[inline(always)]
+    pub fn simd_eq(self, other: Self) -> Mask<W> {
+        let mut m = [false; W];
+        for l in 0..W {
+            m[l] = self.0[l] == other.0[l];
+        }
+        Mask::from_array(m)
+    }
+
+    /// Blend: lane `l` of the result is `if mask[l] { t[l] } else { f[l] }`.
+    #[inline(always)]
+    pub fn select(mask: Mask<W>, t: Self, f: Self) -> Self {
+        let mut out = [T::ZERO; W];
+        for l in 0..W {
+            out[l] = if mask.test(l) { t.0[l] } else { f.0[l] };
+        }
+        Simd(out)
+    }
+
+    /// Apply `f` to every lane (escape hatch for transcendental functions).
+    #[inline(always)]
+    pub fn map(self, mut f: impl FnMut(T) -> T) -> Self {
+        let mut out = [T::ZERO; W];
+        for l in 0..W {
+            out[l] = f(self.0[l]);
+        }
+        Simd(out)
+    }
+}
+
+impl<T: SimdElement, const W: usize> Index<usize> for Simd<T, W> {
+    type Output = T;
+    #[inline(always)]
+    fn index(&self, i: usize) -> &T {
+        &self.0[i]
+    }
+}
+
+impl<T: SimdElement, const W: usize> IndexMut<usize> for Simd<T, W> {
+    #[inline(always)]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.0[i]
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident) => {
+        impl<T: SimdElement, const W: usize> $trait for Simd<T, W> {
+            type Output = Self;
+            #[inline(always)]
+            fn $method(self, rhs: Self) -> Self {
+                let mut out = [T::ZERO; W];
+                for l in 0..W {
+                    out[l] = self.0[l].$method(rhs.0[l]);
+                }
+                Simd(out)
+            }
+        }
+
+        impl<T: SimdElement, const W: usize> $trait<T> for Simd<T, W> {
+            type Output = Self;
+            #[inline(always)]
+            fn $method(self, rhs: T) -> Self {
+                self.$method(Simd::splat(rhs))
+            }
+        }
+
+        impl<T: SimdElement, const W: usize> $assign_trait for Simd<T, W> {
+            #[inline(always)]
+            fn $assign_method(&mut self, rhs: Self) {
+                *self = (*self).$method(rhs);
+            }
+        }
+
+        impl<T: SimdElement, const W: usize> $assign_trait<T> for Simd<T, W> {
+            #[inline(always)]
+            fn $assign_method(&mut self, rhs: T) {
+                *self = (*self).$method(Simd::splat(rhs));
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, AddAssign, add_assign);
+impl_binop!(Sub, sub, SubAssign, sub_assign);
+impl_binop!(Mul, mul, MulAssign, mul_assign);
+impl_binop!(Div, div, DivAssign, div_assign);
+
+impl<T: SimdElement, const W: usize> Neg for Simd<T, W> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        let mut out = [T::ZERO; W];
+        for l in 0..W {
+            out[l] = -self.0[l];
+        }
+        Simd(out)
+    }
+}
+
+impl<T: SimdElement, const W: usize> std::iter::Sum for Simd<T, W> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::splat(T::ZERO), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type V = Simd<f64, 8>;
+
+    #[test]
+    fn splat_and_extract() {
+        let v = V::splat(3.5);
+        for l in 0..V::LANES {
+            assert_eq!(v[l], 3.5);
+        }
+    }
+
+    #[test]
+    fn arithmetic_lanewise() {
+        let a = V::from_array([1., 2., 3., 4., 5., 6., 7., 8.]);
+        let b = V::splat(2.0);
+        assert_eq!((a + b)[0], 3.0);
+        assert_eq!((a - b)[7], 6.0);
+        assert_eq!((a * b)[3], 8.0);
+        assert_eq!((a / b)[1], 1.0);
+        assert_eq!((-a)[2], -3.0);
+    }
+
+    #[test]
+    fn scalar_rhs_operators() {
+        let a = V::splat(10.0);
+        assert_eq!((a + 1.0)[0], 11.0);
+        assert_eq!((a * 0.5)[5], 5.0);
+        let mut c = a;
+        c -= 4.0;
+        assert_eq!(c[3], 6.0);
+    }
+
+    #[test]
+    fn mul_add_matches_scalar() {
+        let a = V::from_array([1., 2., 3., 4., 5., 6., 7., 8.]);
+        let r = a.mul_add(V::splat(2.0), V::splat(1.0));
+        for l in 0..8 {
+            assert_eq!(r[l], a[l] * 2.0 + 1.0);
+        }
+    }
+
+    #[test]
+    fn sqrt_abs() {
+        let v = Simd::<f64, 4>::from_array([4.0, 9.0, 16.0, 25.0]);
+        assert_eq!(v.sqrt().to_array(), [2.0, 3.0, 4.0, 5.0]);
+        let w = Simd::<f64, 4>::from_array([-1.0, 2.0, -3.0, 0.0]);
+        assert_eq!(w.abs().to_array(), [1.0, 2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Simd::<f64, 4>::from_array([1., 5., -2., 8.]);
+        let b = Simd::<f64, 4>::splat(3.0);
+        assert_eq!(a.simd_min(b).to_array(), [1., 3., -2., 3.]);
+        assert_eq!(a.simd_max(b).to_array(), [3., 5., 3., 8.]);
+        let c = a.simd_clamp(Simd::splat(0.0), Simd::splat(4.0));
+        assert_eq!(c.to_array(), [1., 4., 0., 4.]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = V::from_array([1., 2., 3., 4., 5., 6., 7., 8.]);
+        assert_eq!(a.reduce_sum(), 36.0);
+        assert_eq!(a.reduce_min(), 1.0);
+        assert_eq!(a.reduce_max(), 8.0);
+        let p = Simd::<f64, 3>::from_array([2., 3., 4.]);
+        assert_eq!(p.reduce_product(), 24.0);
+    }
+
+    #[test]
+    fn comparisons_and_select() {
+        let a = Simd::<f64, 4>::from_array([1., 5., 3., 7.]);
+        let b = Simd::<f64, 4>::splat(4.0);
+        let m = a.simd_lt(b);
+        assert_eq!(m.to_array(), [true, false, true, false]);
+        let r = Simd::select(m, Simd::splat(1.0), Simd::splat(0.0));
+        assert_eq!(r.to_array(), [1., 0., 1., 0.]);
+        assert_eq!(a.simd_ge(b).to_array(), [false, true, false, true]);
+        assert_eq!(a.simd_eq(a).count_set(), 4);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let data: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let v = V::from_slice(&data[4..]);
+        assert_eq!(v[0], 4.0);
+        let mut out = vec![0.0; 8];
+        v.write_to_slice(&mut out);
+        assert_eq!(out, &data[4..12]);
+    }
+
+    #[test]
+    fn padded_load_and_partial_store() {
+        let data = [1.0, 2.0, 3.0];
+        let v = Simd::<f64, 8>::from_slice_padded(&data, -1.0);
+        assert_eq!(v.to_array(), [1., 2., 3., -1., -1., -1., -1., -1.]);
+        let mut out = [0.0; 3];
+        v.write_to_slice_partial(&mut out);
+        assert_eq!(out, [1., 2., 3.]);
+    }
+
+    #[test]
+    fn gather_scatter() {
+        let src = [10.0, 20.0, 30.0, 40.0];
+        let v = Simd::<f64, 4>::gather(&src, &[3, 2, 1, 0]);
+        assert_eq!(v.to_array(), [40., 30., 20., 10.]);
+        let mut dst = [0.0; 4];
+        v.scatter(&mut dst, &[0, 1, 2, 3]);
+        assert_eq!(dst, [40., 30., 20., 10.]);
+    }
+
+    #[test]
+    fn copysign_lanes() {
+        let mag = Simd::<f64, 4>::from_array([1., 2., 3., 4.]);
+        let sgn = Simd::<f64, 4>::from_array([-1., 1., -0.5, 0.5]);
+        assert_eq!(mag.copysign(sgn).to_array(), [-1., 2., -3., 4.]);
+    }
+
+    #[test]
+    fn scalar_width_one_behaves_like_scalar() {
+        let a = Simd::<f64, 1>::splat(2.0);
+        let b = Simd::<f64, 1>::splat(3.0);
+        assert_eq!((a * b + a).reduce_sum(), 8.0);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let vs = [V::splat(1.0), V::splat(2.0), V::splat(3.0)];
+        let s: V = vs.into_iter().sum();
+        assert_eq!(s.to_array(), [6.0; 8]);
+    }
+}

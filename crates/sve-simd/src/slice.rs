@@ -1,0 +1,172 @@
+//! Helpers for running width-generic kernels over slices.
+//!
+//! Octo-Tiger's Kokkos kernels iterate over sub-grid cell arrays in strides
+//! of the vector width, with a masked tail.  These helpers encapsulate that
+//! traversal so the `octotiger` kernels contain only the physics.
+
+use crate::simd::{Simd, SimdElement};
+
+/// Iterator over `(offset, lanes_in_chunk)` pairs covering `len` elements in
+/// strides of `W`, with a final partial chunk when `W` does not divide `len`.
+#[derive(Debug, Clone)]
+pub struct ChunkedLanes<const W: usize> {
+    len: usize,
+    pos: usize,
+}
+
+impl<const W: usize> ChunkedLanes<W> {
+    /// Cover `len` elements.
+    pub fn new(len: usize) -> Self {
+        assert!(W > 0, "vector width must be non-zero");
+        ChunkedLanes { len, pos: 0 }
+    }
+}
+
+impl<const W: usize> Iterator for ChunkedLanes<W> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.pos >= self.len {
+            return None;
+        }
+        let off = self.pos;
+        let lanes = W.min(self.len - off);
+        self.pos += lanes;
+        Some((off, lanes))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.len - self.pos;
+        let n = rem.div_ceil(W);
+        (n, Some(n))
+    }
+}
+
+impl<const W: usize> ExactSizeIterator for ChunkedLanes<W> {}
+
+/// Apply an in-place vector kernel to every `W`-wide chunk of `data`.
+///
+/// The tail (when `W ∤ data.len()`) is processed with a padded load and a
+/// partial store, mirroring SVE's predicated loop tails.
+pub fn for_each_simd<T: SimdElement, const W: usize>(
+    data: &mut [T],
+    mut kernel: impl FnMut(Simd<T, W>) -> Simd<T, W>,
+) {
+    let len = data.len();
+    for (off, lanes) in ChunkedLanes::<W>::new(len) {
+        if lanes == W {
+            let v = Simd::<T, W>::from_slice(&data[off..]);
+            kernel(v).write_to_slice(&mut data[off..]);
+        } else {
+            let v = Simd::<T, W>::from_slice_padded(&data[off..], T::ZERO);
+            kernel(v).write_to_slice_partial(&mut data[off..]);
+        }
+    }
+}
+
+/// Map `src` through a vector kernel into `dst` (same length).
+///
+/// # Panics
+/// Panics if `src.len() != dst.len()`.
+pub fn map_simd<T: SimdElement, const W: usize>(
+    src: &[T],
+    dst: &mut [T],
+    mut kernel: impl FnMut(Simd<T, W>) -> Simd<T, W>,
+) {
+    assert_eq!(src.len(), dst.len(), "map_simd length mismatch");
+    for (off, lanes) in ChunkedLanes::<W>::new(src.len()) {
+        if lanes == W {
+            let v = Simd::<T, W>::from_slice(&src[off..]);
+            kernel(v).write_to_slice(&mut dst[off..]);
+        } else {
+            let v = Simd::<T, W>::from_slice_padded(&src[off..], T::ZERO);
+            kernel(v).write_to_slice_partial(&mut dst[off..]);
+        }
+    }
+}
+
+/// Combine two equal-length sources into `dst` with a binary vector kernel.
+///
+/// # Panics
+/// Panics if the three slices disagree in length.
+pub fn zip_map_simd<T: SimdElement, const W: usize>(
+    a: &[T],
+    b: &[T],
+    dst: &mut [T],
+    mut kernel: impl FnMut(Simd<T, W>, Simd<T, W>) -> Simd<T, W>,
+) {
+    assert_eq!(a.len(), b.len(), "zip_map_simd length mismatch (a vs b)");
+    assert_eq!(a.len(), dst.len(), "zip_map_simd length mismatch (a vs dst)");
+    for (off, lanes) in ChunkedLanes::<W>::new(a.len()) {
+        if lanes == W {
+            let va = Simd::<T, W>::from_slice(&a[off..]);
+            let vb = Simd::<T, W>::from_slice(&b[off..]);
+            kernel(va, vb).write_to_slice(&mut dst[off..]);
+        } else {
+            let va = Simd::<T, W>::from_slice_padded(&a[off..], T::ZERO);
+            let vb = Simd::<T, W>::from_slice_padded(&b[off..], T::ZERO);
+            kernel(va, vb).write_to_slice_partial(&mut dst[off..]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_lanes_exact_division() {
+        let chunks: Vec<_> = ChunkedLanes::<4>::new(8).collect();
+        assert_eq!(chunks, vec![(0, 4), (4, 4)]);
+    }
+
+    #[test]
+    fn chunked_lanes_with_tail() {
+        let chunks: Vec<_> = ChunkedLanes::<4>::new(10).collect();
+        assert_eq!(chunks, vec![(0, 4), (4, 4), (8, 2)]);
+        assert_eq!(ChunkedLanes::<4>::new(10).len(), 3);
+    }
+
+    #[test]
+    fn chunked_lanes_empty() {
+        assert_eq!(ChunkedLanes::<8>::new(0).count(), 0);
+    }
+
+    #[test]
+    fn for_each_simd_squares_with_tail() {
+        let mut data: Vec<f64> = (0..11).map(|i| i as f64).collect();
+        for_each_simd::<f64, 4>(&mut data, |v| v * v);
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, (i * i) as f64);
+        }
+    }
+
+    #[test]
+    fn map_simd_matches_scalar_loop() {
+        let src: Vec<f64> = (0..13).map(|i| i as f64 * 0.5).collect();
+        let mut dst = vec![0.0; 13];
+        map_simd::<f64, 8>(&src, &mut dst, |v| v + Simd::splat(1.0));
+        for i in 0..13 {
+            assert_eq!(dst[i], src[i] + 1.0);
+        }
+    }
+
+    #[test]
+    fn zip_map_simd_adds() {
+        let a: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..9).map(|i| (i * 10) as f64).collect();
+        let mut dst = vec![0.0; 9];
+        zip_map_simd::<f64, 4>(&a, &b, &mut dst, |x, y| x + y);
+        for i in 0..9 {
+            assert_eq!(dst[i], a[i] + b[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn map_simd_rejects_mismatched_lengths() {
+        let src = [1.0f64; 4];
+        let mut dst = [0.0f64; 5];
+        map_simd::<f64, 4>(&src, &mut dst, |v| v);
+    }
+}

@@ -1,0 +1,76 @@
+//! A Fugaku campaign end to end: parse a PJM job script (the scheduler
+//! interface the paper added to HPX), pick the machine and options from
+//! it, and run the discrete-event cluster simulation — including the
+//! fault model for the Fujitsu-MPI hangs the paper hit at scale.
+//!
+//! ```sh
+//! cargo run --release --example fugaku_campaign
+//! ```
+
+use octo_repro::cluster::{
+    simulate_step, FaultModel, FaultOutcome, KernelCosts, Machine, MachineId, PowerModel,
+    RunOptions, Workload,
+};
+use octo_repro::hpx::JobSpec;
+
+fn main() {
+    let script = "\
+#!/bin/bash
+#PJM -L node=512
+#PJM -L rscgrp=large
+#PJM -L elapse=01:00:00
+#PJM -L freq=1800
+#PJM --mpi proc=512
+";
+    let spec = JobSpec::parse(script).expect("valid PJM script");
+    println!(
+        "PJM job: {} nodes, rscgrp={}, elapse={}s, boost={}",
+        spec.nodes, spec.resource_group, spec.elapse_limit_s, spec.boost_mode
+    );
+
+    let machine = Machine::get(MachineId::Fugaku);
+    let costs = KernelCosts::default();
+    let power = PowerModel::default();
+    let opts = RunOptions {
+        sve: true,
+        boost: spec.boost_mode,
+        comm_opt: true,
+        multipole_tasks: 1,
+    };
+    let faults = FaultModel::default();
+
+    println!("\nlevel 6 rotating star (14.2M cells) on {}:", machine.name);
+    println!("nodes | cells/s     | step time  | efficiency | power (kW) | outcome");
+    for nodes in [128usize, 256, 512, 1024] {
+        let w = Workload::rotating_star(6);
+        let r = simulate_step(&machine, nodes, &w, &opts, &costs);
+        let watts = power.total_watts(&machine, nodes, r.parallel_efficiency, opts.sve);
+        let outcome = match faults.sample(&machine, nodes, 42) {
+            FaultOutcome::Completes => "completes",
+            FaultOutcome::Hangs => "HANGS (Fujitsu MPI, as in the paper)",
+            FaultOutcome::Deadlocks => "deadlocks",
+        };
+        println!(
+            "{nodes:5} | {:.4e} | {:.4e}s | {:9.2}% | {:10.1} | {outcome}",
+            r.cells_per_second,
+            r.step_time_s,
+            100.0 * r.parallel_efficiency,
+            watts / 1000.0,
+        );
+    }
+
+    println!("\nsame sweep in boost mode (only allowed at small node counts):");
+    for nodes in [1usize, 4] {
+        let w = Workload::rotating_star(5);
+        let normal = simulate_step(&machine, nodes, &w, &opts, &costs);
+        let mut boost_opts = opts;
+        boost_opts.boost = true;
+        let boost = simulate_step(&machine, nodes, &w, &boost_opts, &costs);
+        println!(
+            "{nodes:5} nodes: default {:.4e} cells/s, boost {:.4e} cells/s (+{:.1}%)",
+            normal.cells_per_second,
+            boost.cells_per_second,
+            100.0 * (boost.cells_per_second / normal.cells_per_second - 1.0)
+        );
+    }
+}

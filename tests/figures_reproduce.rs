@@ -1,0 +1,72 @@
+//! The headline integration test: every reproduced table and figure must
+//! exhibit the paper's qualitative claims (orderings, crossovers,
+//! saturation points).  This is the machine-checked version of
+//! EXPERIMENTS.md.
+
+#[test]
+fn every_figure_reproduces_its_papers_claims() {
+    let reports = bench::all_reports();
+    assert_eq!(reports.len(), 10, "9 tables/figures + fault companion");
+    let mut failures = Vec::new();
+    for r in &reports {
+        for c in &r.checks {
+            if !c.pass {
+                failures.push(format!("{}: {}", r.id, c.claim));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "paper claims not reproduced:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn figure_reports_have_data_and_distinct_series() {
+    for r in bench::all_reports() {
+        assert!(!r.points.is_empty(), "{} has no data", r.id);
+        assert!(!r.checks.is_empty(), "{} has no checks", r.id);
+        let labels = r.series_labels();
+        assert!(!labels.is_empty());
+        // Markdown renders without panicking and mentions the figure id.
+        assert!(r.to_markdown().contains(&r.id));
+        // JSON round-trips.
+        assert!(r.to_json().contains(&r.id));
+    }
+}
+
+#[test]
+fn figure6_series_cover_the_papers_node_ranges() {
+    let r = bench::figure6();
+    let level5_max = r
+        .points
+        .iter()
+        .filter(|p| p.series == "level 5")
+        .map(|p| p.x as usize)
+        .max()
+        .unwrap();
+    let level7_max = r
+        .points
+        .iter()
+        .filter(|p| p.series == "level 7")
+        .map(|p| p.x as usize)
+        .max()
+        .unwrap();
+    assert_eq!(level5_max, 256, "paper runs level 5 to 256 nodes");
+    assert_eq!(level7_max, 1024, "paper runs level 7 to 1024 nodes");
+}
+
+#[test]
+fn table2_covers_the_papers_grid() {
+    let r = bench::table2();
+    // The paper's Table II has entries for levels 5, 6 and 7.
+    for series in ["level 5", "level 6", "level 7"] {
+        assert!(
+            r.points.iter().any(|p| p.series == series),
+            "missing {series}"
+        );
+    }
+    // 1024-node entries exist (the paper's largest runs).
+    assert!(r.points.iter().any(|p| p.x as usize == 1024));
+}

@@ -1,0 +1,120 @@
+//! Cross-crate integration: full mini-simulations exercising the whole
+//! stack (SCF init → AMR grid over localities → ghost exchange → FMM
+//! gravity → RK3 hydro) and the conservation properties the paper builds
+//! Octo-Tiger around.
+
+use octo_repro::hpx::SimCluster;
+use octo_repro::octotiger::state::field;
+use octo_repro::octotiger::{ConservationLedger, Scenario, ScenarioKind, SimOptions, Simulation};
+
+#[test]
+fn rotating_star_with_gravity_stays_finite_and_bound() {
+    let cluster = SimCluster::new(2, 2);
+    let scenario = Scenario::build(ScenarioKind::RotatingStar, &cluster, 2, 0, 4);
+    let mut opts = SimOptions::default();
+    opts.omega = scenario.omega;
+    opts.gravity = true;
+    let mut sim = Simulation::new(scenario.grid, opts);
+    let (before, after, stats) = sim.run(&cluster, 3);
+    assert_eq!(stats.len(), 3);
+    // Everything finite.
+    for leaf in sim.grid.leaves() {
+        let g = sim.grid.grid(leaf);
+        let gg = g.read();
+        for f in 0..octo_repro::octotiger::NF {
+            assert!(
+                gg.field(f).iter().all(|v| v.is_finite()),
+                "non-finite value in field {f}"
+            );
+        }
+    }
+    // The star must not explode: gas energy may change but stays within
+    // an order of magnitude over 3 steps.
+    assert!(after.gas_energy < 10.0 * before.gas_energy);
+    assert!(after.gas_energy > 0.0);
+    cluster.shutdown();
+}
+
+#[test]
+fn mass_ledger_closes_with_outflow_tracking() {
+    let cluster = SimCluster::new(2, 2);
+    let scenario = Scenario::build(ScenarioKind::RotatingStar, &cluster, 2, 0, 4);
+    let mut opts = SimOptions::default();
+    opts.omega = scenario.omega;
+    opts.gravity = false;
+    let mut sim = Simulation::new(scenario.grid, opts);
+    let (before, after, _) = sim.run(&cluster, 3);
+    let closure = (after.mass + sim.mass_outflow - before.mass).abs() / before.mass;
+    assert!(
+        closure < 1e-12,
+        "mass + outflow must close to machine precision: {closure}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn component_tracers_track_total_mass() {
+    // frac1 + frac2 advect with rho: their sum should track the star mass.
+    let cluster = SimCluster::new(1, 2);
+    let scenario = Scenario::build(ScenarioKind::Dwd, &cluster, 2, 0, 4);
+    let mut opts = SimOptions::default();
+    opts.omega = scenario.omega;
+    opts.gravity = false;
+    let mut sim = Simulation::new(scenario.grid, opts);
+    let before = ConservationLedger::measure(&sim.grid);
+    sim.step(&cluster);
+    let after = ConservationLedger::measure(&sim.grid);
+    let before_frac = before.component_mass[0] + before.component_mass[1];
+    let after_frac = after.component_mass[0] + after.component_mass[1];
+    // Tracers are conserved like mass (up to the same outflow).
+    assert!(
+        ((after_frac - before_frac) / before_frac).abs() < 1e-6,
+        "tracer mass moved: {before_frac} -> {after_frac}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn angular_momentum_drift_is_bounded_with_octupole_fmm() {
+    let cluster = SimCluster::new(1, 2);
+    let scenario = Scenario::build(ScenarioKind::RotatingStar, &cluster, 2, 0, 4);
+    let mut opts = SimOptions::default();
+    opts.omega = scenario.omega;
+    opts.gravity = true;
+    opts.gravity_opts.use_octupole = true;
+    let mut sim = Simulation::new(scenario.grid, opts);
+    let before = ConservationLedger::measure(&sim.grid);
+    sim.step(&cluster);
+    sim.step(&cluster);
+    let after = ConservationLedger::measure(&sim.grid);
+    // Angular momentum scale: M * omega * R^2 ~ 1 * 0.79 * 0.04.
+    let scale = 0.03;
+    let drift = after.angular_momentum_drift(&before, scale);
+    assert!(drift < 0.2, "L_z drift too large: {drift}");
+    cluster.shutdown();
+}
+
+#[test]
+fn density_floor_is_respected_everywhere() {
+    let cluster = SimCluster::new(1, 2);
+    let scenario = Scenario::build(ScenarioKind::V1309, &cluster, 2, 0, 4);
+    let mut opts = SimOptions::default();
+    opts.omega = scenario.omega;
+    opts.gravity = true;
+    let mut sim = Simulation::new(scenario.grid, opts);
+    sim.step(&cluster);
+    for leaf in sim.grid.leaves() {
+        let g = sim.grid.grid(leaf);
+        let gg = g.read();
+        let n = gg.n();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let rho = gg.get_interior(field::RHO, i, j, k);
+                    assert!(rho.is_finite());
+                }
+            }
+        }
+    }
+    cluster.shutdown();
+}

