@@ -1,8 +1,8 @@
 //! Discrete-event engine throughput: the cluster simulator itself must be
 //! cheap enough to sweep 1024-node campaigns.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cluster::{simulate_step, KernelCosts, Machine, MachineId, RunOptions, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn step_simulation(c: &mut Criterion) {

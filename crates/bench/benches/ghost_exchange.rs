@@ -46,6 +46,37 @@ fn exchange_paths(c: &mut Criterion) {
             ));
         })
     });
+    // The futurized path: every link is its own future chain instead of a
+    // barrier.  With all sources ready up front this measures the pure
+    // wiring + execution overhead relative to the blob exchange above.
+    group.bench_function("pipelined_direct", |bench| {
+        bench.iter(|| {
+            let ready: std::collections::HashMap<_, _> = grid
+                .leaves()
+                .iter()
+                .map(|&leaf| (leaf, hpx_rt::make_ready_future(())))
+                .collect();
+            let exchange = grid.exchange_ghosts_pipelined(
+                &cluster,
+                GhostConfig {
+                    direct_local_access: true,
+                    notify_with_channels: false,
+                },
+                &ready,
+            );
+            for f in exchange.ghosts_filled.values() {
+                f.wait();
+            }
+            for f in exchange.outgoing_packed.values() {
+                f.wait();
+            }
+            black_box(
+                exchange
+                    .links_resolved
+                    .load(std::sync::atomic::Ordering::Relaxed),
+            );
+        })
+    });
     group.finish();
     cluster.shutdown();
 }

@@ -3,8 +3,9 @@
 //! the Figure 9 trade-off.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hpx_rt::Runtime;
+use hpx_rt::{Runtime, SimCluster};
 use kokkos_rs::{parallel_for, ChunkSpec, ExecSpace, RangePolicy};
+use octotiger::{Scenario, ScenarioKind, SimOptions, Simulation};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -70,5 +71,38 @@ fn kernel_splitting(c: &mut Criterion) {
     rt.shutdown();
 }
 
-criterion_group!(benches, spawn_throughput, future_chain, kernel_splitting);
+fn stepper_pipeline(c: &mut Criterion) {
+    // The tentpole switch end to end: barrier stepper vs futurized per-leaf
+    // pipeline on a 64-leaf rotating star across two localities.  One
+    // iteration is one full RK3 step, so
+    //   cells/s = 3 stages × 64 leaves × 4³ cells / iteration time.
+    let mut group = c.benchmark_group("scheduler/stepper_level2");
+    group.sample_size(10);
+    for pipeline in [false, true] {
+        let cluster = SimCluster::new(2, 2);
+        let scenario = Scenario::build(ScenarioKind::RotatingStar, &cluster, 2, 0, 4);
+        let mut opts = SimOptions::default();
+        opts.omega = scenario.omega;
+        opts.gravity = true;
+        opts.pipeline = pipeline;
+        let mut sim = Simulation::new(scenario.grid, opts);
+        let label = if pipeline { "pipelined" } else { "barrier" };
+        group.bench_function(BenchmarkId::new("mode", label), |bench| {
+            bench.iter(|| {
+                let stats = sim.step(&cluster);
+                black_box(stats.dt);
+            })
+        });
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    spawn_throughput,
+    future_chain,
+    kernel_splitting,
+    stepper_pipeline
+);
 criterion_main!(benches);

@@ -10,6 +10,10 @@ fn main() {
             failures += 1;
         }
     }
-    println!("== {} / {} reports fully pass ==", reports.len() - failures, reports.len());
+    println!(
+        "== {} / {} reports fully pass ==",
+        reports.len() - failures,
+        reports.len()
+    );
     std::process::exit(i32::from(failures > 0));
 }

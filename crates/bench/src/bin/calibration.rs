@@ -10,7 +10,10 @@ fn main() {
     let p2p = bench::measure_p2p_simd_speedup(4096, 2000);
     println!("hydro RHS kernel   W=8 vs W=1 speedup: {hydro:.2}x");
     println!("P2P monopole kernel W=8 vs W=1 speedup: {p2p:.2}x");
-    println!("model constant (KernelCosts::sve_speedup): {:.2}x", costs.sve_speedup);
+    println!(
+        "model constant (KernelCosts::sve_speedup): {:.2}x",
+        costs.sve_speedup
+    );
     println!("paper's reported band: 2x - 3x 'for various parts of the code'");
     println!();
     println!("flops/cell/step model: {:.0}", costs.flops_per_cell_step());

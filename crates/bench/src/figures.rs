@@ -5,8 +5,7 @@
 
 use crate::report::FigureReport;
 use cluster::{
-    pow2_range, sweep, KernelCosts, Machine, MachineId, PowerModel, RunOptions,
-    Workload,
+    pow2_range, sweep, KernelCosts, Machine, MachineId, PowerModel, RunOptions, Workload,
 };
 
 /// Paper defaults for the Fugaku production runs: SVE on, communication
@@ -81,7 +80,10 @@ pub fn figure4() -> FigureReport {
     let (_, summit_min, _) = &per_machine[0];
     let (_, daint_min, _) = &per_machine[1];
     let (_, fugaku_min, _) = &per_machine[2];
-    r.check("Summit fits the scenario on one node (512 GB)", *summit_min == 1);
+    r.check(
+        "Summit fits the scenario on one node (512 GB)",
+        *summit_min == 1,
+    );
     r.check("Piz Daint starts at four nodes (64 GB)", *daint_min == 4);
     r.check("Fugaku starts at sixteen nodes (28 GB)", *fugaku_min == 16);
     // Compare at a node count all machines share.
@@ -95,7 +97,10 @@ pub fn figure4() -> FigureReport {
             .expect("64 nodes present in every sweep")
     };
     let (summit, daint, fugaku) = (rate(0), rate(1), rate(2));
-    r.check("Summit has the best performance (6 V100 per node)", summit > daint && summit > fugaku);
+    r.check(
+        "Summit has the best performance (6 V100 per node)",
+        summit > daint && summit > fugaku,
+    );
     r.check("Piz Daint is second", daint > fugaku);
     r.check(
         "Fugaku is close to Piz Daint (within ~4x, unlike the GPU-heavy Summit)",
@@ -272,7 +277,12 @@ pub fn figure7() -> FigureReport {
         r.point("SIMD ON (SVE)", *n as f64, res.cells_per_second, "cells/s");
     }
     for (n, res) in &off {
-        r.point("SIMD OFF (scalar)", *n as f64, res.cells_per_second, "cells/s");
+        r.point(
+            "SIMD OFF (scalar)",
+            *n as f64,
+            res.cells_per_second,
+            "cells/s",
+        );
     }
     let ratio_at = |i: usize| on[i].1.cells_per_second / off[i].1.cells_per_second;
     r.check(
@@ -293,10 +303,7 @@ pub fn figure7() -> FigureReport {
 /// Figure 8: the Section VII-B communication optimization on/off
 /// (rotating star level 5, Ookami).
 pub fn figure8() -> FigureReport {
-    let mut r = FigureReport::new(
-        "fig8",
-        "Influence of the local-communication optimization",
-    );
+    let mut r = FigureReport::new("fig8", "Influence of the local-communication optimization");
     let m = Machine::get(MachineId::Ookami);
     let costs = KernelCosts::default();
     let w = Workload::rotating_star(5);
@@ -307,10 +314,20 @@ pub fn figure8() -> FigureReport {
     opts.comm_opt = false;
     let off = sweep(&m, &w, &counts, &opts, &costs);
     for (n, res) in &on {
-        r.point("optimization ON", *n as f64, res.cells_per_second, "cells/s");
+        r.point(
+            "optimization ON",
+            *n as f64,
+            res.cells_per_second,
+            "cells/s",
+        );
     }
     for (n, res) in &off {
-        r.point("optimization OFF", *n as f64, res.cells_per_second, "cells/s");
+        r.point(
+            "optimization OFF",
+            *n as f64,
+            res.cells_per_second,
+            "cells/s",
+        );
     }
     let gain = |i: usize| on[i].1.cells_per_second / off[i].1.cells_per_second;
     r.check("the optimization helps on 1, 2 and 4 nodes", {
@@ -343,10 +360,20 @@ pub fn figure9() -> FigureReport {
     opts.multipole_tasks = 16;
     let on = sweep(&m, &w, &counts, &opts, &costs);
     for (n, res) in &off {
-        r.point("OFF (1 task/kernel)", *n as f64, res.cells_per_second, "cells/s");
+        r.point(
+            "OFF (1 task/kernel)",
+            *n as f64,
+            res.cells_per_second,
+            "cells/s",
+        );
     }
     for (n, res) in &on {
-        r.point("ON (16 tasks/kernel)", *n as f64, res.cells_per_second, "cells/s");
+        r.point(
+            "ON (16 tasks/kernel)",
+            *n as f64,
+            res.cells_per_second,
+            "cells/s",
+        );
     }
     let last = counts.len() - 1;
     r.check(
@@ -363,7 +390,10 @@ pub fn figure9() -> FigureReport {
 /// Figure 10: Ookami (fully optimized, ± SVE) vs Fugaku (SVE, older
 /// optimization state).
 pub fn figure10() -> FigureReport {
-    let mut r = FigureReport::new("fig10", "Ookami vs Supercomputer Fugaku (rotating star level 5)");
+    let mut r = FigureReport::new(
+        "fig10",
+        "Ookami vs Supercomputer Fugaku (rotating star level 5)",
+    );
     let w = Workload::rotating_star(5);
     let counts = pow2_range(1, 128);
 
@@ -390,7 +420,12 @@ pub fn figure10() -> FigureReport {
         r.point("Ookami (SVE)", *n as f64, res.cells_per_second, "cells/s");
     }
     for (n, res) in &ookami_scalar {
-        r.point("Ookami (no SVE)", *n as f64, res.cells_per_second, "cells/s");
+        r.point(
+            "Ookami (no SVE)",
+            *n as f64,
+            res.cells_per_second,
+            "cells/s",
+        );
     }
     for (n, res) in &fugaku_sve {
         r.point("Fugaku (SVE)", *n as f64, res.cells_per_second, "cells/s");

@@ -15,8 +15,8 @@ pub mod figures;
 pub mod report;
 
 pub use figures::{
-    all_reports, fault_companion, figure10, figure3, figure4, figure5, figure6, figure7,
-    figure8, figure9, table2,
+    all_reports, fault_companion, figure10, figure3, figure4, figure5, figure6, figure7, figure8,
+    figure9, table2,
 };
 pub use report::{Check, FigureReport};
 
@@ -74,7 +74,10 @@ pub fn measure_p2p_simd_speedup(points: usize, reps: usize) -> f64 {
     let mut pts = PointMasses::default();
     for i in 0..points {
         let f = i as f64;
-        pts.push([f.sin(), (f * 0.7).cos(), f * 1e-3], 1.0 + 0.1 * (f * 0.3).sin());
+        pts.push(
+            [f.sin(), (f * 0.7).cos(), f * 1e-3],
+            1.0 + 0.1 * (f * 0.3).sin(),
+        );
     }
     let time_mode = |mode: VectorMode| {
         let mut acc = 0.0;

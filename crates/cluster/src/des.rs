@@ -127,9 +127,8 @@ fn build_phases(
             // most `kernels × tasks_per_kernel` cores (Section VII-C).
             let parallelism = (per_node.ceil() * opts.multipole_tasks as f64).max(1.0);
             let used_cores = cores.min(parallelism);
-            let spawn = per_node.ceil() * opts.multipole_tasks as f64
-                * costs.task_spawn_overhead_s
-                / cores;
+            let spawn =
+                per_node.ceil() * opts.multipole_tasks as f64 * costs.task_spawn_overhead_s / cores;
             work / (core_rate * used_cores) + spawn + costs.tree_level_sync_s
         };
         phases.push(Phase {
@@ -194,11 +193,11 @@ fn node_grid(nodes: usize) -> [usize; 3] {
     let mut best_surface = usize::MAX;
     let mut x = 1;
     while x * x * x <= nodes {
-        if nodes % x == 0 {
+        if nodes.is_multiple_of(x) {
             let rest = nodes / x;
             let mut y = x;
             while y * y <= rest {
-                if rest % y == 0 {
+                if rest.is_multiple_of(y) {
                     let z = rest / y;
                     let surface = x * y + y * z + x * z;
                     if surface < best_surface {
@@ -221,12 +220,7 @@ fn neighbors(idx: usize, grid: [usize; 3]) -> Vec<usize> {
     let z = idx / (nx * ny);
     let mut out = Vec::with_capacity(6);
     let mut push = |x: isize, y: isize, z: isize| {
-        if x >= 0
-            && y >= 0
-            && z >= 0
-            && (x as usize) < nx
-            && (y as usize) < ny
-            && (z as usize) < nz
+        if x >= 0 && y >= 0 && z >= 0 && (x as usize) < nx && (y as usize) < ny && (z as usize) < nz
         {
             out.push(x as usize + nx * (y as usize + ny * z as usize));
         }
@@ -346,8 +340,15 @@ pub fn simulate_step(
                 debug_assert_eq!(st.phase, phase);
                 st.work_done = true;
                 advance(
-                    node, time, &mut states, &phases, &nbrs, &mut queue, &dur,
-                    &mut finished_nodes, &mut step_time,
+                    node,
+                    time,
+                    &mut states,
+                    &phases,
+                    &nbrs,
+                    &mut queue,
+                    &dur,
+                    &mut finished_nodes,
+                    &mut step_time,
                 );
             }
             EventKind::MsgArrive { node, phase } => {
@@ -522,7 +523,11 @@ mod tests {
         let r16 = rate(16);
         let r64 = rate(64);
         let r256 = rate(256);
-        assert!(r16 > 6.0 * r1, "16 nodes should speed up well: {}", r16 / r1);
+        assert!(
+            r16 > 6.0 * r1,
+            "16 nodes should speed up well: {}",
+            r16 / r1
+        );
         assert!(r64 > r16, "still scaling at 64");
         // Saturation: going 64 -> 256 gains much less than 4x.
         assert!(r256 < 2.5 * r64, "should saturate: {}", r256 / r64);
@@ -594,13 +599,7 @@ mod tests {
     fn gpu_machine_uses_gpu_rate() {
         let (opts, costs) = defaults();
         let w = Workload::dwd();
-        let gpu = simulate_step(
-            &Machine::get(MachineId::Perlmutter),
-            4,
-            &w,
-            &opts,
-            &costs,
-        );
+        let gpu = simulate_step(&Machine::get(MachineId::Perlmutter), 4, &w, &opts, &costs);
         let cpu = simulate_step(
             &Machine::get(MachineId::PerlmutterCpuOnly),
             4,

@@ -57,13 +57,7 @@ impl FaultModel {
                     (ramp * self.fugaku_hang_ceiling).min(self.fugaku_hang_ceiling)
                 }
             }
-            MachineId::Ookami => {
-                if nodes > 1 {
-                    self.ookami_deadlock_p
-                } else {
-                    0.0
-                }
-            }
+            MachineId::Ookami if nodes > 1 => self.ookami_deadlock_p,
             _ => 0.0,
         }
     }
@@ -127,7 +121,11 @@ mod tests {
     #[test]
     fn other_machines_never_fault() {
         let f = FaultModel::default();
-        for id in [MachineId::Summit, MachineId::PizDaint, MachineId::Perlmutter] {
+        for id in [
+            MachineId::Summit,
+            MachineId::PizDaint,
+            MachineId::Perlmutter,
+        ] {
             let m = Machine::get(id);
             assert_eq!(f.failure_probability(&m, 4096), 0.0);
         }

@@ -238,14 +238,12 @@ mod tests {
         // Figure 3 ran the pre-SVE Octo-Tiger: scalar A64FX code barely
         // benefits from the 2.2 GHz boost.
         let m = Machine::get(MachineId::Fugaku);
-        let scalar_gain =
-            m.cpu_node_gflops(48, 1.0, true) / m.cpu_node_gflops(48, 1.0, false);
+        let scalar_gain = m.cpu_node_gflops(48, 1.0, true) / m.cpu_node_gflops(48, 1.0, false);
         assert!(
             scalar_gain > 1.0 && scalar_gain < 1.08,
             "scalar boost gain should be marginal: {scalar_gain}"
         );
-        let vector_gain =
-            m.cpu_node_gflops(48, 2.5, true) / m.cpu_node_gflops(48, 2.5, false);
+        let vector_gain = m.cpu_node_gflops(48, 2.5, true) / m.cpu_node_gflops(48, 2.5, false);
         assert!(vector_gain > scalar_gain, "vector code clock-scales");
     }
 
@@ -256,13 +254,18 @@ mod tests {
         let summit = Machine::get(MachineId::Summit).gpu_node_gflops(sub);
         let daint = Machine::get(MachineId::PizDaint).gpu_node_gflops(sub);
         let perl_gpu = Machine::get(MachineId::Perlmutter).gpu_node_gflops(sub);
-        let perl_cpu =
-            Machine::get(MachineId::PerlmutterCpuOnly).cpu_node_gflops(64, 1.0, false);
+        let perl_cpu = Machine::get(MachineId::PerlmutterCpuOnly).cpu_node_gflops(64, 1.0, false);
         let fugaku = Machine::get(MachineId::Fugaku).cpu_node_gflops(48, 2.5, false);
         assert!(summit > daint, "Summit per node beats Piz Daint");
         assert!(perl_gpu > 25.0 * perl_cpu, "GPU >> CPU on Perlmutter");
-        assert!(fugaku < perl_cpu, "Fugaku slightly below Perlmutter CPU-only");
-        assert!(fugaku > 0.03 * daint, "Fugaku within 1.5 orders of Piz Daint");
+        assert!(
+            fugaku < perl_cpu,
+            "Fugaku slightly below Perlmutter CPU-only"
+        );
+        assert!(
+            fugaku > 0.03 * daint,
+            "Fugaku within 1.5 orders of Piz Daint"
+        );
     }
 
     #[test]
@@ -281,8 +284,14 @@ mod tests {
         // nodes, 16 Fugaku nodes (with power-of-two rounding).
         let footprint = crate::workload::V1309_FOOTPRINT_GB;
         assert_eq!(Machine::get(MachineId::Summit).min_nodes_for(footprint), 1);
-        assert_eq!(Machine::get(MachineId::PizDaint).min_nodes_for(footprint), 4);
+        assert_eq!(
+            Machine::get(MachineId::PizDaint).min_nodes_for(footprint),
+            4
+        );
         let fugaku_min = Machine::get(MachineId::Fugaku).min_nodes_for(footprint);
-        assert!(fugaku_min > 8 && fugaku_min <= 16, "fugaku min {fugaku_min}");
+        assert!(
+            fugaku_min > 8 && fugaku_min <= 16,
+            "fugaku min {fugaku_min}"
+        );
     }
 }

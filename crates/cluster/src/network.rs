@@ -88,8 +88,7 @@ impl Interconnect {
         if messages == 0 {
             return 0.0;
         }
-        let overhead =
-            self.per_message_overhead_s * messages as f64 / overlap_cores.max(1) as f64;
+        let overhead = self.per_message_overhead_s * messages as f64 / overlap_cores.max(1) as f64;
         self.latency_s + overhead + bytes as f64 / self.bandwidth_bps
     }
 }

@@ -50,8 +50,7 @@ pub fn table2_comparisons() -> Vec<Table2Comparison> {
         .iter()
         .map(|&(level, nodes, paper_watts)| {
             let w = Workload::rotating_star(level);
-            let model_watts =
-                crate::campaign::power_for(&m, nodes, &w, &opts, &costs, &power);
+            let model_watts = crate::campaign::power_for(&m, nodes, &w, &opts, &costs, &power);
             Table2Comparison {
                 level,
                 nodes,
@@ -145,7 +144,9 @@ mod tests {
     #[test]
     fn claims_cover_all_figures() {
         let ids: Vec<&str> = PAPER_CLAIMS.iter().map(|(id, _)| *id).collect();
-        for fig in ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"] {
+        for fig in [
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        ] {
             assert!(ids.contains(&fig), "missing claim for {fig}");
         }
     }

@@ -46,13 +46,7 @@ impl PowerModel {
     }
 
     /// Average power of the whole allocation (Table II's quantity).
-    pub fn total_watts(
-        &self,
-        machine: &Machine,
-        nodes: usize,
-        utilization: f64,
-        sve: bool,
-    ) -> f64 {
+    pub fn total_watts(&self, machine: &Machine, nodes: usize, utilization: f64, sve: bool) -> f64 {
         nodes as f64 * self.node_watts(machine, utilization, sve)
     }
 }

@@ -41,10 +41,8 @@ impl ConservationLedger {
             for i in 0..n {
                 for j in 0..n {
                     for k in 0..n {
-                        let x = (corner[0] + (i as f64 + 0.5) * size / n as f64 - 0.5)
-                            * BOX_SIZE;
-                        let y = (corner[1] + (j as f64 + 0.5) * size / n as f64 - 0.5)
-                            * BOX_SIZE;
+                        let x = (corner[0] + (i as f64 + 0.5) * size / n as f64 - 0.5) * BOX_SIZE;
+                        let y = (corner[1] + (j as f64 + 0.5) * size / n as f64 - 0.5) * BOX_SIZE;
                         let rho = g.get_interior(field::RHO, i, j, k);
                         let sx = g.get_interior(field::SX, i, j, k);
                         let sy = g.get_interior(field::SY, i, j, k);
@@ -148,10 +146,8 @@ mod tests {
             for i in 0..n {
                 for j in 0..n {
                     for k in 0..n {
-                        let x = (corner[0] + (i as f64 + 0.5) * size / n as f64 - 0.5)
-                            * BOX_SIZE;
-                        let y = (corner[1] + (j as f64 + 0.5) * size / n as f64 - 0.5)
-                            * BOX_SIZE;
+                        let x = (corner[0] + (i as f64 + 0.5) * size / n as f64 - 0.5) * BOX_SIZE;
+                        let y = (corner[1] + (j as f64 + 0.5) * size / n as f64 - 0.5) * BOX_SIZE;
                         // v = ω ẑ × r.
                         g.set_interior(field::RHO, i, j, k, 1.0);
                         g.set_interior(field::SX, i, j, k, -y);

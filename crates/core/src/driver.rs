@@ -12,8 +12,8 @@
 //! second** (Figures 4–10 all plot cells/s or sub-grids/s).
 
 use crate::diag::ConservationLedger;
-use crate::gravity::{GravityOptions, GravitySolver, LeafField, LeafSources};
 use crate::gravity::direct::PointMasses;
+use crate::gravity::{GravityOptions, GravitySolver, LeafField, LeafSources};
 use crate::hydro::{self, HydroOptions, SourceInput};
 use crate::state::{field, NF};
 use crate::units::BOX_SIZE;
@@ -40,6 +40,13 @@ pub struct SimOptions {
     pub omega: f64,
     /// CFL number.
     pub cfl: f64,
+    /// Futurized per-leaf stepper: instead of a barrier between ghost
+    /// exchange and RK stage, every leaf's stage kernel chains on the
+    /// per-neighbor ghost futures it actually reads, so interior leaves of
+    /// stage N+1 run while boundary exchanges of stage N are in flight and
+    /// the gravity FMM overlaps the first stage's ghost fill.  Bit-identical
+    /// physics to the barrier path (see `tests/switch_equivalence.rs`).
+    pub pipeline: bool,
 }
 
 impl Default for SimOptions {
@@ -51,6 +58,7 @@ impl Default for SimOptions {
             gravity_opts: GravityOptions::default(),
             omega: 0.0,
             cfl: 0.4,
+            pipeline: false,
         }
     }
 }
@@ -74,6 +82,16 @@ pub struct StepStats {
     pub direct_ghost_links: u64,
     /// Mass that left through the outflow boundary during this step.
     pub mass_outflow: f64,
+    /// (leaf, direction) ghost links this step across all RK stages.
+    pub ghost_links_total: u64,
+    /// Ghost links whose data actually arrived (equals the total when the
+    /// step drained cleanly; the pipelined stepper asserts this).
+    pub ghost_links_resolved: u64,
+    /// Communication/compute overlap: leaf stage kernels that started while
+    /// their stage's ghost exchange still had unresolved links elsewhere.
+    /// Always 0 for the barrier stepper, which fully drains each exchange
+    /// before launching any kernel.
+    pub overlapped_tasks: u64,
     /// FMM interaction counts, if gravity ran.
     pub gravity_stats: Option<crate::gravity::solver::SolveStats>,
 }
@@ -188,6 +206,16 @@ impl Simulation {
 
     /// Advance one full RK3 step; returns the step telemetry.
     pub fn step(&mut self, cluster: &SimCluster) -> StepStats {
+        if self.opts.pipeline {
+            self.step_pipelined(cluster)
+        } else {
+            self.step_barrier(cluster)
+        }
+    }
+
+    /// The classic stepper: a full ghost-exchange barrier before each RK
+    /// stage.
+    fn step_barrier(&mut self, cluster: &SimCluster) -> StepStats {
         let t0 = Instant::now();
         let leaves = self.grid.leaves();
         let n = self.grid.n();
@@ -204,8 +232,7 @@ impl Simulation {
                 ..self.opts.gravity_opts
             });
             let space = ExecSpace::hpx(cluster.locality(0).runtime().clone());
-            let (fields, stats) =
-                self.grid.with_tree(|t| solver.solve(t, &sources, &space));
+            let (fields, stats) = self.grid.with_tree(|t| solver.solve(t, &sources, &space));
             kernel_launches += stats.multipole_kernel_launches as u64 + leaves.len() as u64;
             self.last_gravity_stats = Some(stats);
             Some(Arc::new(fields))
@@ -246,9 +273,8 @@ impl Simulation {
                         octree::Dir::new(0, 0, -1),
                         octree::Dir::new(0, 0, 1),
                     ];
-                    let mask = dirs.map(|d| {
-                        matches!(t.neighbor_of(l, d), octree::Neighbor::DomainBoundary)
-                    });
+                    let mask = dirs
+                        .map(|d| matches!(t.neighbor_of(l, d), octree::Neighbor::DomainBoundary));
                     (l, mask)
                 })
                 .collect()
@@ -257,8 +283,7 @@ impl Simulation {
         for stage in 0..3 {
             {
                 let _t = self.apex.timer("comm:ghost_exchange");
-                direct_ghost_links +=
-                    self.grid.exchange_ghosts(cluster, self.opts.ghost) as u64;
+                direct_ghost_links += self.grid.exchange_ghosts(cluster, self.opts.ghost) as u64;
             }
             let _stage_timer = self.apex.timer("hydro:rk_stage");
             let grid = self.grid.clone();
@@ -288,8 +313,7 @@ impl Simulation {
                     let g = handle.read();
                     let mut rhs = hydro::rhs_like(&g);
                     let leaf_gravity = gf.as_ref().map(|m| &m[&leaf]);
-                    let gvecs = leaf_gravity
-                        .map(|f| [&f.gx[..], &f.gy[..], &f.gz[..]]);
+                    let gvecs = leaf_gravity.map(|f| [&f.gx[..], &f.gy[..], &f.gz[..]]);
                     let src = SourceInput {
                         gravity: gvecs,
                         omega: opts.omega,
@@ -322,6 +346,8 @@ impl Simulation {
         self.step_count += 1;
         let elapsed = t0.elapsed().as_secs_f64();
         let cells = 3 * n3 * leaves.len() as u64;
+        // Each of the three exchanges drains fully before its stage runs.
+        let links_total = 3 * self.grid.total_ghost_links() as u64;
         StepStats {
             dt,
             time: self.time,
@@ -331,7 +357,272 @@ impl Simulation {
             kernel_launches,
             direct_ghost_links,
             mass_outflow: step_outflow,
+            ghost_links_total: links_total,
+            ghost_links_resolved: links_total,
+            overlapped_tasks: 0,
             gravity_stats: self.last_gravity_stats,
+        }
+    }
+
+    /// The futurized stepper: one dependency graph for the whole step.
+    ///
+    /// Per RK stage, [`DistGrid::exchange_ghosts_pipelined`] turns every
+    /// (leaf, direction) ghost link into a future chain gated on the leaves
+    /// it reads, and each leaf's stage kernel becomes a continuation on
+    /// - all 26 of its incoming ghost futures (its stencil inputs),
+    /// - its outgoing pack futures (its interior may not be overwritten
+    ///   while a neighbour is still packing from it), and
+    /// - at stage 0, the global Δt reduction and the gravity solve, both of
+    ///   which run as futures overlapping the first stage's ghost fill.
+    ///
+    /// All three stage graphs are built eagerly up front; the only blocking
+    /// point is the final join on the stage-2 update futures.  Physics is
+    /// bit-identical to [`Simulation::step_barrier`]: packs read exactly the
+    /// interiors the barrier path reads (stage-consistent via the gates),
+    /// unpack regions of the 26 directions are disjoint, and the Δt
+    /// reduction is associative-commutative (min/max), so no result depends
+    /// on completion order.
+    fn step_pipelined(&mut self, cluster: &SimCluster) -> StepStats {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let t0 = Instant::now();
+        let _step_timer = self.apex.timer("step:pipelined");
+        let leaves = self.grid.leaves();
+        let n = self.grid.n();
+        let n3 = (n * n * n) as u64;
+        let mut kernel_launches = 0u64;
+        let rt0 = cluster.locality(0).runtime().clone();
+
+        // ---- Gravity as a future (overlaps the stage-0 ghost fill). -----
+        // Sources are gathered synchronously from uⁿ; nothing writes until
+        // the stage-0 gates open, and those include this future's ticket.
+        type GravityResult = (
+            Arc<HashMap<NodeId, LeafField>>,
+            crate::gravity::solver::SolveStats,
+        );
+        let gravity_fut: Option<Future<GravityResult>> = if self.opts.gravity {
+            let sources = self.leaf_sources();
+            let solver = GravitySolver::new(GravityOptions {
+                vector_mode: self.opts.vector_mode,
+                ..self.opts.gravity_opts
+            });
+            let space = ExecSpace::hpx(rt0.clone());
+            let grid = self.grid.clone();
+            Some(rt0.async_call(move || {
+                let (fields, stats) = grid.with_tree(|t| solver.solve(t, &sources, &space));
+                (Arc::new(fields), stats)
+            }))
+        } else {
+            None
+        };
+
+        // ---- Save u⁰ (synchronously: reads race only with other reads). --
+        let u0: Arc<HashMap<NodeId, octree::SubGrid>> = Arc::new(
+            leaves
+                .iter()
+                .map(|&l| (l, self.grid.grid(l).read().clone()))
+                .collect(),
+        );
+
+        // ---- Global Δt as an asynchronous Kokkos reduction. -------------
+        // min/max are associative and commutative, so the chunked reduction
+        // gives bit-identical Δt to the sequential fold in `compute_dt`.
+        let dt_fut: Future<f64> = {
+            let hopts = HydroOptions {
+                vector_mode: self.opts.vector_mode,
+                cfl: self.opts.cfl,
+            };
+            let cfl = self.opts.cfl;
+            let handles: Vec<_> = leaves
+                .iter()
+                .map(|&l| {
+                    let (_, size) = l.cube();
+                    (size * BOX_SIZE / n as f64, self.grid.grid(l))
+                })
+                .collect();
+            let space = ExecSpace::hpx(rt0.clone());
+            kokkos_rs::launch_reduce_async(
+                &rt0,
+                space,
+                kokkos_rs::RangePolicy::new(0, handles.len()),
+                (f64::INFINITY, 1e-30f64),
+                move |i| {
+                    let (h, handle) = &handles[i];
+                    (*h, hydro::max_signal_speed(&handle.read(), &hopts))
+                },
+                |a, b| (a.0.min(b.0), a.1.max(b.1)),
+            )
+            .then(&rt0, move |(h_min, max_speed)| cfl * h_min / max_speed)
+        };
+        kernel_launches += 1; // the Δt reduction is a real kernel here
+        let dt_gate = dt_fut.ticket();
+        let gravity_gate: Option<Future<()>> = gravity_fut.as_ref().map(|f| f.ticket());
+
+        let stage_weight = [1.0 / 6.0, 1.0 / 6.0, 2.0 / 3.0];
+        let boundary_masks: Arc<HashMap<NodeId, [bool; 6]>> = Arc::new(self.grid.with_tree(|t| {
+            leaves
+                .iter()
+                .map(|&l| {
+                    let dirs = [
+                        octree::Dir::new(-1, 0, 0),
+                        octree::Dir::new(1, 0, 0),
+                        octree::Dir::new(0, -1, 0),
+                        octree::Dir::new(0, 1, 0),
+                        octree::Dir::new(0, 0, -1),
+                        octree::Dir::new(0, 0, 1),
+                    ];
+                    let mask = dirs
+                        .map(|d| matches!(t.neighbor_of(l, d), octree::Neighbor::DomainBoundary));
+                    (l, mask)
+                })
+                .collect()
+        }));
+
+        // ---- Build all three stage graphs eagerly. ----------------------
+        let overlapped = Arc::new(AtomicU64::new(0));
+        let stage_outflows: [Arc<parking_lot::Mutex<f64>>; 3] = Default::default();
+        let mut stage_links: Vec<(Arc<std::sync::atomic::AtomicUsize>, usize)> = Vec::new();
+        let mut links_total = 0u64;
+        let mut direct_ghost_links = 0u64;
+        let mut ready: HashMap<NodeId, Future<()>> = leaves
+            .iter()
+            .map(|&l| (l, hpx_rt::make_ready_future(())))
+            .collect();
+        for stage in 0..3 {
+            let ex = self
+                .grid
+                .exchange_ghosts_pipelined(cluster, self.opts.ghost, &ready);
+            links_total += ex.total_links as u64;
+            direct_ghost_links += ex.direct_links as u64;
+            let mut next: HashMap<NodeId, Future<()>> = HashMap::with_capacity(leaves.len());
+            for &leaf in &leaves {
+                let mut parts: Vec<Future<()>> = vec![
+                    ex.ghosts_filled[&leaf].clone(),
+                    ex.outgoing_packed[&leaf].clone(),
+                ];
+                if stage == 0 {
+                    parts.push(dt_gate.clone());
+                    if let Some(g) = &gravity_gate {
+                        parts.push(g.clone());
+                    }
+                }
+                let rt = cluster.locality(self.grid.owner(leaf).0).runtime().clone();
+                let gate = hpx_rt::when_all_of(&rt, &parts);
+                let grid = self.grid.clone();
+                let opts = self.opts;
+                let gf = gravity_fut.clone();
+                let u0 = u0.clone();
+                let masks = boundary_masks.clone();
+                let stage_outflow = stage_outflows[stage].clone();
+                let dt_fut = dt_fut.clone();
+                let resolved = ex.links_resolved.clone();
+                let total = ex.total_links;
+                let overlapped = overlapped.clone();
+                let update = gate.then(&rt, move |()| {
+                    // The gate transitively includes the Δt/gravity futures,
+                    // so these `get`s never block.
+                    if resolved.load(Ordering::Relaxed) < total {
+                        overlapped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let dt = dt_fut.get();
+                    let handle = grid.grid(leaf);
+                    let (corner, size) = leaf.cube();
+                    let nn = grid.n();
+                    let h = size * BOX_SIZE / nn as f64;
+                    let origin = [
+                        (corner[0] + 0.5 * size / nn as f64 - 0.5) * BOX_SIZE,
+                        (corner[1] + 0.5 * size / nn as f64 - 0.5) * BOX_SIZE,
+                        (corner[2] + 0.5 * size / nn as f64 - 0.5) * BOX_SIZE,
+                    ];
+                    let hopts = HydroOptions {
+                        vector_mode: opts.vector_mode,
+                        cfl: opts.cfl,
+                    };
+                    let (mut rhs, u_cur) = {
+                        let g = handle.read();
+                        let mut rhs = hydro::rhs_like(&g);
+                        let gfields = gf.as_ref().map(|f| f.get().0);
+                        let leaf_gravity = gfields.as_ref().map(|m| &m[&leaf]);
+                        let gvecs = leaf_gravity.map(|f| [&f.gx[..], &f.gy[..], &f.gz[..]]);
+                        let src = SourceInput {
+                            gravity: gvecs,
+                            omega: opts.omega,
+                            origin,
+                            h,
+                            boundary_faces: masks[&leaf],
+                        };
+                        let info = hydro::compute_rhs(&g, &mut rhs, &src, &hopts);
+                        *stage_outflow.lock() += info.boundary_mass_outflow_rate;
+                        (rhs, g.clone())
+                    };
+                    zero_ghost_fields(&mut rhs);
+                    let base = &u0[&leaf];
+                    let mut g = handle.write();
+                    match stage {
+                        0 => hydro::rk3::stage_euler(&u_cur, &rhs, dt, &mut g, opts.vector_mode),
+                        1 => {
+                            hydro::rk3::stage_two(base, &u_cur, &rhs, dt, &mut g, opts.vector_mode)
+                        }
+                        _ => hydro::rk3::stage_three(
+                            base,
+                            &u_cur,
+                            &rhs,
+                            dt,
+                            &mut g,
+                            opts.vector_mode,
+                        ),
+                    }
+                });
+                next.insert(leaf, update);
+            }
+            stage_links.push((ex.links_resolved, ex.total_links));
+            kernel_launches += 2 * leaves.len() as u64; // RHS + combine
+            ready = next;
+        }
+
+        // ---- The single blocking point: join the stage-2 updates. -------
+        for f in ready.values() {
+            f.wait();
+        }
+
+        let ghost_links_resolved: u64 = stage_links
+            .iter()
+            .map(|(c, _)| c.load(Ordering::SeqCst) as u64)
+            .sum();
+        debug_assert_eq!(
+            ghost_links_resolved, links_total,
+            "pipelined step finished with undrained ghost links"
+        );
+
+        let dt = dt_fut.get();
+        let gravity_stats = gravity_fut.as_ref().map(|f| f.get().1);
+        self.last_gravity_stats = gravity_stats;
+        if let Some(stats) = gravity_stats {
+            kernel_launches += stats.multipole_kernel_launches as u64 + leaves.len() as u64;
+        }
+        let mut step_outflow = 0.0;
+        for s in 0..3 {
+            step_outflow += stage_weight[s] * dt * *stage_outflows[s].lock();
+        }
+        self.mass_outflow += step_outflow;
+
+        self.time += dt;
+        self.step_count += 1;
+        let elapsed = t0.elapsed().as_secs_f64();
+        let cells = 3 * n3 * leaves.len() as u64;
+        StepStats {
+            dt,
+            time: self.time,
+            cells_processed: cells,
+            elapsed_seconds: elapsed,
+            cells_per_second: cells as f64 / elapsed.max(1e-12),
+            kernel_launches,
+            direct_ghost_links,
+            mass_outflow: step_outflow,
+            ghost_links_total: links_total,
+            ghost_links_resolved,
+            overlapped_tasks: overlapped.load(Ordering::SeqCst),
+            gravity_stats,
         }
     }
 
@@ -549,7 +840,8 @@ mod tests {
         let refined = sim.regrid(3, 1.0);
         assert!(refined > 0, "the star should trigger refinement");
         assert!(sim.grid.leaves().len() > leaves_before);
-        sim.grid.with_tree(|t| t.check_invariants().expect("balanced"));
+        sim.grid
+            .with_tree(|t| t.check_invariants().expect("balanced"));
         let after = crate::diag::ConservationLedger::measure(&sim.grid);
         assert!(
             after.mass_drift(&before) < 1e-12,
@@ -560,6 +852,41 @@ mod tests {
         let s = sim.step(&cluster);
         assert!(s.dt > 0.0);
         cluster.shutdown();
+    }
+
+    #[test]
+    fn pipelined_step_matches_barrier_bit_for_bit() {
+        // The tentpole switch must be performance-only, like the others —
+        // and with gravity on, so the FMM future overlaps the stage-0 fill.
+        let cluster_a = SimCluster::new(2, 2);
+        let cluster_b = SimCluster::new(2, 2);
+        let mut sim_a = small_sim(&cluster_a, true);
+        let mut sim_b = small_sim(&cluster_b, true);
+        sim_b.opts.pipeline = true;
+        let sa = sim_a.step(&cluster_a);
+        let sb = sim_b.step(&cluster_b);
+        assert_eq!(sa.dt.to_bits(), sb.dt.to_bits(), "Δt must be bit-identical");
+        // Outflow is accumulated leaf-by-leaf in task-completion order in
+        // both steppers, so it is only reproducible to rounding.
+        let outflow_diff = (sa.mass_outflow - sb.mass_outflow).abs();
+        assert!(outflow_diff <= 1e-12 * (1.0 + sa.mass_outflow.abs()));
+        for leaf in sim_a.grid.leaves() {
+            let ga = sim_a.grid.grid(leaf);
+            let gb = sim_b.grid.grid(leaf);
+            let (ga, gb) = (ga.read(), gb.read());
+            for f in 0..NF {
+                assert_eq!(ga.field(f), gb.field(f), "field {f} differs at {leaf}");
+            }
+        }
+        // Telemetry contract: the barrier path never overlaps; the
+        // pipelined path drains every link and counts the same link set.
+        assert_eq!(sa.overlapped_tasks, 0);
+        assert_eq!(sa.ghost_links_resolved, sa.ghost_links_total);
+        assert_eq!(sb.ghost_links_resolved, sb.ghost_links_total);
+        assert_eq!(sb.ghost_links_total, sa.ghost_links_total);
+        assert_eq!(sb.direct_ghost_links, sa.direct_ghost_links);
+        cluster_a.shutdown();
+        cluster_b.shutdown();
     }
 
     #[test]

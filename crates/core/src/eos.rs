@@ -224,8 +224,7 @@ mod tests {
         let rho = 0.9;
         let drho = 1e-7;
         let dh = (eos.enthalpy(rho + drho) - eos.enthalpy(rho - drho)) / (2.0 * drho);
-        let dp =
-            (eos.pressure_of_rho(rho + drho) - eos.pressure_of_rho(rho - drho)) / (2.0 * drho);
+        let dp = (eos.pressure_of_rho(rho + drho) - eos.pressure_of_rho(rho - drho)) / (2.0 * drho);
         assert!((dh - dp / rho).abs() < 1e-5);
     }
 

@@ -46,12 +46,7 @@ impl PointMasses {
 /// points, skipping any source closer than `eps` (used to exclude the
 /// self-cell).  Width-generic: the paper's SIMD-type kernel pattern.
 #[inline]
-pub fn p2p_at_w<const W: usize>(
-    src: &PointMasses,
-    x: f64,
-    y: f64,
-    z: f64,
-) -> (f64, [f64; 3]) {
+pub fn p2p_at_w<const W: usize>(src: &PointMasses, x: f64, y: f64, z: f64) -> (f64, [f64; 3]) {
     let tx = Simd::<f64, W>::splat(x);
     let ty = Simd::<f64, W>::splat(y);
     let tz = Simd::<f64, W>::splat(z);
@@ -156,7 +151,10 @@ mod tests {
         for i in 0..37 {
             // 37: not a multiple of 8, exercises the tail mask.
             let f = i as f64;
-            pts.push([f * 0.1, (f * 0.07).sin(), (f * 0.13).cos()], 0.1 + 0.01 * f);
+            pts.push(
+                [f * 0.1, (f * 0.07).sin(), (f * 0.13).cos()],
+                0.1 + 0.01 * f,
+            );
         }
         let at = [5.0, -2.0, 1.0];
         let (p1, g1) = p2p_at(&pts, at, VectorMode::Scalar);

@@ -177,10 +177,7 @@ impl GravitySolver {
     fn traverse(
         &self,
         tree: &Tree,
-    ) -> (
-        HashMap<NodeId, Vec<NodeId>>,
-        HashMap<NodeId, Vec<NodeId>>,
-    ) {
+    ) -> (HashMap<NodeId, Vec<NodeId>>, HashMap<NodeId, Vec<NodeId>>) {
         let mut m2l: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
         let mut p2p: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
         let theta = self.opts.theta;
@@ -281,8 +278,10 @@ impl GravitySolver {
         p2p_by_target: &HashMap<NodeId, Vec<NodeId>>,
         space: &ExecSpace,
     ) -> HashMap<NodeId, LeafField> {
-        let slots: Vec<Mutex<LeafField>> =
-            leaves.iter().map(|_| Mutex::new(LeafField::default())).collect();
+        let slots: Vec<Mutex<LeafField>> = leaves
+            .iter()
+            .map(|_| Mutex::new(LeafField::default()))
+            .collect();
         let mode = self.opts.vector_mode;
         let policy = RangePolicy::new(0, leaves.len()).with_chunk(ChunkSpec::Auto);
         parallel_for(space, policy, |li| {
@@ -470,11 +469,9 @@ mod tests {
         let sources = make_sources(&tree, 4);
         let mut base = GravityOptions::default();
         base.tasks_per_multipole_kernel = 1;
-        let (f1, _) =
-            GravitySolver::new(base).solve(&tree, &sources, &ExecSpace::hpx(rt.clone()));
+        let (f1, _) = GravitySolver::new(base).solve(&tree, &sources, &ExecSpace::hpx(rt.clone()));
         base.tasks_per_multipole_kernel = 16;
-        let (f16, _) =
-            GravitySolver::new(base).solve(&tree, &sources, &ExecSpace::hpx(rt.clone()));
+        let (f16, _) = GravitySolver::new(base).solve(&tree, &sources, &ExecSpace::hpx(rt.clone()));
         for leaf in tree.leaves() {
             let a = &f1[&leaf];
             let b = &f16[&leaf];

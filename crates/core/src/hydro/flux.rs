@@ -64,7 +64,7 @@ impl<const W: usize> PrimLanes<W> {
         f[2] = u[2] * va;
         f[3] = u[3] * va;
         // Pressure contribution on the axis momentum.
-        f[1 + axis] = f[1 + axis] + self.p;
+        f[1 + axis] += self.p;
         f[4] = (u[4] + self.p) * va;
         f[5] = u[5] * va;
         f[6] = u[6] * va;

@@ -175,13 +175,16 @@ mod tests {
     fn scalar_and_sve_modes_agree_bitwise_on_smooth_data() {
         // The paper's SIMD switch must not change the physics: both widths
         // evaluate the same arithmetic.
-        let mut u = uniform_grid(4, Primitive {
-            rho: 1.0,
-            vx: 0.0,
-            vy: 0.0,
-            vz: 0.0,
-            p: 0.6,
-        });
+        let mut u = uniform_grid(
+            4,
+            Primitive {
+                rho: 1.0,
+                vx: 0.0,
+                vy: 0.0,
+                vz: 0.0,
+                p: 0.6,
+            },
+        );
         // Impose a smooth density/pressure bump.
         let ext = u.ext();
         for i in 0..ext {

@@ -57,12 +57,8 @@ pub fn stage_three(
     mode: VectorMode,
 ) {
     match mode {
-        VectorMode::Scalar => {
-            stage_combine_w::<1>(u0, u2, rhs2, dt, out, 1.0 / 3.0, 2.0 / 3.0)
-        }
-        VectorMode::Sve512 => {
-            stage_combine_w::<8>(u0, u2, rhs2, dt, out, 1.0 / 3.0, 2.0 / 3.0)
-        }
+        VectorMode::Scalar => stage_combine_w::<1>(u0, u2, rhs2, dt, out, 1.0 / 3.0, 2.0 / 3.0),
+        VectorMode::Sve512 => stage_combine_w::<8>(u0, u2, rhs2, dt, out, 1.0 / 3.0, 2.0 / 3.0),
     }
 }
 

@@ -149,12 +149,8 @@ mod tests {
             },
         );
         // Cell (0,0,0) at (1.0, -1.0): F_cf = ρΩ²(x,y).
-        assert!(
-            (rhs.get_interior(field::SX, 0, 0, 0) - 2.0 * 4.0 * 1.0).abs() < 1e-13
-        );
-        assert!(
-            (rhs.get_interior(field::SY, 0, 0, 0) - 2.0 * 4.0 * (-1.0)).abs() < 1e-13
-        );
+        assert!((rhs.get_interior(field::SX, 0, 0, 0) - 2.0 * 4.0 * 1.0).abs() < 1e-13);
+        assert!((rhs.get_interior(field::SY, 0, 0, 0) - -(2.0 * 4.0)).abs() < 1e-13);
         assert_eq!(rhs.get_interior(field::SZ, 0, 0, 0), 0.0);
     }
 

@@ -81,13 +81,9 @@ impl Scenario {
             // tracers); sample the SCF density over each candidate leaf.
             // Reference density: the primary's mid-radius density (the
             // bulk of the star), not the softened central peak.
-            let mid1 = model
-                .density_at([model.x1[0] + 0.5 * model.r1, 0.0, 0.0])
-                .0;
+            let mid1 = model.density_at([model.x1[0] + 0.5 * model.r1, 0.0, 0.0]).0;
             let mid2 = if model.params.m2 > 0.0 {
-                model
-                    .density_at([model.x2[0] - 0.5 * model.r2, 0.0, 0.0])
-                    .0
+                model.density_at([model.x2[0] - 0.5 * model.r2, 0.0, 0.0]).0
             } else {
                 0.0
             };

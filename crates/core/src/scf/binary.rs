@@ -120,7 +120,10 @@ impl BinaryModel {
     /// # Panics
     /// Panics on non-physical parameters (non-positive m1 or a).
     pub fn solve(params: BinaryParams) -> BinaryModel {
-        assert!(params.m1 > 0.0 && params.a > 0.0, "invalid binary parameters");
+        assert!(
+            params.m1 > 0.0 && params.a > 0.0,
+            "invalid binary parameters"
+        );
         let le = LaneEmden::solve(params.n, 1e-3);
         let mtot = params.m1 + params.m2;
         // Kepler: the paper's grids rotate "with the original orbital
@@ -139,10 +142,7 @@ impl BinaryModel {
         let (r1, r2) = if params.m2 > 0.0 {
             let q1 = params.m1 / params.m2;
             let q2 = params.m2 / params.m1;
-            (
-                eggleton_rl(q1) * params.a,
-                eggleton_rl(q2) * params.a,
-            )
+            (eggleton_rl(q1) * params.a, eggleton_rl(q2) * params.a)
         } else {
             (params.fill_factor * params.a, 0.0)
         };
@@ -152,8 +152,8 @@ impl BinaryModel {
             if m <= 0.0 || r <= 0.0 {
                 return 1.0;
             }
-            let rho_c = le.central_to_mean_density() * 3.0 * m
-                / (4.0 * std::f64::consts::PI * r.powi(3));
+            let rho_c =
+                le.central_to_mean_density() * 3.0 * m / (4.0 * std::f64::consts::PI * r.powi(3));
             let alpha = r / le.xi1;
             4.0 * std::f64::consts::PI * G * alpha * alpha * rho_c.powf(1.0 - 1.0 / params.n)
                 / (params.n + 1.0)
@@ -198,8 +198,7 @@ impl BinaryModel {
             model.achieved_m1 = m1_now;
             model.achieved_m2 = m2_now;
             let done1 = (m1_now - params.m1).abs() / params.m1 < 5e-3;
-            let done2 =
-                params.m2 == 0.0 || (m2_now - params.m2).abs() / params.m2 < 5e-3;
+            let done2 = params.m2 == 0.0 || (m2_now - params.m2).abs() / params.m2 < 5e-3;
             if done1 && done2 {
                 break;
             }
@@ -362,8 +361,7 @@ mod tests {
         let (rho_far, _, _) = model.density_at([0.9, 0.9, 0.9]);
         assert_eq!(rho_far, 0.0);
         // Monotone-ish falloff along +x.
-        let (rho_half, _, _) =
-            model.density_at([model.x1[0] + 0.5 * model.r1, 0.0, 0.0]);
+        let (rho_half, _, _) = model.density_at([model.x1[0] + 0.5 * model.r1, 0.0, 0.0]);
         assert!(
             rho_half < rho_center && rho_half > 0.0,
             "rho_half {rho_half} vs center {rho_center}"

@@ -21,5 +21,5 @@ pub mod lane_emden;
 pub mod rcb;
 
 pub use binary::{BinaryKind, BinaryModel, BinaryParams};
-pub use rcb::MergerProduct;
 pub use lane_emden::LaneEmden;
+pub use rcb::MergerProduct;

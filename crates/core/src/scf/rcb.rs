@@ -158,7 +158,11 @@ impl MergerProduct {
             let d = (self.total_mass - 0.9) / 0.3;
             (-0.5 * d * d).exp()
         };
-        let q = if self.m1 > 0.0 { self.m2 / self.m1 } else { 0.0 };
+        let q = if self.m1 > 0.0 {
+            self.m2 / self.m1
+        } else {
+            0.0
+        };
         let q_term = if (0.4..1.0).contains(&q) { 1.0 } else { 0.5 };
         let mix_term = 1.0 - (self.core_mixing - 0.5).abs();
         (mass_term * q_term * mix_term).clamp(0.0, 1.0)

@@ -34,9 +34,7 @@ pub const NF: usize = 8;
 
 /// Human-readable names of the evolved fields, index-aligned with
 /// [`field`].
-pub const FIELD_NAMES: [&str; NF] = [
-    "rho", "sx", "sy", "sz", "egas", "tau", "frac1", "frac2",
-];
+pub const FIELD_NAMES: [&str; NF] = ["rho", "sx", "sy", "sz", "egas", "tau", "frac1", "frac2"];
 
 /// Primitive variables of one cell.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -57,6 +57,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn constants_sane() {
         assert!(GAMMA > 1.0);
         assert!(RHO_FLOOR > 0.0 && RHO_FLOOR < 1e-6);

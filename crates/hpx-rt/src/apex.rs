@@ -117,7 +117,12 @@ impl Apex {
 
     /// Snapshot of one timer's statistics.
     pub fn stats(&self, name: &str) -> TimerStats {
-        self.inner.stats.lock().get(name).copied().unwrap_or_default()
+        self.inner
+            .stats
+            .lock()
+            .get(name)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// All timers, sorted by total time descending (an APEX "task summary").
@@ -241,8 +246,7 @@ mod tests {
         assert!(json.contains("\"traced\""));
         assert!(json.contains("\"ph\":\"X\""));
         // Valid JSON.
-        let parsed: serde_json_check::Value = serde_json_check::from_str(&json);
-        drop(parsed);
+        let _parsed: serde_json_check::Value = serde_json_check::from_str(&json);
     }
 
     // Minimal local JSON validity check without adding a dependency to the

@@ -120,11 +120,19 @@ impl CountersSnapshot {
 
 impl std::fmt::Display for CountersSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "/threads/count/cumulative        {}", self.tasks_executed)?;
+        writeln!(
+            f,
+            "/threads/count/cumulative        {}",
+            self.tasks_executed
+        )?;
         writeln!(f, "/threads/count/spawned           {}", self.tasks_spawned)?;
         writeln!(f, "/threads/count/stolen            {}", self.tasks_stolen)?;
         writeln!(f, "/threads/count/parked            {}", self.worker_parks)?;
-        writeln!(f, "/lcos/count/futures              {}", self.futures_created)?;
+        writeln!(
+            f,
+            "/lcos/count/futures              {}",
+            self.futures_created
+        )?;
         writeln!(
             f,
             "/lcos/count/continuations        {}",

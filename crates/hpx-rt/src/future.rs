@@ -16,8 +16,29 @@
 use crate::counters::Counters;
 use crate::runtime::{try_help_current_thread, Runtime};
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Debug-build watchdog for blocked worker threads, in milliseconds.
+///
+/// When a *worker* thread waits on a future and makes no progress — the
+/// future stays pending and there are no queued tasks to help with — for
+/// longer than this, the wait panics instead of hanging: in a correctly
+/// wired dependency graph a starved worker always either finds work or sees
+/// its future resolve.  Release builds never panic here (a loaded machine
+/// can stall legitimately); debug builds turn silent deadlocks into
+/// actionable failures, which is what the pipelined stepper's graph
+/// construction is tested against.
+static BLOCKED_WAIT_TIMEOUT_MS: AtomicU64 = AtomicU64::new(30_000);
+
+/// Set the debug-build blocked-worker watchdog (see `Future::wait`).
+/// Returns the previous value.  Intended for tests that *want* to observe
+/// the deadlock panic quickly.
+pub fn set_blocked_wait_timeout(timeout: Duration) -> Duration {
+    let prev = BLOCKED_WAIT_TIMEOUT_MS.swap(timeout.as_millis() as u64, Ordering::Relaxed);
+    Duration::from_millis(prev)
+}
 
 type Continuation<T> = Box<dyn FnOnce(&T) + Send>;
 
@@ -118,8 +139,7 @@ impl<T> Drop for Promise<T> {
         if !self.fulfilled {
             let mut guard = self.shared.state.lock();
             if matches!(*guard, State::Pending(_)) {
-                *guard =
-                    State::Abandoned("promise dropped without being fulfilled".to_owned());
+                *guard = State::Abandoned("promise dropped without being fulfilled".to_owned());
             }
             drop(guard);
             self.shared.ready.notify_all();
@@ -144,12 +164,18 @@ impl<T: Send + 'static> Future<T> {
             self.check_abandoned();
             return;
         }
+        #[cfg(debug_assertions)]
+        let mut last_progress = std::time::Instant::now();
         loop {
             if self.is_ready() {
                 break;
             }
             // Help: run one task of the pool this thread belongs to.
             if try_help_current_thread() {
+                #[cfg(debug_assertions)]
+                {
+                    last_progress = std::time::Instant::now();
+                }
                 continue;
             }
             // Nothing to help with — block with a timeout so that wakeups
@@ -159,6 +185,18 @@ impl<T: Send + 'static> Future<T> {
                 self.shared
                     .ready
                     .wait_for(&mut guard, Duration::from_micros(200));
+            }
+            drop(guard);
+            #[cfg(debug_assertions)]
+            {
+                let limit = Duration::from_millis(BLOCKED_WAIT_TIMEOUT_MS.load(Ordering::Relaxed));
+                if crate::runtime::on_any_worker_thread() && last_progress.elapsed() > limit {
+                    panic!(
+                        "hpx-rt: suspected deadlock: a worker thread has been blocked on an \
+                         unresolved future for {limit:?} with no queued tasks to help with \
+                         (a dependency cycle, or a promise that is never fulfilled)"
+                    );
+                }
             }
         }
         self.check_abandoned();
@@ -222,6 +260,64 @@ impl<T: Send + 'static> Future<T> {
             }
         }
     }
+
+    /// Borrow the ready value without cloning it.
+    ///
+    /// # Panics
+    /// Panics if the future is not ready or was abandoned.  `f` runs under
+    /// the future's state lock, so it must not wait on or attach
+    /// continuations to *this* future.
+    pub fn with_value<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let guard = self.shared.state.lock();
+        match *guard {
+            State::Ready(ref v) => f(v),
+            State::Pending(_) => panic!("hpx-rt: with_value on a pending future"),
+            State::Abandoned(ref reason) => {
+                panic!("hpx-rt: with_value on abandoned future: {reason}")
+            }
+        }
+    }
+
+    /// A `Future<()>` that completes when `self` completes, without cloning
+    /// or otherwise touching the payload.  This is how heterogeneous futures
+    /// are folded into a [`when_all_of`] dependency gate.
+    pub fn ticket(&self) -> Future<()> {
+        let (p, out) = Promise::new_pair();
+        self.on_ready(move |_| p.set(()));
+        out
+    }
+
+    /// Like [`Future::then`], but the continuation borrows the value instead
+    /// of cloning it.  This is the zero-copy consumption path for bulk
+    /// payloads (e.g. packed ghost-zone buffers): the payload stays in the
+    /// shared state and `f` reads it in place.
+    ///
+    /// `f` runs under the source future's state lock; it must not wait on or
+    /// attach continuations to the source future itself.
+    pub fn then_ref<U, F>(&self, rt: &Runtime, f: F) -> Future<U>
+    where
+        U: Send + 'static,
+        T: Sync,
+        F: FnOnce(&T) -> U + Send + 'static,
+    {
+        Counters::bump(&rt.counters().continuations_attached);
+        let (promise, out) = Promise::new_pair();
+        let rt2 = rt.clone();
+        let source = self.clone();
+        self.on_ready(move |_| {
+            let source = source.clone();
+            rt2.spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    source.with_value(|v| f(v))
+                }));
+                match result {
+                    Ok(u) => promise.set(u),
+                    Err(p) => promise.abandon(crate::runtime::panic_message(&p)),
+                }
+            });
+        });
+        out
+    }
 }
 
 /// An already-fulfilled future (HPX `make_ready_future`).
@@ -236,9 +332,7 @@ pub fn make_ready_future<T: Send + 'static>(value: T) -> Future<T> {
 ///
 /// # Panics
 /// Panics (when waited on) if `futures` is empty.
-pub fn when_any<T: Clone + Send + 'static>(
-    futures: Vec<Future<T>>,
-) -> Future<(usize, T)> {
+pub fn when_any<T: Clone + Send + 'static>(futures: Vec<Future<T>>) -> Future<(usize, T)> {
     let (promise, out) = Promise::new_pair();
     if futures.is_empty() {
         promise.abandon("when_any of an empty set".to_owned());
@@ -279,7 +373,10 @@ where
 
 /// Join a set of futures into one future of all their values, in order
 /// (HPX `when_all` + unwrap).
-pub fn when_all<T: Clone + Send + 'static>(rt: &Runtime, futures: Vec<Future<T>>) -> Future<Vec<T>> {
+pub fn when_all<T: Clone + Send + 'static>(
+    rt: &Runtime,
+    futures: Vec<Future<T>>,
+) -> Future<Vec<T>> {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     let n = futures.len();
@@ -308,6 +405,40 @@ pub fn when_all<T: Clone + Send + 'static>(rt: &Runtime, futures: Vec<Future<T>>
                 // Complete on a task so long continuation chains do not
                 // recurse on the completing thread's stack.
                 rt.spawn(move || p.set(values));
+            }
+        });
+    }
+    out
+}
+
+/// Join futures into a single `Future<()>` that completes once *all* of them
+/// are ready, without cloning any payload (HPX `when_all` on shared futures,
+/// used purely as a dependency gate).
+///
+/// This is the backbone of the pipelined stepper: a leaf's stage-N update
+/// gates on the per-neighbor ghost futures it actually reads, and the gate
+/// must not copy the (potentially large) packed buffers those futures carry.
+/// Completion is delivered through `rt.spawn` so long dependency chains do
+/// not recurse on the completing thread's stack.
+pub fn when_all_of<T: Send + 'static>(rt: &Runtime, futures: &[Future<T>]) -> Future<()> {
+    use std::sync::atomic::AtomicUsize;
+
+    let n = futures.len();
+    let (promise, out) = Promise::new_pair();
+    if n == 0 {
+        promise.set(());
+        return out;
+    }
+    let remaining = Arc::new(AtomicUsize::new(n));
+    let promise = Arc::new(Mutex::new(Some(promise)));
+    for fut in futures {
+        let remaining = remaining.clone();
+        let promise = promise.clone();
+        let rt = rt.clone();
+        fut.on_ready(move |_| {
+            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let p = promise.lock().take().expect("when_all_of completed twice");
+                rt.spawn(move || p.set(()));
             }
         });
     }
@@ -397,8 +528,7 @@ mod tests {
     #[test]
     fn when_all_collects_in_order() {
         let rt = Runtime::new(4);
-        let futures: Vec<Future<usize>> =
-            (0..16).map(|i| rt.async_call(move || i * i)).collect();
+        let futures: Vec<Future<usize>> = (0..16).map(|i| rt.async_call(move || i * i)).collect();
         let all = when_all(&rt, futures);
         let values = all.get();
         assert_eq!(values.len(), 16);
@@ -431,8 +561,7 @@ mod tests {
     #[test]
     fn when_any_is_first_wins_under_racing() {
         let rt = Runtime::new(4);
-        let futures: Vec<Future<usize>> =
-            (0..8).map(|i| rt.async_call(move || i)).collect();
+        let futures: Vec<Future<usize>> = (0..8).map(|i| rt.async_call(move || i)).collect();
         let (idx, v) = when_any(futures).get();
         assert_eq!(idx, v);
         assert!(idx < 8);
@@ -466,6 +595,57 @@ mod tests {
         p.set(5);
         assert_eq!(c.get(), 15);
         rt.shutdown();
+    }
+
+    #[test]
+    fn ticket_and_then_ref_work_on_non_clone_payloads() {
+        // The payload type is deliberately not Clone: this compiles only
+        // because ticket/then_ref consume the value by reference.
+        struct Big(Vec<f64>);
+        let rt = Runtime::new(2);
+        let f: Future<Big> = rt.async_call(|| Big(vec![0.5; 64]));
+        let ticket = f.ticket();
+        let sum = f.then_ref(&rt, |b: &Big| b.0.iter().sum::<f64>());
+        ticket.wait();
+        assert_eq!(sum.get(), 32.0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn when_all_of_gates_on_every_input() {
+        let rt = Runtime::new(2);
+        let (p, pending) = Promise::new_pair();
+        let gate = when_all_of(&rt, &[make_ready_future(1), pending]);
+        assert!(!gate.is_ready());
+        p.set(2);
+        gate.wait();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn when_all_of_empty_set_is_ready() {
+        let rt = Runtime::new(1);
+        assert!(when_all_of::<i32>(&rt, &[]).is_ready());
+        rt.shutdown();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn watchdog_flags_worker_blocked_on_unresolvable_future() {
+        let prev = set_blocked_wait_timeout(Duration::from_millis(250));
+        let rt = Runtime::new(1);
+        // A promise that is neither fulfilled nor abandoned: forget it so its
+        // Drop cannot rescue the waiter.  The single worker blocks with no
+        // queued work, which the watchdog must flag as a deadlock.
+        let task = rt.async_call(|| {
+            let (p, f) = Promise::<i32>::new_pair();
+            std::mem::forget(p);
+            f.wait();
+        });
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.get()));
+        set_blocked_wait_timeout(prev);
+        rt.shutdown();
+        assert!(outcome.is_err(), "watchdog should have fired");
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub mod runtime;
 pub use apex::{Apex, TimerStats};
 pub use channel::{channel, Receiver, Sender};
 pub use counters::{Counters, CountersSnapshot};
-pub use future::{dataflow2, make_ready_future, when_all, when_any, Future, Promise};
+pub use future::{
+    dataflow2, make_ready_future, set_blocked_wait_timeout, when_all, when_all_of, when_any,
+    Future, Promise,
+};
 pub use locality::{ActionRegistry, Locality, LocalityId, Parcel, SimCluster};
 pub use pjm::JobSpec;
 pub use runtime::{Runtime, Scope};

@@ -182,9 +182,7 @@ impl SimCluster {
                     id: LocalityId(i),
                     runtime: Runtime::new(workers),
                     registry: registry.clone(),
-                    peers: RwLock::new(
-                        inboxes.iter().map(|tx| Inbox { tx: tx.clone() }).collect(),
-                    ),
+                    peers: RwLock::new(inboxes.iter().map(|tx| Inbox { tx: tx.clone() }).collect()),
                     counters: Counters::new(),
                 })
             })
@@ -394,7 +392,11 @@ mod tests {
         cluster.locality(0).note_local_direct_access();
         cluster.locality(0).note_local_direct_access();
         assert_eq!(
-            cluster.locality(0).counters().snapshot().local_direct_accesses,
+            cluster
+                .locality(0)
+                .counters()
+                .snapshot()
+                .local_direct_accesses,
             2
         );
         cluster.shutdown();

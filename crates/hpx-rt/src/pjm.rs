@@ -108,12 +108,11 @@ impl JobSpec {
                         spec.resource_group = value.to_owned();
                     }
                     "elapse" => {
-                        spec.elapse_limit_s = parse_elapse(value).ok_or_else(|| {
-                            PjmError::BadValue {
+                        spec.elapse_limit_s =
+                            parse_elapse(value).ok_or_else(|| PjmError::BadValue {
                                 key: key.to_owned(),
                                 value: value.to_owned(),
-                            }
-                        })?;
+                            })?;
                     }
                     "freq" => {
                         let mhz: u64 = parse_num(key, value)?;
@@ -243,8 +242,7 @@ mpiexec ./octotiger
 
     #[test]
     fn ignores_unrelated_lines_and_comments() {
-        let spec =
-            JobSpec::parse("# comment\nexport X=1\n#PJM -L node=2 # two nodes\n").unwrap();
+        let spec = JobSpec::parse("# comment\nexport X=1\n#PJM -L node=2 # two nodes\n").unwrap();
         assert_eq!(spec.nodes, 2);
     }
 }

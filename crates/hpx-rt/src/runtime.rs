@@ -216,8 +216,8 @@ impl Runtime {
     /// spawn more work afterwards.
     pub fn wait_quiescent(&self) {
         loop {
-            let empty = self.inner.injector.is_empty()
-                && self.inner.stealers.iter().all(|s| s.is_empty());
+            let empty =
+                self.inner.injector.is_empty() && self.inner.stealers.iter().all(|s| s.is_empty());
             if empty {
                 let spawned = self.inner.counters.tasks_spawned.load(Ordering::Relaxed);
                 let executed = self.inner.counters.tasks_executed.load(Ordering::Relaxed);
@@ -315,6 +315,15 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// `true` when the calling thread is a worker of *any* pool.  The future
+/// watchdog only arms on worker threads: an external thread blocking for a
+/// long time is ordinary, a starved worker with nothing to help with is a
+/// dependency-graph bug.
+#[cfg(debug_assertions)]
+pub(crate) fn on_any_worker_thread() -> bool {
+    CTX.with(|c| c.get().is_some())
+}
+
 /// If the calling thread belongs to *some* pool, try to execute one task of
 /// that pool.  Returns `true` if a task ran.  Used by futures to help while
 /// blocked.
@@ -354,8 +363,7 @@ fn worker_loop(pool: Arc<PoolInner>, local: Deque<Job>) {
             continue;
         }
         Counters::bump(&pool.counters.worker_parks);
-        pool.wake
-            .wait_for(&mut guard, Duration::from_micros(200));
+        pool.wake.wait_for(&mut guard, Duration::from_micros(200));
         if guard.shutdown {
             break;
         }

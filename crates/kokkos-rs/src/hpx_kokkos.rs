@@ -49,6 +49,51 @@ where
     rt.async_call(move || parallel_reduce(&space, policy, identity, map, combine))
 }
 
+/// Launch `parallel_for` only after `dep` resolves — the kernel is not even
+/// enqueued until its dependency is satisfied, so a chain of `_after`
+/// launches forms a dependency edge rather than an eager fork.
+///
+/// The dependency's payload is never cloned; only its completion gates the
+/// launch (see `Future::ticket`).  This is the launch primitive the
+/// pipelined stepper uses to hang a leaf's stage-N kernel off the ghost
+/// futures of exactly the neighbors it reads.
+pub fn launch_for_after<D, F>(
+    rt: &Runtime,
+    dep: &Future<D>,
+    space: ExecSpace,
+    policy: RangePolicy,
+    kernel: F,
+) -> Future<()>
+where
+    D: Send + 'static,
+    F: Fn(usize) + Sync + Send + 'static,
+{
+    dep.ticket()
+        .then(rt, move |()| parallel_for(&space, policy, kernel))
+}
+
+/// Launch a reduction only after `dep` resolves; the returned future carries
+/// the reduced value.  Payload-free gating, as with [`launch_for_after`].
+pub fn launch_reduce_after<D, T, M, C>(
+    rt: &Runtime,
+    dep: &Future<D>,
+    space: ExecSpace,
+    policy: RangePolicy,
+    identity: T,
+    map: M,
+    combine: C,
+) -> Future<T>
+where
+    D: Send + 'static,
+    T: Clone + Send + Sync + 'static,
+    M: Fn(usize) -> T + Sync + Send + 'static,
+    C: Fn(T, T) -> T + Sync + Send + 'static,
+{
+    dep.ticket().then(rt, move |()| {
+        parallel_reduce(&space, policy, identity, map, combine)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +164,59 @@ mod tests {
             |a, b| a + b,
         );
         assert_eq!(f.get(), 5050);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn launch_for_after_defers_until_dependency_resolves() {
+        let rt = Runtime::new(2);
+        let (dep_p, dep_f) = hpx_rt::Promise::<u64>::new_pair();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        let f = launch_for_after(
+            &rt,
+            &dep_f,
+            ExecSpace::hpx(rt.clone()),
+            RangePolicy::new(0, 32).with_chunk(ChunkSpec::Tasks(4)),
+            move |_| {
+                h.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!f.is_ready());
+        assert_eq!(
+            hits.load(Ordering::SeqCst),
+            0,
+            "kernel ran before its dependency"
+        );
+        dep_p.set(7);
+        f.wait();
+        assert_eq!(hits.load(Ordering::SeqCst), 32);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn launch_reduce_after_chains_two_reductions() {
+        let rt = Runtime::new(2);
+        let first = launch_reduce_async(
+            &rt,
+            ExecSpace::hpx(rt.clone()),
+            RangePolicy::new(0, 10),
+            0u64,
+            |i| i as u64,
+            |a, b| a + b,
+        );
+        let second = launch_reduce_after(
+            &rt,
+            &first,
+            ExecSpace::hpx(rt.clone()),
+            RangePolicy::new(0, 10),
+            0u64,
+            |i| i as u64 * 2,
+            |a, b| a + b,
+        );
+        assert_eq!(first.get(), 45);
+        assert_eq!(second.get(), 90);
         rt.shutdown();
     }
 

@@ -28,8 +28,12 @@ pub mod policy;
 pub mod space;
 pub mod view;
 
-pub use hpx_kokkos::{launch_for_async, launch_reduce_async};
-pub use parallel::{parallel_for, parallel_for_md3, parallel_for_team, parallel_reduce, parallel_scan};
+pub use hpx_kokkos::{
+    launch_for_after, launch_for_async, launch_reduce_after, launch_reduce_async,
+};
+pub use parallel::{
+    parallel_for, parallel_for_md3, parallel_for_team, parallel_reduce, parallel_scan,
+};
 pub use policy::{ChunkSpec, MDRangePolicy3, RangePolicy, TeamPolicy};
 pub use space::{DeviceKind, DeviceSpec, ExecSpace, HpxSpace};
 pub use view::{Layout, View};

@@ -32,7 +32,9 @@ where
             }
         }
         ExecSpace::Hpx(hpx) => {
-            let tasks = policy.chunk.resolve(policy.len(), hpx.runtime.num_workers());
+            let tasks = policy
+                .chunk
+                .resolve(policy.len(), hpx.runtime.num_workers());
             if tasks <= 1 {
                 // Octo-Tiger's default: run on the launching worker.
                 for i in policy.begin..policy.end {
@@ -140,7 +142,9 @@ where
             serial(policy.begin, policy.end)
         }
         ExecSpace::Hpx(hpx) => {
-            let tasks = policy.chunk.resolve(policy.len(), hpx.runtime.num_workers());
+            let tasks = policy
+                .chunk
+                .resolve(policy.len(), hpx.runtime.num_workers());
             if tasks <= 1 {
                 return serial(policy.begin, policy.end);
             }
@@ -171,7 +175,13 @@ where
 ///
 /// # Panics
 /// Panics if `input.len() != out.len()`.
-pub fn parallel_scan<T, C>(space: &ExecSpace, input: &[T], out: &mut [T], identity: T, combine: C) -> T
+pub fn parallel_scan<T, C>(
+    space: &ExecSpace,
+    input: &[T],
+    out: &mut [T],
+    identity: T,
+    combine: C,
+) -> T
 where
     T: Clone + Send + Sync,
     C: Fn(T, T) -> T + Sync,
@@ -212,10 +222,8 @@ where
                 if let ExecSpace::Device(dev) = space {
                     dev.record_launch(n as u64);
                 }
-                for ((range, part), total) in ranges
-                    .iter()
-                    .zip(out_parts.into_iter())
-                    .zip(chunk_totals.iter_mut())
+                for ((range, part), total) in
+                    ranges.iter().zip(out_parts).zip(chunk_totals.iter_mut())
                 {
                     run_chunk(range.0, range.1, part, total);
                 }
@@ -223,10 +231,8 @@ where
             ExecSpace::Hpx(hpx) => {
                 let run_chunk = &run_chunk;
                 hpx.runtime.scope(|s| {
-                    for ((range, part), total) in ranges
-                        .iter()
-                        .zip(out_parts.into_iter())
-                        .zip(chunk_totals.iter_mut())
+                    for ((range, part), total) in
+                        ranges.iter().zip(out_parts).zip(chunk_totals.iter_mut())
                     {
                         let (b, e) = *range;
                         s.spawn(move || run_chunk(b, e, part, total));

@@ -113,7 +113,10 @@ impl MDRangePolicy3 {
     /// Policy over the box `lower..upper` in each dimension.
     pub fn new(lower: [usize; 3], upper: [usize; 3]) -> Self {
         for d in 0..3 {
-            assert!(lower[d] <= upper[d], "MDRangePolicy3 requires lower <= upper");
+            assert!(
+                lower[d] <= upper[d],
+                "MDRangePolicy3 requires lower <= upper"
+            );
         }
         MDRangePolicy3 {
             lower,

@@ -28,10 +28,11 @@ use crate::index::{Dir, NodeId};
 use crate::partition::partition_morton;
 use crate::subgrid::SubGrid;
 use crate::tree::{Neighbor, Tree};
-use hpx_rt::locality::downcast_payload;
+use hpx_rt::locality::{downcast_payload, ArcPayload};
 use hpx_rt::{LocalityId, SimCluster};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Options of a ghost exchange.
@@ -108,9 +109,10 @@ impl DistGrid {
         });
         let handler_inner = inner.clone();
         cluster.register_action("ghost_pack", move |arg, _loc| {
-            let req = arg.downcast::<GhostRequest>().expect("GhostRequest payload");
-            let payload =
-                compute_payload(&handler_inner, req.leaf, req.dir).unwrap_or_default();
+            let req = arg
+                .downcast::<GhostRequest>()
+                .expect("GhostRequest payload");
+            let payload = compute_payload(&handler_inner, req.leaf, req.dir).unwrap_or_default();
             Box::new(payload)
         });
         DistGrid { inner }
@@ -279,8 +281,8 @@ impl DistGrid {
                 }
                 Pending::Remote(fut) => {
                     let reply = fut.get();
-                    let data = downcast_payload::<Vec<f64>>(&reply)
-                        .expect("ghost_pack returns Vec<f64>");
+                    let data =
+                        downcast_payload::<Vec<f64>>(&reply).expect("ghost_pack returns Vec<f64>");
                     let grid = self.grid(leaf);
                     grid.write().unpack_recv(dir, data);
                 }
@@ -288,6 +290,194 @@ impl DistGrid {
         }
         direct_links
     }
+
+    /// Total (leaf, direction) ghost links of the current tree: every leaf
+    /// has exactly 26 links (a link with several finer sources still counts
+    /// once, and domain-boundary directions count as outflow links).
+    pub fn total_ghost_links(&self) -> usize {
+        self.leaves().len() * 26
+    }
+
+    /// Futurized ghost exchange: instead of a phase barrier, every
+    /// (leaf, direction) link becomes its own future chain gated on the
+    /// `ready` futures of exactly the source leaves it reads.
+    ///
+    /// `ready[l]` must complete when leaf `l`'s interior holds the data this
+    /// exchange should see (for RK stage *s*, its stage-(s−1) update).  The
+    /// returned handle carries, per leaf, a `ghosts_filled` future (all 26 of
+    /// its ghost regions written — the gate for the leaf's next RHS kernel)
+    /// and an `outgoing_packed` future (every link *reading* the leaf has
+    /// packed its payload — the gate for overwriting the leaf's interior).
+    /// Together they let interior leaves of the next stage run while slower
+    /// neighbours are still exchanging: the paper's promise/future readiness
+    /// notification made literal, with no copy of any packed buffer
+    /// (`then_ref` consumes payloads in place).
+    ///
+    /// `config.notify_with_channels` is ignored here — the per-link futures
+    /// *are* the readiness notification.  This method only builds the graph;
+    /// it never blocks.
+    pub fn exchange_ghosts_pipelined(
+        &self,
+        cluster: &SimCluster,
+        config: GhostConfig,
+        ready: &HashMap<NodeId, hpx_rt::Future<()>>,
+    ) -> PipelinedExchange {
+        let leaves = self.leaves();
+        let owner = self.inner.owner.read().clone();
+
+        // Classify all links first so no tree lock is held while futures are
+        // wired (continuations re-acquire it from worker threads).
+        enum Link {
+            Boundary,
+            Sources(Vec<NodeId>),
+        }
+        let links: Vec<(NodeId, Dir, Link)> = {
+            let tree = self.inner.tree.read();
+            leaves
+                .iter()
+                .flat_map(|&leaf| {
+                    let tree = &tree;
+                    Dir::all26().map(move |dir| {
+                        let link = match tree.neighbor_of(leaf, dir) {
+                            Neighbor::SameLevel(nb) => Link::Sources(vec![nb]),
+                            Neighbor::Coarser(c) => Link::Sources(vec![c]),
+                            Neighbor::Finer(kids) => Link::Sources(kids),
+                            Neighbor::DomainBoundary => Link::Boundary,
+                        };
+                        (leaf, dir, link)
+                    })
+                })
+                .collect()
+        };
+
+        let links_resolved = Arc::new(AtomicUsize::new(0));
+        let total_links = links.len();
+        let mut direct_links = 0usize;
+        let mut incoming: HashMap<NodeId, Vec<hpx_rt::Future<()>>> =
+            leaves.iter().map(|&l| (l, Vec::new())).collect();
+        let mut outgoing: HashMap<NodeId, Vec<hpx_rt::Future<()>>> =
+            leaves.iter().map(|&l| (l, Vec::new())).collect();
+
+        for (leaf, dir, link) in links {
+            let me = owner[&leaf];
+            let rt_leaf = cluster.locality(me.0).runtime().clone();
+            let grid = self.grid(leaf);
+            let resolved = links_resolved.clone();
+            match link {
+                Link::Boundary => {
+                    // Outflow reads the leaf's own interior: gate on the
+                    // leaf itself.
+                    let unpacked = ready[&leaf].then(&rt_leaf, move |()| {
+                        apply_outflow(&mut grid.write(), dir);
+                        resolved.fetch_add(1, Ordering::Relaxed);
+                    });
+                    incoming.get_mut(&leaf).unwrap().push(unpacked);
+                }
+                Link::Sources(sources) => {
+                    let all_local = sources.iter().all(|s| owner[s] == me);
+                    let src_rt = cluster.locality(owner[&sources[0]].0).runtime().clone();
+                    let gate = if sources.len() == 1 {
+                        ready[&sources[0]].clone()
+                    } else {
+                        let parts: Vec<hpx_rt::Future<()>> =
+                            sources.iter().map(|s| ready[s].clone()).collect();
+                        hpx_rt::when_all_of(&src_rt, &parts)
+                    };
+                    // The link's payload future: packed as soon as all of its
+                    // *sources* are ready, on either the direct or parcel
+                    // path.  The unpack additionally gates on the destination
+                    // leaf's own readiness — its previous-stage combine
+                    // rewrites the whole array (ghost shells included), so a
+                    // ghost write landing before it would be clobbered.
+                    let unpacked = if all_local && config.direct_local_access {
+                        direct_links += 1;
+                        let inner = self.inner.clone();
+                        let loc = cluster.locality(me.0).clone();
+                        let payload = gate.then(&src_rt, move |()| {
+                            loc.note_local_direct_access();
+                            compute_payload(&inner, leaf, dir)
+                                .expect("non-boundary link must produce data")
+                        });
+                        for s in &sources {
+                            outgoing.get_mut(s).unwrap().push(payload.ticket());
+                        }
+                        let parts = [payload.ticket(), ready[&leaf].clone()];
+                        hpx_rt::when_all_of(&rt_leaf, &parts).then(&rt_leaf, move |()| {
+                            payload.with_value(|data| grid.write().unpack_recv(dir, data));
+                            resolved.fetch_add(1, Ordering::Relaxed);
+                        })
+                    } else {
+                        let dest = owner[&sources[0]];
+                        let bytes = {
+                            let grids = self.inner.grids.read();
+                            let g = grids[&leaf].read();
+                            g.payload_bytes(dir.opposite())
+                        };
+                        let loc_me = cluster.locality(me.0).clone();
+                        // The parcel is only *sent* once the gate resolves, so
+                        // the remote pack handler observes stage-consistent
+                        // sources; its reply is re-exposed as a plain future.
+                        let (reply_p, reply_f) = hpx_rt::Promise::<ArcPayload>::new_pair();
+                        gate.on_ready(move |_| {
+                            let f = loc_me.apply_async(
+                                dest,
+                                "ghost_pack",
+                                Box::new(GhostRequest { leaf, dir }),
+                                bytes,
+                            );
+                            f.on_ready(move |arc| reply_p.set(arc.clone()));
+                        });
+                        for s in &sources {
+                            outgoing.get_mut(s).unwrap().push(reply_f.ticket());
+                        }
+                        let parts = [reply_f.ticket(), ready[&leaf].clone()];
+                        hpx_rt::when_all_of(&rt_leaf, &parts).then(&rt_leaf, move |()| {
+                            reply_f.with_value(|arc| {
+                                let data = downcast_payload::<Vec<f64>>(arc)
+                                    .expect("ghost_pack returns Vec<f64>");
+                                grid.write().unpack_recv(dir, data);
+                            });
+                            resolved.fetch_add(1, Ordering::Relaxed);
+                        })
+                    };
+                    incoming.get_mut(&leaf).unwrap().push(unpacked);
+                }
+            }
+        }
+
+        let join = |map: HashMap<NodeId, Vec<hpx_rt::Future<()>>>| {
+            map.into_iter()
+                .map(|(l, futs)| {
+                    let rt = cluster.locality(owner[&l].0).runtime();
+                    (l, hpx_rt::when_all_of(rt, &futs))
+                })
+                .collect()
+        };
+        PipelinedExchange {
+            ghosts_filled: join(incoming),
+            outgoing_packed: join(outgoing),
+            total_links,
+            direct_links,
+            links_resolved,
+        }
+    }
+}
+
+/// Handle to one in-flight [`DistGrid::exchange_ghosts_pipelined`] stage.
+pub struct PipelinedExchange {
+    /// Per leaf: completes once all 26 of its ghost regions are written.
+    pub ghosts_filled: HashMap<NodeId, hpx_rt::Future<()>>,
+    /// Per leaf: completes once every link reading this leaf's interior has
+    /// packed its payload — the leaf's interior may be overwritten after.
+    pub outgoing_packed: HashMap<NodeId, hpx_rt::Future<()>>,
+    /// Number of (leaf, direction) links in the graph (= 26 × leaves).
+    pub total_links: usize,
+    /// Links eligible for the Section VII-B direct local path.
+    pub direct_links: usize,
+    /// Live count of links whose ghost data has been written; reaches
+    /// `total_links` when the exchange has fully drained.  Sampled by the
+    /// stepper to measure communication/compute overlap.
+    pub links_resolved: Arc<AtomicUsize>,
 }
 
 /// Assemble the ghost payload `leaf` needs from direction `dir`, in the
@@ -303,10 +493,8 @@ fn compute_payload(inner: &DistGridInner, leaf: NodeId, dir: Dir) -> Option<Vec<
             Some(pack_prolonged(&coarse, c, leaf, dir, inner.n, inner.ghost))
         }
         Neighbor::Finer(kids) => {
-            let kid_grids: HashMap<NodeId, Arc<RwLock<SubGrid>>> = kids
-                .iter()
-                .map(|k| (*k, grids[k].clone()))
-                .collect();
+            let kid_grids: HashMap<NodeId, Arc<RwLock<SubGrid>>> =
+                kids.iter().map(|k| (*k, grids[k].clone())).collect();
             Some(pack_restricted(
                 &kid_grids,
                 leaf,
@@ -675,6 +863,117 @@ mod tests {
         cluster.shutdown();
     }
 
+    /// All-ready gate map: the pipelined exchange degenerates to "interiors
+    /// are final", i.e. the same precondition the barrier exchange assumes.
+    fn all_ready(dg: &DistGrid) -> HashMap<NodeId, hpx_rt::Future<()>> {
+        dg.leaves()
+            .into_iter()
+            .map(|l| (l, hpx_rt::make_ready_future(())))
+            .collect()
+    }
+
+    #[test]
+    fn pipelined_exchange_resolves_each_link_exactly_once() {
+        let cluster = SimCluster::new(2, 2);
+        let dg = DistGrid::new(Tree::new_uniform(2), 4, 2, 1, &cluster);
+        fill_linear(&dg);
+        let ex = dg.exchange_ghosts_pipelined(&cluster, GhostConfig::default(), &all_ready(&dg));
+        assert_eq!(ex.total_links, dg.total_ghost_links());
+        for f in ex.ghosts_filled.values() {
+            f.wait();
+        }
+        for f in ex.outgoing_packed.values() {
+            f.wait();
+        }
+        // Every link wrote its ghost region exactly once: the counter lands
+        // exactly on the link total, never above it.
+        assert_eq!(ex.links_resolved.load(Ordering::SeqCst), ex.total_links);
+        check_same_level_ghosts(&dg);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn pipelined_direct_link_accounting_matches_barrier_path() {
+        // Same tree and partition on two clusters; the pipelined exchange
+        // must classify exactly the same links as direct-local, and its
+        // direct-access counters must match the barrier path's.
+        let barrier_cluster = SimCluster::new(2, 2);
+        let barrier_dg = DistGrid::new(Tree::new_uniform(2), 4, 2, 1, &barrier_cluster);
+        fill_linear(&barrier_dg);
+        let barrier_direct = barrier_dg.exchange_ghosts(&barrier_cluster, GhostConfig::default());
+
+        let cluster = SimCluster::new(2, 2);
+        let dg = DistGrid::new(Tree::new_uniform(2), 4, 2, 1, &cluster);
+        fill_linear(&dg);
+        let ex = dg.exchange_ghosts_pipelined(&cluster, GhostConfig::default(), &all_ready(&dg));
+        for f in ex.ghosts_filled.values() {
+            f.wait();
+        }
+        assert_eq!(ex.direct_links, barrier_direct);
+        let direct_ctr = cluster.total_counters().local_direct_accesses;
+        let barrier_ctr = barrier_cluster.total_counters().local_direct_accesses;
+        assert_eq!(direct_ctr, barrier_ctr);
+
+        // And the resulting fields are identical, cell for cell.
+        for leaf in dg.leaves() {
+            let a = dg.grid(leaf);
+            let b = barrier_dg.grid(leaf);
+            let (a, b) = (a.read(), b.read());
+            let ext = a.ext();
+            for i in 0..ext {
+                for j in 0..ext {
+                    for k in 0..ext {
+                        assert_eq!(a.get(0, i, j, k), b.get(0, i, j, k), "leaf {leaf}");
+                    }
+                }
+            }
+        }
+        cluster.shutdown();
+        barrier_cluster.shutdown();
+    }
+
+    #[test]
+    fn pipelined_exchange_gates_on_source_readiness() {
+        let cluster = SimCluster::new(1, 2);
+        let dg = DistGrid::new(Tree::new_uniform(1), 4, 1, 1, &cluster);
+        fill_linear(&dg);
+        let leaves = dg.leaves();
+        // Hold back one leaf: at level 1 all eight leaves touch at the
+        // domain center, so every other leaf reads it.
+        let held = leaves[0];
+        let (hold_p, hold_f) = hpx_rt::Promise::new_pair();
+        let ready: HashMap<NodeId, hpx_rt::Future<()>> = leaves
+            .iter()
+            .map(|&l| {
+                let f = if l == held {
+                    hold_f.clone()
+                } else {
+                    hpx_rt::make_ready_future(())
+                };
+                (l, f)
+            })
+            .collect();
+        let ex = dg.exchange_ghosts_pipelined(&cluster, GhostConfig::default(), &ready);
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        for &l in &leaves {
+            assert!(
+                !ex.ghosts_filled[&l].is_ready(),
+                "leaf {l} filled its ghosts before its source was ready"
+            );
+        }
+        assert!(!ex.outgoing_packed[&held].is_ready());
+        hold_p.set(());
+        for f in ex.ghosts_filled.values() {
+            f.wait();
+        }
+        for f in ex.outgoing_packed.values() {
+            f.wait();
+        }
+        assert_eq!(ex.links_resolved.load(Ordering::SeqCst), ex.total_links);
+        check_same_level_ghosts(&dg);
+        cluster.shutdown();
+    }
+
     #[test]
     fn direct_link_count_matches_partition_locality() {
         let cluster = SimCluster::new(1, 1);
@@ -687,9 +986,7 @@ mod tests {
                 .iter()
                 .map(|&l| {
                     Dir::all26()
-                        .filter(|&d| {
-                            !matches!(t.neighbor_of(l, d), Neighbor::DomainBoundary)
-                        })
+                        .filter(|&d| !matches!(t.neighbor_of(l, d), Neighbor::DomainBoundary))
                         .count()
                 })
                 .sum()

@@ -66,12 +66,36 @@ impl Dir {
     /// The 6 face directions only.
     pub fn faces() -> impl Iterator<Item = Dir> {
         [
-            Dir { dx: -1, dy: 0, dz: 0 },
-            Dir { dx: 1, dy: 0, dz: 0 },
-            Dir { dx: 0, dy: -1, dz: 0 },
-            Dir { dx: 0, dy: 1, dz: 0 },
-            Dir { dx: 0, dy: 0, dz: -1 },
-            Dir { dx: 0, dy: 0, dz: 1 },
+            Dir {
+                dx: -1,
+                dy: 0,
+                dz: 0,
+            },
+            Dir {
+                dx: 1,
+                dy: 0,
+                dz: 0,
+            },
+            Dir {
+                dx: 0,
+                dy: -1,
+                dz: 0,
+            },
+            Dir {
+                dx: 0,
+                dy: 1,
+                dz: 0,
+            },
+            Dir {
+                dx: 0,
+                dy: 0,
+                dz: -1,
+            },
+            Dir {
+                dx: 0,
+                dy: 0,
+                dz: 1,
+            },
         ]
         .into_iter()
     }
@@ -286,8 +310,8 @@ mod tests {
     fn coords_roundtrip_deep() {
         for level in 0..=6u8 {
             let extent = 1u32 << level;
-            for x in (0..extent).step_by(3.max(1)) {
-                for y in (0..extent).step_by(2.max(1)) {
+            for x in (0..extent).step_by(3) {
+                for y in (0..extent).step_by(2) {
                     let z = (x + y) % extent;
                     let id = NodeId::from_coords(level, [x, y, z]);
                     assert_eq!(id.coords(), [x, y, z]);

@@ -35,7 +35,10 @@ impl SubGrid {
     pub fn new(n: usize, ghost: usize, nfields: usize) -> SubGrid {
         assert!(n > 0, "sub-grid extent must be positive");
         assert!(nfields > 0, "need at least one field");
-        assert!(ghost <= n, "ghost width wider than the interior is unsupported");
+        assert!(
+            ghost <= n,
+            "ghost width wider than the interior is unsupported"
+        );
         let ext = n + 2 * ghost;
         SubGrid {
             n,
@@ -255,7 +258,7 @@ impl SubGrid {
     /// # Panics
     /// Panics if `n` is odd.
     pub fn prolong_child(&self, octant: crate::index::Octant) -> SubGrid {
-        assert!(self.n % 2 == 0, "prolongation requires even N");
+        assert!(self.n.is_multiple_of(2), "prolongation requires even N");
         let half = self.n / 2;
         let [ox, oy, oz] = octant.xyz();
         let mut child = SubGrid::new(self.n, self.ghost, self.nfields);
@@ -281,7 +284,7 @@ impl SubGrid {
     /// # Panics
     /// Panics if `n` is odd or the grids disagree in shape.
     pub fn restrict_from_child(&mut self, octant: crate::index::Octant, child: &SubGrid) {
-        assert!(self.n % 2 == 0, "restriction requires even N");
+        assert!(self.n.is_multiple_of(2), "restriction requires even N");
         assert_eq!(self.n, child.n, "parent/child N mismatch");
         assert_eq!(self.nfields, child.nfields, "parent/child field mismatch");
         let half = self.n / 2;
@@ -294,12 +297,8 @@ impl SubGrid {
                         for di in 0..2 {
                             for dj in 0..2 {
                                 for dk in 0..2 {
-                                    acc += child.get_interior(
-                                        f,
-                                        2 * i + di,
-                                        2 * j + dj,
-                                        2 * k + dk,
-                                    );
+                                    acc +=
+                                        child.get_interior(f, 2 * i + di, 2 * j + dj, 2 * k + dk);
                                 }
                             }
                         }

@@ -268,7 +268,7 @@ impl Tree {
     /// Verify all structural invariants; returns a description of the first
     /// violation, or `Ok(())`.
     pub fn check_invariants(&self) -> Result<(), String> {
-        if !matches!(self.nodes.get(&NodeId::ROOT), Some(_)) {
+        if !self.nodes.contains_key(&NodeId::ROOT) {
             return Err("root missing".into());
         }
         for (&id, &node) in &self.nodes {
@@ -276,9 +276,7 @@ impl Tree {
             if let Some(p) = id.parent() {
                 match self.nodes.get(&p) {
                     Some(Node::Interior) => {}
-                    Some(Node::Leaf) => {
-                        return Err(format!("{id} exists under leaf parent {p}"))
-                    }
+                    Some(Node::Leaf) => return Err(format!("{id} exists under leaf parent {p}")),
                     None => return Err(format!("{id} has no parent node {p}")),
                 }
             }
@@ -286,10 +284,7 @@ impl Tree {
                 Node::Interior => {
                     for oct in Octant::all() {
                         if !self.contains(id.child(oct)) {
-                            return Err(format!(
-                                "interior {id} missing child octant {}",
-                                oct.0
-                            ));
+                            return Err(format!("interior {id} missing child octant {}", oct.0));
                         }
                     }
                 }
@@ -306,12 +301,10 @@ impl Tree {
         for leaf in self.leaves() {
             for dir in Dir::all26() {
                 if let Some(nb) = leaf.neighbor(dir) {
-                    if self.nodes.get(&nb).is_none() {
+                    if !self.nodes.contains_key(&nb) {
                         match self.covering_leaf(nb) {
                             Some(cov) if cov.level() + 1 < leaf.level() => {
-                                return Err(format!(
-                                    "balance violation: {leaf} vs coarser {cov}"
-                                ));
+                                return Err(format!("balance violation: {leaf} vs coarser {cov}"));
                             }
                             _ => {}
                         }

@@ -1,7 +1,9 @@
 //! The fixed-width vector type [`Simd<T, W>`] and its element trait.
 
 use crate::mask::Mask;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// Scalar types usable as SIMD lanes.
 ///

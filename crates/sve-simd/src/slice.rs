@@ -96,7 +96,11 @@ pub fn zip_map_simd<T: SimdElement, const W: usize>(
     mut kernel: impl FnMut(Simd<T, W>, Simd<T, W>) -> Simd<T, W>,
 ) {
     assert_eq!(a.len(), b.len(), "zip_map_simd length mismatch (a vs b)");
-    assert_eq!(a.len(), dst.len(), "zip_map_simd length mismatch (a vs dst)");
+    assert_eq!(
+        a.len(),
+        dst.len(),
+        "zip_map_simd length mismatch (a vs dst)"
+    );
     for (off, lanes) in ChunkedLanes::<W>::new(a.len()) {
         if lanes == W {
             let va = Simd::<T, W>::from_slice(&a[off..]);

@@ -16,7 +16,11 @@ fn main() {
     // Base level 2 with up to two extra AMR levels around the stars.
     let scenario = {
         // Debug builds are ~30x slower; shrink so `cargo run` stays snappy.
-        let (level, amr, n) = if cfg!(debug_assertions) { (2, 0, 4) } else { (2, 2, 8) };
+        let (level, amr, n) = if cfg!(debug_assertions) {
+            (2, 0, 4)
+        } else {
+            (2, 2, 8)
+        };
         Scenario::build(ScenarioKind::Dwd, &cluster, level, amr, n)
     };
     let model = &scenario.model;
@@ -51,10 +55,7 @@ fn main() {
     let before = ConservationLedger::measure(&sim.grid);
     println!(
         "initial: M = {:.4}, M1 = {:.4}, M2 = {:.4}, L_z = {:.4e}",
-        before.mass,
-        before.component_mass[0],
-        before.component_mass[1],
-        before.angular_momentum_z
+        before.mass, before.component_mass[0], before.component_mass[1], before.angular_momentum_z
     );
 
     for step in 0..2 {

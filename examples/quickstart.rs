@@ -19,7 +19,11 @@ fn main() {
     // sub-grids like the paper.
     let scenario = {
         // Debug builds are ~30x slower; shrink so `cargo run` stays snappy.
-        let (level, amr, n) = if cfg!(debug_assertions) { (2, 0, 4) } else { (2, 1, 8) };
+        let (level, amr, n) = if cfg!(debug_assertions) {
+            (2, 0, 4)
+        } else {
+            (2, 1, 8)
+        };
         Scenario::build(ScenarioKind::RotatingStar, &cluster, level, amr, n)
     };
     println!(

@@ -13,12 +13,7 @@ use octo_repro::hpx::SimCluster;
 use octo_repro::octotiger::{Scenario, ScenarioKind, SimOptions, Simulation};
 use octo_repro::simd::VectorMode;
 
-fn run_config(
-    label: &str,
-    localities: usize,
-    workers: usize,
-    configure: impl Fn(&mut SimOptions),
-) {
+fn run_config(label: &str, localities: usize, workers: usize, configure: impl Fn(&mut SimOptions)) {
     let cluster = SimCluster::new(localities, workers);
     let scenario = Scenario::build(ScenarioKind::RotatingStar, &cluster, 2, 0, 8);
     let mut opts = SimOptions::default();

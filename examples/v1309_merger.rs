@@ -10,22 +10,35 @@
 
 use octo_repro::hpx::SimCluster;
 use octo_repro::octotiger::scf::BinaryKind;
-use octo_repro::octotiger::{io, ConservationLedger, Scenario, ScenarioKind, SimOptions, Simulation};
+use octo_repro::octotiger::{
+    io, ConservationLedger, Scenario, ScenarioKind, SimOptions, Simulation,
+};
 
 fn main() {
     let cluster = SimCluster::new(2, 2);
     let scenario = {
         // Debug builds are ~30x slower; shrink so `cargo run` stays snappy.
-        let (level, amr, n) = if cfg!(debug_assertions) { (2, 0, 4) } else { (2, 1, 8) };
+        let (level, amr, n) = if cfg!(debug_assertions) {
+            (2, 0, 4)
+        } else {
+            (2, 1, 8)
+        };
         Scenario::build(ScenarioKind::V1309, &cluster, level, amr, n)
     };
     let model = &scenario.model;
     println!(
         "V1309 SCF model: M1 = {:.3} M2 = {:.3} (targets {:.2}/{:.2}), a = {:.2}, omega = {:.4}",
-        model.achieved_m1, model.achieved_m2, model.params.m1, model.params.m2,
-        model.params.a, model.omega
+        model.achieved_m1,
+        model.achieved_m2,
+        model.params.m1,
+        model.params.m2,
+        model.params.a,
+        model.omega
     );
-    println!("configuration: {:?} (the paper's progenitor is a contact binary)", model.kind());
+    println!(
+        "configuration: {:?} (the paper's progenitor is a contact binary)",
+        model.kind()
+    );
     assert_eq!(model.kind(), BinaryKind::Contact);
 
     let mut opts = SimOptions::default();

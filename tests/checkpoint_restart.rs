@@ -23,10 +23,7 @@ fn snapshot(sim: &Simulation) -> Vec<Vec<f64>> {
 
 #[test]
 fn restart_continues_identically() {
-    let tmp = std::env::temp_dir().join(format!(
-        "octo_repro_restart_{}.slt",
-        std::process::id()
-    ));
+    let tmp = std::env::temp_dir().join(format!("octo_repro_restart_{}.slt", std::process::id()));
 
     // Uninterrupted reference run: 2 steps.
     let cluster_a = SimCluster::new(1, 2);

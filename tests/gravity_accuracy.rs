@@ -43,9 +43,9 @@ fn fmm_matches_direct_sum_on_the_dwd_scenario() {
     let cluster = SimCluster::new(1, 2);
     let scenario = Scenario::build(ScenarioKind::Dwd, &cluster, 2, 0, 4);
     let sources = sources_of(&scenario);
-    let (fields, stats) = scenario.grid.with_tree(|t| {
-        GravitySolver::default().solve(t, &sources, &ExecSpace::Serial)
-    });
+    let (fields, stats) = scenario
+        .grid
+        .with_tree(|t| GravitySolver::default().solve(t, &sources, &ExecSpace::Serial));
     assert!(stats.m2l_interactions > 0);
 
     // Reference: direct O(N²) sum over all cells.
@@ -65,9 +65,8 @@ fn fmm_matches_direct_sum_on_the_dwd_scenario() {
         let f = &fields[&leaf];
         for c in 0..f.gx.len() {
             let gr = g_ref[idx];
-            num += (f.gx[c] - gr[0]).powi(2)
-                + (f.gy[c] - gr[1]).powi(2)
-                + (f.gz[c] - gr[2]).powi(2);
+            num +=
+                (f.gx[c] - gr[0]).powi(2) + (f.gy[c] - gr[1]).powi(2) + (f.gz[c] - gr[2]).powi(2);
             den += gr[0].powi(2) + gr[1].powi(2) + gr[2].powi(2);
             idx += 1;
         }

@@ -149,4 +149,92 @@ proptest! {
             prop_assert!((g1[ax] - g8[ax]).abs() <= 1e-11 * (1.0 + g1[ax].abs()));
         }
     }
+
+    // ---- Future-combinator laws (the pipelined stepper's substrate). ----
+
+    #[test]
+    fn future_then_applies_continuations_in_chain_order(
+        start in 0i64..1000,
+        ops in prop::collection::vec(-50i64..50, 1..20),
+    ) {
+        // x ↦ 3x + d is non-commutative across steps, so any reordering of
+        // the chain would change the result.
+        let rt = octo_repro::hpx::Runtime::new(2);
+        let mut f = octo_repro::hpx::make_ready_future(start);
+        let mut expect = start;
+        for &d in &ops {
+            f = f.then(&rt, move |x: i64| x.wrapping_mul(3).wrapping_add(d));
+            expect = expect.wrapping_mul(3).wrapping_add(d);
+        }
+        prop_assert_eq!(f.get(), expect);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn when_all_is_complete_and_ordered(values in prop::collection::vec(0u64..1000, 1..24)) {
+        let rt = octo_repro::hpx::Runtime::new(3);
+        let futures: Vec<_> = values
+            .iter()
+            .map(|&v| rt.async_call(move || v * 2))
+            .collect();
+        let all = octo_repro::hpx::when_all(&rt, futures).get();
+        prop_assert_eq!(all.len(), values.len());
+        for (i, v) in all.iter().enumerate() {
+            prop_assert_eq!(*v, values[i] * 2);
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn when_any_yields_the_first_completed_future(n in 1usize..16, pick in 0usize..16) {
+        // Only `winner` is fulfilled before the wait; when_any must report
+        // exactly it, no matter how many pending competitors surround it.
+        let winner = pick % n;
+        let mut promises = Vec::new();
+        let mut futures = Vec::new();
+        for _ in 0..n {
+            let (p, f) = octo_repro::hpx::Promise::<usize>::new_pair();
+            promises.push(Some(p));
+            futures.push(f);
+        }
+        let any = octo_repro::hpx::when_any(futures);
+        promises[winner].take().unwrap().set(winner);
+        let (idx, val) = any.get();
+        prop_assert_eq!(idx, winner);
+        prop_assert_eq!(val, winner);
+        for p in promises.into_iter().flatten() {
+            p.set(usize::MAX); // losers complete harmlessly
+        }
+    }
+
+    #[test]
+    fn random_future_dags_never_deadlock_on_one_worker(
+        edges in prop::collection::vec((0usize..64, 0usize..64), 1..40),
+    ) {
+        // Random DAGs of when_all_of gates + continuations on a 1-worker
+        // runtime: completion relies entirely on the helping wait.  A cycle
+        // or a lost wakeup would trip the debug-build deadlock watchdog.
+        let rt = octo_repro::hpx::Runtime::new(1);
+        let mut nodes: Vec<octo_repro::hpx::Future<u64>> =
+            vec![octo_repro::hpx::make_ready_future(1)];
+        for (k, &(a, b)) in edges.iter().enumerate() {
+            // Depend only on earlier nodes: a DAG by construction.
+            let i = a % nodes.len();
+            let j = b % nodes.len();
+            let parts = [nodes[i].ticket(), nodes[j].ticket()];
+            let gate = octo_repro::hpx::when_all_of(&rt, &parts);
+            let (fi, fj) = (nodes[i].clone(), nodes[j].clone());
+            let f = gate.then(&rt, move |()| {
+                fi.get().wrapping_add(fj.get()).wrapping_add(k as u64)
+            });
+            nodes.push(f);
+        }
+        // Force every node; a deadlock would hang (release) or panic the
+        // watchdog (debug) rather than fail an assertion.
+        for f in &nodes {
+            f.get();
+        }
+        prop_assert_eq!(nodes.len(), edges.len() + 1);
+        rt.shutdown();
+    }
 }

@@ -60,8 +60,7 @@ impl ExactRiemann {
         }
         let p_star = 0.5 * (lo + hi);
         // v* from the left rarefaction relation.
-        let v_star =
-            2.0 * cl / (g - 1.0) * (1.0 - (p_star / P_L).powf((g - 1.0) / (2.0 * g)));
+        let v_star = 2.0 * cl / (g - 1.0) * (1.0 - (p_star / P_L).powf((g - 1.0) / (2.0 * g)));
         ExactRiemann { p_star, v_star }
     }
 
@@ -192,7 +191,10 @@ fn sod_profile_matches_exact_riemann_solution() {
 
     // Qualitative wave structure: left state intact, right state intact,
     // and a genuine shock jump in between.
-    assert!((rho_profile[1] - RHO_L).abs() < 0.02, "left state disturbed");
+    assert!(
+        (rho_profile[1] - RHO_L).abs() < 0.02,
+        "left state disturbed"
+    );
     assert!(
         (rho_profile[cells_x - 2] - RHO_R).abs() < 0.02,
         "right state disturbed"

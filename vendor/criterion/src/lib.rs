@@ -1,0 +1,172 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the group/bench-function/iter API the workspace's benches use,
+//! backed by a simple adaptive timer: each benchmark is warmed up, then run
+//! in batches until a time budget is spent, and the mean ns/iter (plus
+//! iterations/second) is printed.  No statistics, plots or baselines — the
+//! goal is comparable same-process numbers (e.g. pipelined vs. barrier
+//! stepper), not criterion's confidence intervals.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark time budget after warm-up.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), f);
+    }
+}
+
+/// A named set of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the adaptive timer ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement window per benchmark (accepted, ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter, mirroring
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it enough times to fill the budget.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(label: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: also discovers roughly how long one iteration takes.
+    let mut bencher = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warmup_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warmup_start.elapsed() < WARMUP_BUDGET {
+        f(&mut bencher);
+        per_iter = (bencher.elapsed / bencher.iterations as u32).max(Duration::from_nanos(1));
+        if bencher.elapsed < Duration::from_millis(1) {
+            bencher.iterations = bencher.iterations.saturating_mul(2);
+        }
+    }
+    // Measurement: batches sized so each lasts ~1/10 of the budget.
+    let batch = ((MEASURE_BUDGET.as_nanos() / 10) / per_iter.as_nanos().max(1))
+        .clamp(1, u64::MAX as u128) as u64;
+    let mut total_iters = 0u64;
+    let mut total_time = Duration::ZERO;
+    while total_time < MEASURE_BUDGET {
+        bencher.iterations = batch;
+        f(&mut bencher);
+        total_iters += batch;
+        total_time += bencher.elapsed;
+    }
+    let ns_per_iter = total_time.as_nanos() as f64 / total_iters as f64;
+    println!(
+        "bench {label:<50} {:>12.1} ns/iter ({:.3e} iter/s)",
+        ns_per_iter,
+        1e9 / ns_per_iter
+    );
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("tasks", 8).to_string(), "tasks/8");
+    }
+}

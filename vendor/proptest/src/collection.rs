@@ -1,0 +1,71 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::Rng;
+use std::ops::Range;
+
+/// Inclusive-min / exclusive-max length bounds for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max_exclusive: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+/// A strategy for `Vec<S::Value>` with length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        let span = (self.size.max_exclusive - self.size.min) as u64;
+        let len = self.size.min + (rng.next_u64() % span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, size)`: vectors of strategy-drawn
+/// elements.  `size` is an exact length (`64`) or a range (`0..10`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut runner = TestRunner::new("vec_lengths");
+        for _ in 0..100 {
+            assert_eq!(vec(0u32..5, 7).generate(runner.rng()).len(), 7);
+            let l = vec(0u32..5, 1..4).generate(runner.rng()).len();
+            assert!((1..4).contains(&l));
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Strategies: how test inputs are generated.
+
+use crate::test_runner::Rng;
+use std::ops::Range;
+
+/// A generator of test values.  Unlike real proptest there is no value tree
+/// or shrinking — `generate` draws a value directly.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut Rng) -> f32 {
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+/// Always yields a clone of the given value (proptest's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Regex-flavoured string strategy (proptest treats `&str` as a regex).
+///
+/// Supported surface: an optional char-class prefix (anything up to a
+/// trailing `{lo,hi}` repetition) generates printable ASCII; the repetition
+/// bounds the length.  That covers patterns like `"\\PC{0,200}"` used for
+/// parser-totality tests, where the property only needs "arbitrary text".
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut Rng) -> String {
+        let (lo, hi) = parse_repetition(self).unwrap_or((0, 16));
+        let span = (hi - lo + 1) as u64;
+        let len = lo + (rng.next_u64() % span) as usize;
+        (0..len)
+            .map(|_| {
+                // Mostly printable ASCII with occasional non-ASCII scalars,
+                // enough hostility for never-panics properties.
+                match rng.next_u64() % 16 {
+                    0 => 'π',
+                    1 => '\u{1F300}',
+                    _ => (0x20 + (rng.next_u64() % 0x5f) as u8) as char,
+                }
+            })
+            .collect()
+    }
+}
+
+fn parse_repetition(pattern: &str) -> Option<(usize, usize)> {
+    let open = pattern.rfind('{')?;
+    let close = pattern.rfind('}')?;
+    if close != pattern.len() - 1 || open + 1 >= close {
+        return None;
+    }
+    let inner = &pattern[open + 1..close];
+    let (lo, hi) = inner.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// Types with a canonical default strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut Rng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut Rng) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut Rng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut Rng) -> Self {
+        // Finite, spread over a wide exponent range.
+        let mag = rng.next_f64() * 600.0 - 300.0;
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * 10f64.powf(mag / 10.0)
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct ArbitraryStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut runner = TestRunner::new("ranges_stay_in_bounds");
+        for _ in 0..1000 {
+            let u = (3usize..17).generate(runner.rng());
+            assert!((3..17).contains(&u));
+            let i = (-5i64..5).generate(runner.rng());
+            assert!((-5..5).contains(&i));
+            let f = (-2.0f64..3.0).generate(runner.rng());
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_pattern_respects_length_bounds() {
+        let mut runner = TestRunner::new("string_pattern");
+        for _ in 0..200 {
+            let s = "\\PC{0,20}".generate(runner.rng());
+            assert!(s.chars().count() <= 20);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = TestRunner::new("same-name");
+        let mut b = TestRunner::new("same-name");
+        for _ in 0..100 {
+            assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Instead of serde's visitor-based zero-copy architecture, this shim uses a
+//! self-describing [`Content`] tree: `Serialize` lowers a value into
+//! `Content`, `Deserialize` rebuilds a value from it, and `serde_json`
+//! renders/parses `Content` as JSON text.  That is exactly the surface the
+//! workspace uses (derive on plain structs and unit enums + JSON round
+//! trips), with none of the trait machinery the real crate needs for
+//! format-generic streaming.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value — the common currency between the
+/// derive macros and `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Field order is preserved (struct declaration order).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Numeric view of any numeric variant, for tolerant deserialization
+    /// (JSON does not distinguish `1`, `1.0` and `1e0`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A value that can lower itself into [`Content`].
+pub trait Serialize {
+    fn serialize_content(&self) -> Content;
+}
+
+/// A value that can rebuild itself from [`Content`].
+pub trait Deserialize: Sized {
+    fn deserialize_content(content: &Content) -> Result<Self, String>;
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, found {other:?}")),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, String> {
+                let v = content
+                    .as_f64()
+                    .ok_or_else(|| format!("expected number, found {content:?}"))?;
+                if v < 0.0 || v.fract() != 0.0 {
+                    return Err(format!("expected unsigned integer, found {v}"));
+                }
+                Ok(v as $t)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, String> {
+                let v = content
+                    .as_f64()
+                    .ok_or_else(|| format!("expected number, found {content:?}"))?;
+                if v.fract() != 0.0 {
+                    return Err(format!("expected integer, found {v}"));
+                }
+                Ok(v as $t)
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, String> {
+                content
+                    .as_f64()
+                    .map(|v| v as $t)
+                    .ok_or_else(|| format!("expected number, found {content:?}"))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn serialize_content(&self) -> Content {
+        Content::Str((*self).to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the parsed string.  The workspace only deserializes
+    /// `&'static str` fields holding a handful of short machine names, so
+    /// the leak is bounded and intentional.
+    fn deserialize_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deserialize_content).collect(),
+            other => Err(format!("expected sequence, found {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (*self).serialize_content()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercion_round_trips() {
+        assert_eq!(u32::deserialize_content(&Content::F64(7.0)).unwrap(), 7);
+        assert_eq!(i64::deserialize_content(&Content::U64(9)).unwrap(), 9);
+        assert!(u8::deserialize_content(&Content::F64(1.5)).is_err());
+        assert!(usize::deserialize_content(&Content::F64(-1.0)).is_err());
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        let none: Option<f64> = None;
+        assert_eq!(none.serialize_content(), Content::Null);
+        assert_eq!(
+            Option::<f64>::deserialize_content(&Content::Null).unwrap(),
+            None
+        );
+        assert_eq!(
+            Option::<f64>::deserialize_content(&Content::F64(2.5)).unwrap(),
+            Some(2.5)
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Without network access there is no `syn`/`quote`, so the derive input is
+//! parsed directly from the `proc_macro` token stream.  The grammar is
+//! deliberately restricted to what this workspace derives on:
+//!
+//! * structs with named fields and no generics, and
+//! * enums whose variants are all unit variants,
+//!
+//! with no `#[serde(...)]` attributes.  Anything else panics at compile time
+//! with a message naming the restriction, which is the honest failure mode
+//! for a vendored shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Derive `serde::Serialize` (Content-model variant; see vendor/serde).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::serialize_content(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated code parses")
+}
+
+/// Derive `serde::Deserialize` (Content-model variant; see vendor/serde).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: {{\n\
+                             let entry = map.iter().find(|(k, _)| k == \"{f}\")\n\
+                                 .ok_or_else(|| format!(\"missing field `{f}` in {name}\"))?;\n\
+                             ::serde::Deserialize::deserialize_content(&entry.1)?\n\
+                         }},"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_content(content: &::serde::Content) -> Result<Self, String> {{\n\
+                         let map = match content {{\n\
+                             ::serde::Content::Map(m) => m,\n\
+                             other => return Err(format!(\"expected map for {name}, found {{other:?}}\")),\n\
+                         }};\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_content(content: &::serde::Content) -> Result<Self, String> {{\n\
+                         let s = match content {{\n\
+                             ::serde::Content::Str(s) => s.as_str(),\n\
+                             other => return Err(format!(\"expected string for {name}, found {{other:?}}\")),\n\
+                         }};\n\
+                         match s {{\n\
+                             {arms}\n\
+                             other => Err(format!(\"unknown {name} variant `{{other}}`\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated code parses")
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Outer attribute (doc comments included): skip the [...]
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Skip an optional restriction like pub(crate).
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(tokens.next(), "struct name");
+                let body = expect_brace_group(&mut tokens, &name);
+                return Shape::Struct {
+                    fields: parse_named_fields(body, &name),
+                    name,
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(tokens.next(), "enum name");
+                let body = expect_brace_group(&mut tokens, &name);
+                return Shape::Enum {
+                    variants: parse_unit_variants(body, &name),
+                    name,
+                };
+            }
+            Some(other) => panic!("serde_derive shim: unexpected token `{other}` before item"),
+            None => panic!("serde_derive shim: no struct or enum found in derive input"),
+        }
+    }
+}
+
+fn expect_ident(token: Option<TokenTree>, what: &str) -> String {
+    match token {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected {what}, found {other:?}"),
+    }
+}
+
+fn expect_brace_group(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    name: &str,
+) -> TokenStream {
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive shim: `{name}` is generic; only non-generic types are supported")
+        }
+        other => panic!(
+            "serde_derive shim: expected {{...}} body for `{name}`, found {other:?} \
+             (tuple structs and unit structs are not supported)"
+        ),
+    }
+}
+
+fn parse_named_fields(body: TokenStream, name: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next();
+                continue;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next();
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let field = expect_ident(tokens.next(), "field name");
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde_derive shim: expected `:` after field `{field}` in {name}, found {other:?}"
+            ),
+        }
+        // Skip the type: consume until a `,` at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn parse_unit_variants(body: TokenStream, name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next();
+                continue;
+            }
+            _ => {}
+        }
+        let variant = expect_ident(tokens.next(), "variant name");
+        match tokens.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            Some(other) => panic!(
+                "serde_derive shim: enum `{name}` variant `{variant}` is not a unit variant \
+                 (found `{other}`); only unit enums are supported"
+            ),
+        }
+    }
+    variants
+}
