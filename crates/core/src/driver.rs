@@ -47,6 +47,14 @@ pub struct SimOptions {
     /// the gravity FMM overlaps the first stage's ghost fill.  Bit-identical
     /// physics to the barrier path (see `tests/switch_equivalence.rs`).
     pub pipeline: bool,
+    /// Arm the `hpx-rt` blocked-worker watchdog for this run: a worker stuck
+    /// on an unresolved future for this many milliseconds (with nothing to
+    /// help with) aborts with a deadlock diagnosis instead of hanging, and
+    /// the fire is exported as the `/threads/count/watchdog-fires` counter.
+    /// `None` keeps the build default (30 s in debug, off in release —
+    /// release runs can also opt in via `HPX_WATCHDOG_MS`); `Some(0)`
+    /// disables it.
+    pub watchdog_ms: Option<u64>,
 }
 
 impl Default for SimOptions {
@@ -59,6 +67,7 @@ impl Default for SimOptions {
             omega: 0.0,
             cfl: 0.4,
             pipeline: false,
+            watchdog_ms: None,
         }
     }
 }
@@ -206,6 +215,9 @@ impl Simulation {
 
     /// Advance one full RK3 step; returns the step telemetry.
     pub fn step(&mut self, cluster: &SimCluster) -> StepStats {
+        if let Some(ms) = self.opts.watchdog_ms {
+            hpx_rt::set_blocked_wait_timeout(std::time::Duration::from_millis(ms));
+        }
         if self.opts.pipeline {
             self.step_pipelined(cluster)
         } else {

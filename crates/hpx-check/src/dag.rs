@@ -1,0 +1,619 @@
+//! Static future-DAG linter for the pipelined stepper.
+//!
+//! `Simulation::step_pipelined` wires thousands of futures per step: per
+//! (leaf, direction) ghost link a pack and an unpack, per leaf two joins and
+//! an update, plus the dt reduction and the gravity solve feeding stage 0.
+//! This module rebuilds that graph *symbolically* from the same
+//! [`LinkSpec`] classification the runtime consumes — no physics, no
+//! futures — and checks the properties that make the runtime graph safe:
+//!
+//! * **acyclic** — a cycle is a guaranteed deadlock (every future in it
+//!   waits on another);
+//! * **no orphans** — a non-source node with zero producers is a ticket no
+//!   task ever resolves: its waiters hang forever;
+//! * **all nodes reachable** — a node no chain of edges connects to a
+//!   source can never fire;
+//! * **fan-in bounds** — each leaf joins exactly 26 unpacks, a pack reads
+//!   1–4 sources (same-level/coarser: 1, finer: up to 4 children), an
+//!   update joins its two per-leaf gates plus the stage-0 dt/gravity gates.
+//!
+//! Run it as a driver pre-flight ([`lint_pipeline`]) or over a
+//! [`DistGrid`](octree::DistGrid) via [`FutureDag::from_links`] in tests.
+
+use octree::{Dir, LinkSpec, NodeId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// One symbolic future of the pipelined step graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DagNode {
+    /// Leaf interior holds stage-`stage` input data.  Stage 0 readiness is a
+    /// source (the state before the step); later stages reuse
+    /// `Update { stage: s - 1 }` directly, as the runtime does.
+    Ready { leaf: NodeId },
+    /// The (leaf, dir) link's payload, packed from its sources.
+    Pack {
+        stage: usize,
+        leaf: NodeId,
+        dir: Dir,
+    },
+    /// The (leaf, dir) ghost shell written (outflow applied at boundaries).
+    Unpack {
+        stage: usize,
+        leaf: NodeId,
+        dir: Dir,
+    },
+    /// Join: all 26 ghost shells of the leaf written.
+    GhostsFilled { stage: usize, leaf: NodeId },
+    /// Join: every link reading this leaf's interior has packed its payload.
+    OutgoingPacked { stage: usize, leaf: NodeId },
+    /// The leaf's stage-`stage` RHS + combine kernel.
+    Update { stage: usize, leaf: NodeId },
+    /// The global dt reduction gating stage 0.
+    DtReduce,
+    /// The gravity FMM solve gating stage 0.
+    Gravity,
+}
+
+impl DagNode {
+    /// `true` for nodes that legitimately have no producers.
+    fn is_source(&self) -> bool {
+        matches!(
+            self,
+            DagNode::Ready { .. } | DagNode::DtReduce | DagNode::Gravity
+        )
+    }
+
+    /// `true` for joins where an empty input set is well-defined
+    /// (`when_all_of` of nothing is immediately ready).
+    fn may_join_nothing(&self) -> bool {
+        // A leaf all of whose neighbours are domain boundaries has no link
+        // reading it, so its outgoing-packed join is legitimately empty.
+        matches!(self, DagNode::OutgoingPacked { .. })
+    }
+}
+
+impl std::fmt::Display for DagNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let dir = |d: &Dir| format!("({},{},{})", d.dx, d.dy, d.dz);
+        match self {
+            DagNode::Ready { leaf } => write!(f, "ready({leaf})"),
+            DagNode::Pack {
+                stage,
+                leaf,
+                dir: d,
+            } => {
+                write!(f, "pack(s{stage}, {leaf}, {})", dir(d))
+            }
+            DagNode::Unpack {
+                stage,
+                leaf,
+                dir: d,
+            } => {
+                write!(f, "unpack(s{stage}, {leaf}, {})", dir(d))
+            }
+            DagNode::GhostsFilled { stage, leaf } => {
+                write!(f, "ghosts_filled(s{stage}, {leaf})")
+            }
+            DagNode::OutgoingPacked { stage, leaf } => {
+                write!(f, "outgoing_packed(s{stage}, {leaf})")
+            }
+            DagNode::Update { stage, leaf } => write!(f, "update(s{stage}, {leaf})"),
+            DagNode::DtReduce => write!(f, "dt_reduce"),
+            DagNode::Gravity => write!(f, "gravity"),
+        }
+    }
+}
+
+/// A problem found in a future DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintFinding {
+    /// A dependency cycle; `path` lists its nodes in order (first == last).
+    Cycle { path: Vec<DagNode> },
+    /// A non-source node with no producers: a ticket nothing resolves.
+    Orphan { node: DagNode },
+    /// A node no path from any source reaches: it can never fire.
+    UnreachableSink { node: DagNode },
+    /// A node whose producer count is outside its structural bounds.
+    FanIn {
+        node: DagNode,
+        got: usize,
+        min: usize,
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintFinding::Cycle { path } => {
+                write!(f, "dependency cycle: ")?;
+                for (i, n) in path.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                Ok(())
+            }
+            LintFinding::Orphan { node } => write!(
+                f,
+                "orphan: {node} has no producer — nothing ever resolves it"
+            ),
+            LintFinding::UnreachableSink { node } => write!(
+                f,
+                "unreachable: no path from any source reaches {node}, so it can never fire"
+            ),
+            LintFinding::FanIn {
+                node,
+                got,
+                min,
+                max,
+            } => write!(
+                f,
+                "fan-in: {node} has {got} producers, expected {min}..={max}"
+            ),
+        }
+    }
+}
+
+/// Structural summary of a linted DAG (for pre-flight reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DagSummary {
+    pub nodes: usize,
+    pub edges: usize,
+    pub stages: usize,
+    pub leaves: usize,
+}
+
+/// The symbolic future DAG: nodes plus producer lists (`deps[i]` are the
+/// nodes whose completion node `i` waits on).
+pub struct FutureDag {
+    nodes: Vec<DagNode>,
+    index: HashMap<DagNode, usize>,
+    deps: Vec<Vec<usize>>,
+    stages: usize,
+    leaves: usize,
+}
+
+impl FutureDag {
+    /// Empty DAG (use [`FutureDag::from_links`] for the stepper graph).
+    pub fn new() -> Self {
+        FutureDag {
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            deps: Vec::new(),
+            stages: 0,
+            leaves: 0,
+        }
+    }
+
+    /// Index of `node`, inserting it if new.
+    pub fn node(&mut self, node: DagNode) -> usize {
+        if let Some(&i) = self.index.get(&node) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(node);
+        self.deps.push(Vec::new());
+        self.index.insert(node, i);
+        i
+    }
+
+    /// Add the edge "`to` waits on `from`".  Public so tests can inject
+    /// bugs (e.g. a cyclic ghost link) into an otherwise-correct graph.
+    pub fn add_dep(&mut self, to: DagNode, from: DagNode) {
+        let f = self.node(from);
+        let t = self.node(to);
+        self.deps[t].push(f);
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Structural summary.
+    pub fn summary(&self) -> DagSummary {
+        DagSummary {
+            nodes: self.nodes.len(),
+            edges: self.deps.iter().map(Vec::len).sum(),
+            stages: self.stages,
+            leaves: self.leaves,
+        }
+    }
+
+    /// Build the dependency graph `step_pipelined` would wire for `links`
+    /// over `stages` RK stages (3 in production), with or without the
+    /// gravity solve gating stage 0.  The wiring mirrors
+    /// `DistGrid::exchange_ghosts_pipelined` + `Simulation::step_pipelined`
+    /// edge for edge; both consume the same [`LinkSpec`] classification.
+    pub fn from_links(links: &[LinkSpec], stages: usize, gravity: bool) -> Self {
+        let mut dag = FutureDag::new();
+        let leaves: Vec<NodeId> = {
+            let mut seen = HashSet::new();
+            links
+                .iter()
+                .map(|l| l.leaf)
+                .filter(|l| seen.insert(*l))
+                .collect()
+        };
+        dag.stages = stages;
+        dag.leaves = leaves.len();
+        dag.node(DagNode::DtReduce);
+        if gravity {
+            dag.node(DagNode::Gravity);
+        }
+        for s in 0..stages {
+            // Stage-s interior readiness of a leaf: the previous stage's
+            // update, or the pre-step state for stage 0.
+            let ready = |leaf: NodeId| {
+                if s == 0 {
+                    DagNode::Ready { leaf }
+                } else {
+                    DagNode::Update { stage: s - 1, leaf }
+                }
+            };
+            for leaf in &leaves {
+                dag.node(ready(*leaf));
+            }
+            for link in links {
+                let unpack = DagNode::Unpack {
+                    stage: s,
+                    leaf: link.leaf,
+                    dir: link.dir,
+                };
+                if link.is_boundary() {
+                    // Outflow reads the leaf's own interior.
+                    dag.add_dep(unpack, ready(link.leaf));
+                } else {
+                    let pack = DagNode::Pack {
+                        stage: s,
+                        leaf: link.leaf,
+                        dir: link.dir,
+                    };
+                    for src in &link.sources {
+                        dag.add_dep(pack, ready(*src));
+                        // The source's interior may only be overwritten
+                        // after every reader has packed.
+                        dag.add_dep(
+                            DagNode::OutgoingPacked {
+                                stage: s,
+                                leaf: *src,
+                            },
+                            pack,
+                        );
+                    }
+                    dag.add_dep(unpack, pack);
+                    // A ghost write landing before the leaf's own combine
+                    // would be clobbered: gate on the leaf too.
+                    dag.add_dep(unpack, ready(link.leaf));
+                }
+                dag.add_dep(
+                    DagNode::GhostsFilled {
+                        stage: s,
+                        leaf: link.leaf,
+                    },
+                    unpack,
+                );
+            }
+            for leaf in &leaves {
+                let update = DagNode::Update {
+                    stage: s,
+                    leaf: *leaf,
+                };
+                dag.node(DagNode::OutgoingPacked {
+                    stage: s,
+                    leaf: *leaf,
+                });
+                dag.add_dep(
+                    update,
+                    DagNode::GhostsFilled {
+                        stage: s,
+                        leaf: *leaf,
+                    },
+                );
+                dag.add_dep(
+                    update,
+                    DagNode::OutgoingPacked {
+                        stage: s,
+                        leaf: *leaf,
+                    },
+                );
+                if s == 0 {
+                    dag.add_dep(update, DagNode::DtReduce);
+                    if gravity {
+                        dag.add_dep(update, DagNode::Gravity);
+                    }
+                }
+            }
+        }
+        dag
+    }
+
+    /// Run every check; an empty result means the graph is safe.
+    pub fn lint(&self) -> Vec<LintFinding> {
+        let mut findings = Vec::new();
+        self.lint_cycles(&mut findings);
+        self.lint_orphans(&mut findings);
+        self.lint_reachability(&mut findings);
+        self.lint_fan_in(&mut findings);
+        findings
+    }
+
+    /// Kahn's algorithm; any node never drained sits on a cycle.  One
+    /// concrete cycle is reconstructed for the report.
+    fn lint_cycles(&self, findings: &mut Vec<LintFinding>) {
+        let n = self.nodes.len();
+        // out_edges[p] = consumers of p; pending[i] = unresolved producers.
+        let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut pending: Vec<usize> = vec![0; n];
+        for (i, deps) in self.deps.iter().enumerate() {
+            pending[i] = deps.len();
+            for &d in deps {
+                out_edges[d].push(i);
+            }
+        }
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| pending[i] == 0).collect();
+        let mut drained = 0usize;
+        while let Some(i) = queue.pop_front() {
+            drained += 1;
+            for &c in &out_edges[i] {
+                pending[c] -= 1;
+                if pending[c] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        if drained == n {
+            return;
+        }
+        // Walk producer edges from any stuck node until one repeats.
+        let stuck = (0..n).find(|&i| pending[i] > 0).unwrap();
+        let mut path = vec![stuck];
+        let mut seen: HashMap<usize, usize> = HashMap::from([(stuck, 0)]);
+        let mut cur = stuck;
+        loop {
+            let next = *self.deps[cur]
+                .iter()
+                .find(|&&d| pending[d] > 0)
+                .expect("stuck node must have a stuck producer");
+            if let Some(&start) = seen.get(&next) {
+                let mut cycle: Vec<DagNode> =
+                    path[start..].iter().map(|&i| self.nodes[i]).collect();
+                cycle.reverse(); // producer order reads as "A -> B waits on A"
+                cycle.push(cycle[0]);
+                findings.push(LintFinding::Cycle { path: cycle });
+                return;
+            }
+            seen.insert(next, path.len());
+            path.push(next);
+            cur = next;
+        }
+    }
+
+    fn lint_orphans(&self, findings: &mut Vec<LintFinding>) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if self.deps[i].is_empty() && !node.is_source() && !node.may_join_nothing() {
+                findings.push(LintFinding::Orphan { node: *node });
+            }
+        }
+    }
+
+    fn lint_reachability(&self, findings: &mut Vec<LintFinding>) {
+        let n = self.nodes.len();
+        let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, deps) in self.deps.iter().enumerate() {
+            for &d in deps {
+                out_edges[d].push(i);
+            }
+        }
+        let mut reached = vec![false; n];
+        let mut queue: VecDeque<usize> = (0..n)
+            .filter(|&i| {
+                self.deps[i].is_empty()
+                    && (self.nodes[i].is_source() || self.nodes[i].may_join_nothing())
+            })
+            .collect();
+        for &i in &queue {
+            reached[i] = true;
+        }
+        while let Some(i) = queue.pop_front() {
+            for &c in &out_edges[i] {
+                if !reached[c] {
+                    reached[c] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            // Orphans and cycle members are already reported as such; an
+            // unreachable node with producers but no rooted path duplicates
+            // little, so report all unreached non-roots for completeness.
+            if !reached[i] && !self.deps[i].is_empty() {
+                findings.push(LintFinding::UnreachableSink { node: *node });
+            }
+        }
+    }
+
+    fn lint_fan_in(&self, findings: &mut Vec<LintFinding>) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            let got = self.deps[i].len();
+            let (min, max) = match node {
+                // A leaf has exactly 26 ghost shells.
+                DagNode::GhostsFilled { .. } => (26, 26),
+                // Same-level/coarser: 1 source; finer: 2×2 face children.
+                DagNode::Pack { .. } => (1, 4),
+                // Payload (non-boundary only) + the leaf's own readiness.
+                DagNode::Unpack { .. } => (1, 2),
+                // ghosts_filled + outgoing_packed (+ dt and gravity at s0).
+                DagNode::Update { stage: 0, .. } => (2, 4),
+                DagNode::Update { .. } => (2, 2),
+                _ => continue,
+            };
+            if got < min || got > max {
+                findings.push(LintFinding::FanIn {
+                    node: *node,
+                    got,
+                    min,
+                    max,
+                });
+            }
+        }
+    }
+}
+
+impl Default for FutureDag {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Pre-flight lint of the graph `step_pipelined` would build for `links`:
+/// `Ok` with a summary when clean, `Err` with every finding otherwise.
+pub fn lint_pipeline(
+    links: &[LinkSpec],
+    stages: usize,
+    gravity: bool,
+) -> Result<DagSummary, Vec<LintFinding>> {
+    let dag = FutureDag::from_links(links, stages, gravity);
+    let findings = dag.lint();
+    if findings.is_empty() {
+        Ok(dag.summary())
+    } else {
+        Err(findings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octree::{ghost_link_specs, Tree};
+
+    fn uniform_links(level: u8) -> Vec<LinkSpec> {
+        ghost_link_specs(&Tree::new_uniform(level))
+    }
+
+    #[test]
+    fn uniform_tree_graph_is_clean() {
+        let links = uniform_links(2);
+        let summary = lint_pipeline(&links, 3, true).expect("clean graph");
+        assert_eq!(summary.leaves, 64);
+        assert_eq!(summary.stages, 3);
+        assert!(summary.nodes > 64 * 26);
+    }
+
+    #[test]
+    fn refined_tree_graph_is_clean() {
+        let mut tree = Tree::new_uniform(1);
+        let first = tree.leaves()[0];
+        tree.refine_balanced(first);
+        let links = ghost_link_specs(&tree);
+        lint_pipeline(&links, 3, true).expect("clean refined graph");
+    }
+
+    #[test]
+    fn single_leaf_tree_is_clean() {
+        // Level 0: one leaf, all 26 links are domain boundaries, the
+        // outgoing-packed join is legitimately empty.
+        let links = uniform_links(0);
+        let summary = lint_pipeline(&links, 3, false).expect("clean graph");
+        assert_eq!(summary.leaves, 1);
+    }
+
+    #[test]
+    fn cyclic_ghost_link_is_reported() {
+        let links = uniform_links(1);
+        let mut dag = FutureDag::from_links(&links, 1, false);
+        let leaf = links[0].leaf;
+        // Plant the bug: stage-0 readiness waiting on the stage-0 update —
+        // the update transitively waits on readiness, closing a cycle.
+        dag.add_dep(DagNode::Ready { leaf }, DagNode::Update { stage: 0, leaf });
+        let findings = dag.lint();
+        assert!(
+            findings
+                .iter()
+                .any(|f| matches!(f, LintFinding::Cycle { .. })),
+            "expected a cycle finding, got: {findings:?}"
+        );
+        let text = findings
+            .iter()
+            .find(|f| matches!(f, LintFinding::Cycle { .. }))
+            .unwrap()
+            .to_string();
+        assert!(text.contains("dependency cycle"), "got: {text}");
+    }
+
+    #[test]
+    fn orphan_ticket_is_reported() {
+        let links = uniform_links(1);
+        let mut dag = FutureDag::from_links(&links, 1, false);
+        let leaf = links[0].leaf;
+        // A join node added with no producers: nothing resolves it.
+        let phantom = DagNode::GhostsFilled { stage: 7, leaf };
+        dag.node(phantom);
+        let findings = dag.lint();
+        assert!(
+            findings
+                .iter()
+                .any(|f| matches!(f, LintFinding::Orphan { node } if *node == phantom)),
+            "expected an orphan finding, got: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn unreachable_sink_is_reported() {
+        let mut dag = FutureDag::new();
+        let leaf = Tree::new_uniform(0).leaves()[0];
+        // Two phantom updates feeding each other *and* a dependent sink:
+        // the sink has producers but no rooted path, and is not on the
+        // cycle itself.
+        let a = DagNode::Update { stage: 5, leaf };
+        let b = DagNode::Update { stage: 6, leaf };
+        let sink = DagNode::GhostsFilled { stage: 6, leaf };
+        dag.add_dep(a, b);
+        dag.add_dep(b, a);
+        dag.add_dep(sink, a);
+        let findings = dag.lint();
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, LintFinding::UnreachableSink { node } if *node == sink)));
+    }
+
+    #[test]
+    fn fan_in_violation_is_reported() {
+        let links = uniform_links(1);
+        let mut dag = FutureDag::from_links(&links, 1, false);
+        // Plant a 27th unpack feeding one leaf's ghosts_filled join.
+        let leaf = links[0].leaf;
+        let bogus_dir = links
+            .iter()
+            .find(|l| l.leaf == leaf)
+            .map(|l| l.dir)
+            .unwrap();
+        dag.add_dep(
+            DagNode::GhostsFilled { stage: 0, leaf },
+            DagNode::Unpack {
+                stage: 1, // foreign-stage unpack: a distinct 27th producer
+                leaf,
+                dir: bogus_dir,
+            },
+        );
+        let findings = dag.lint();
+        assert!(
+            findings.iter().any(|f| matches!(
+                f,
+                LintFinding::FanIn {
+                    node: DagNode::GhostsFilled { stage: 0, .. },
+                    got: 27,
+                    ..
+                }
+            )),
+            "expected a fan-in finding, got: {findings:?}"
+        );
+    }
+}

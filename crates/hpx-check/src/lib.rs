@@ -1,0 +1,38 @@
+//! # hpx-check — concurrency analyses for the HPX/Kokkos reproduction
+//!
+//! The pipelined stepper replaces barriers with thousands of futures per
+//! step; the integration layer overlaps kernels that are only ordered by
+//! explicit dependency edges.  Both give the paper its scaling — and both
+//! are exactly where concurrency bugs hide: a dropped promise deadlocks a
+//! subtree, a miswired ghost link forms a cycle, a missing launch edge is
+//! a silent data race.  This crate packages three analyses that hunt those
+//! bug classes without running any physics:
+//!
+//! * **Schedule-exploring model checker** ([`model`]) — drives a future
+//!   graph through seeded deterministic interleavings
+//!   ([`hpx_rt::Runtime::deterministic`]) and reports deadlocks, stalls and
+//!   contained task panics with a *replayable seed*.
+//! * **Static future-DAG linter** ([`dag`]) — rebuilds the dependency
+//!   graph `step_pipelined` would wire for a given octree from the shared
+//!   [`octree::LinkSpec`] classification and checks acyclicity, orphan
+//!   tickets, reachability and fan-in bounds.
+//! * **View race detector** ([`kokkos_rs::RaceDetector`], modeled over the
+//!   stepper in [`pipeline`]) — happens-before shadow tracking of declared
+//!   view accesses at launch boundaries, aborting with both launch sites.
+//! * **Kernel-body wait lint** ([`scan`]) — a source scan forbidding
+//!   blocking `.wait()`/`.get()` inside kernel argument regions, with an
+//!   allowlist file.
+//!
+//! Run everything from the CLI: `cargo run -p hpx-check -- all`.
+
+pub mod dag;
+pub mod model;
+pub mod pipeline;
+pub mod scan;
+
+pub use dag::{lint_pipeline, DagNode, DagSummary, FutureDag, LintFinding};
+pub use model::{CheckReport, ModelChecker, ScheduleFailure};
+pub use pipeline::{
+    exercise_pipeline, race_model_pipeline, RaceBug, RaceModelSummary, ScheduleBug,
+};
+pub use scan::{scan_source, scan_workspace, Allowlist, WaitLintFinding};

@@ -1,0 +1,242 @@
+//! `hpx-check` CLI: run the concurrency analyses from the command line
+//! and from CI.
+//!
+//! ```text
+//! cargo run -p hpx-check -- all                 # every analysis, defaults
+//! cargo run -p hpx-check -- lint --level 2      # static DAG lint only
+//! cargo run -p hpx-check -- model --schedules 64 --seed 1
+//! cargo run -p hpx-check -- model --replay 17   # re-run one interleaving
+//! cargo run -p hpx-check -- races --level 1
+//! cargo run -p hpx-check -- waitlint --root . --allow hpx-check.allow
+//! ```
+//!
+//! Exit status 0 when every requested analysis is clean, 1 otherwise.
+
+use hpx_check::{
+    exercise_pipeline, lint_pipeline, race_model_pipeline, scan_workspace, Allowlist, ModelChecker,
+    RaceBug, ScheduleBug,
+};
+use octree::{ghost_link_specs, LinkSpec, Tree};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    level: u8,
+    stages: usize,
+    schedules: usize,
+    seed: u64,
+    replay: Option<u64>,
+    root: PathBuf,
+    allow: Option<PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            level: 2,
+            stages: 3,
+            schedules: 32,
+            seed: 1,
+            replay: None,
+            root: PathBuf::from("."),
+            allow: None,
+        }
+    }
+}
+
+const USAGE: &str = "usage: hpx-check <all|lint|model|races|waitlint> \
+    [--level N] [--stages N] [--schedules N] [--seed N] [--replay SEED] \
+    [--root DIR] [--allow FILE]";
+
+fn parse_args(args: &[String]) -> Result<(String, Options), String> {
+    let mut cmd = None;
+    let mut opts = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--level" => {
+                opts.level = value("--level")?
+                    .parse()
+                    .map_err(|e| format!("--level: {e}"))?
+            }
+            "--stages" => {
+                opts.stages = value("--stages")?
+                    .parse()
+                    .map_err(|e| format!("--stages: {e}"))?
+            }
+            "--schedules" => {
+                opts.schedules = value("--schedules")?
+                    .parse()
+                    .map_err(|e| format!("--schedules: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--replay" => {
+                opts.replay = Some(
+                    value("--replay")?
+                        .parse()
+                        .map_err(|e| format!("--replay: {e}"))?,
+                )
+            }
+            "--root" => opts.root = PathBuf::from(value("--root")?),
+            "--allow" => opts.allow = Some(PathBuf::from(value("--allow")?)),
+            other if cmd.is_none() && !other.starts_with('-') => cmd = Some(other.to_owned()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let cmd = cmd.ok_or_else(|| USAGE.to_owned())?;
+    Ok((cmd, opts))
+}
+
+fn scenario_links(level: u8) -> Vec<LinkSpec> {
+    // The standard scenarios (uniform base grid, optionally refined) share
+    // their link classification with the runtime via `ghost_link_specs`.
+    ghost_link_specs(&Tree::new_uniform(level))
+}
+
+fn run_lint(opts: &Options) -> bool {
+    // Uniform scenario plus a refined variant — the two standard shapes.
+    let mut clean = true;
+    for (name, tree) in [
+        ("uniform", Tree::new_uniform(opts.level)),
+        ("refined", {
+            let mut t = Tree::new_uniform(opts.level.max(1));
+            let first = t.leaves()[0];
+            t.refine_balanced(first);
+            t
+        }),
+    ] {
+        let links = ghost_link_specs(&tree);
+        match lint_pipeline(&links, opts.stages, true) {
+            Ok(summary) => println!(
+                "lint[{name}]: clean — {} nodes, {} edges, {} leaves, {} stages",
+                summary.nodes, summary.edges, summary.leaves, summary.stages
+            ),
+            Err(findings) => {
+                clean = false;
+                eprintln!("lint[{name}]: {} finding(s):", findings.len());
+                for f in findings.iter().take(20) {
+                    eprintln!("  {f}");
+                }
+                if findings.len() > 20 {
+                    eprintln!("  … {} more", findings.len() - 20);
+                }
+            }
+        }
+    }
+    clean
+}
+
+fn run_model(opts: &Options) -> bool {
+    // Model-check on a small tree: interleaving coverage matters more than
+    // leaf count, and per-schedule cost is cubic in leaves.
+    let links = scenario_links(opts.level.min(1));
+    let stages = opts.stages;
+    let checker = ModelChecker::new()
+        .schedules(opts.schedules)
+        .base_seed(opts.seed);
+    if let Some(seed) = opts.replay {
+        match checker.replay(seed, |rt| {
+            exercise_pipeline(rt, &links, stages, ScheduleBug::None)
+        }) {
+            None => {
+                println!("model: seed {seed} replayed clean");
+                true
+            }
+            Some(failure) => {
+                eprintln!("model: {failure}");
+                false
+            }
+        }
+    } else {
+        let report = checker.explore(|rt| exercise_pipeline(rt, &links, stages, ScheduleBug::None));
+        if report.is_clean() {
+            println!("model: {report}");
+            true
+        } else {
+            eprintln!("model: {report}");
+            false
+        }
+    }
+}
+
+fn run_races(opts: &Options) -> bool {
+    let links = scenario_links(opts.level.min(2));
+    match race_model_pipeline(&links, opts.stages, RaceBug::None) {
+        Ok(summary) => {
+            println!(
+                "races: clean — {} launches over {} views",
+                summary.launches, summary.views
+            );
+            true
+        }
+        Err(report) => {
+            eprintln!("races: {report}");
+            false
+        }
+    }
+}
+
+fn run_waitlint(opts: &Options) -> bool {
+    let allow_path = opts
+        .allow
+        .clone()
+        .unwrap_or_else(|| opts.root.join("hpx-check.allow"));
+    let allow = Allowlist::load(&allow_path);
+    let findings = scan_workspace(&opts.root, &allow);
+    if findings.is_empty() {
+        println!("waitlint: clean");
+        true
+    } else {
+        eprintln!("waitlint: {} finding(s):", findings.len());
+        for f in &findings {
+            eprintln!("  {f}");
+        }
+        false
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, opts) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let clean = match cmd.as_str() {
+        "lint" => run_lint(&opts),
+        "model" => run_model(&opts),
+        "races" => run_races(&opts),
+        "waitlint" => run_waitlint(&opts),
+        "all" => {
+            // `&` not `&&`: run every analysis even after a failure.
+            let lint = run_lint(&opts);
+            let model = run_model(&opts);
+            let races = run_races(&opts);
+            let wait = run_waitlint(&opts);
+            lint & model & races & wait
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

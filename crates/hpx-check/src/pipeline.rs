@@ -1,0 +1,343 @@
+//! Pipeline models for the dynamic analyzers.
+//!
+//! Two executable mirrors of `Simulation::step_pipelined`, both driven by
+//! the same [`LinkSpec`] classification the production stepper consumes:
+//!
+//! * [`exercise_pipeline`] wires a *real* `hpx-rt` future graph with noop
+//!   payloads — same shape, no physics — so the schedule-exploring model
+//!   checker ([`crate::model::ModelChecker`]) can hunt deadlocks, lost
+//!   wakeups and double-resolves across seeded interleavings in
+//!   milliseconds per schedule.
+//! * [`race_model_pipeline`] replays the stepper's kernel launches through
+//!   the [`RaceDetector`] shadow state: per-leaf interior views, per-link
+//!   ghost-shell and payload views, with exactly the happens-before edges
+//!   the future graph provides.
+//!
+//! Each takes a planted-bug selector so regression tests can prove the
+//! analyzers actually catch the bug classes they exist for.
+
+use kokkos_rs::{RaceDetector, RaceReport, View, ViewAccess};
+use octree::{LinkSpec, NodeId};
+use std::collections::HashMap;
+
+/// Bug to plant into the future graph built by [`exercise_pipeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleBug {
+    /// Faithful wiring: the graph must complete under every schedule.
+    None,
+    /// The first leaf's stage-0 readiness promise is leaked un-set
+    /// (`mem::forget`, so abandonment-on-drop cannot save us): every
+    /// future downstream of that leaf waits forever — a deadlock the
+    /// model checker must report with a replayable seed.
+    ForgottenReadyPromise,
+}
+
+/// Bug to plant into the launch sequence of [`race_model_pipeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceBug {
+    /// Faithful edges: the launch sequence must be race-free.
+    None,
+    /// The combine launch drops its `outgoing_packed` dependencies: it
+    /// overwrites the leaf interior while neighbour packs may still be
+    /// reading it (read-write race).
+    DropOutgoingGate,
+    /// The combine launch drops its `ghosts_filled` dependencies: it
+    /// rewrites ghost shells concurrently with the unpacks writing them
+    /// (write-write race).
+    DropGhostGate,
+}
+
+fn unique_leaves(links: &[LinkSpec]) -> Vec<NodeId> {
+    let mut seen = std::collections::HashSet::new();
+    links
+        .iter()
+        .map(|l| l.leaf)
+        .filter(|l| seen.insert(*l))
+        .collect()
+}
+
+/// Build and drain the future graph `step_pipelined` would build for
+/// `links` over `stages` stages, with noop payloads.
+///
+/// Must run inside a deterministic runtime (via
+/// [`crate::model::ModelChecker`]): the final waits double as the stall
+/// probes that convert a dangling dependency into a seeded deadlock
+/// report.
+pub fn exercise_pipeline(
+    rt: &hpx_rt::Runtime,
+    links: &[LinkSpec],
+    stages: usize,
+    bug: ScheduleBug,
+) {
+    let leaves = unique_leaves(links);
+
+    // Stage-0 readiness: one task per leaf resolves its promise, so the
+    // seeded scheduler permutes readiness order across schedules.
+    let mut ready: HashMap<NodeId, hpx_rt::Future<()>> = HashMap::new();
+    for (i, &leaf) in leaves.iter().enumerate() {
+        let (p, f) = hpx_rt::Promise::<()>::new_pair();
+        if bug == ScheduleBug::ForgottenReadyPromise && i == 0 {
+            std::mem::forget(p);
+        } else {
+            rt.spawn(move || p.set(()));
+        }
+        ready.insert(leaf, f);
+    }
+    // The stage-0 gates (dt reduction, gravity) as spawned tasks too.
+    let (dt_p, dt) = hpx_rt::Promise::<()>::new_pair();
+    rt.spawn(move || dt_p.set(()));
+    let (grav_p, gravity) = hpx_rt::Promise::<()>::new_pair();
+    rt.spawn(move || grav_p.set(()));
+
+    for stage in 0..stages {
+        let mut incoming: HashMap<NodeId, Vec<hpx_rt::Future<()>>> =
+            leaves.iter().map(|&l| (l, Vec::new())).collect();
+        let mut outgoing: HashMap<NodeId, Vec<hpx_rt::Future<()>>> =
+            leaves.iter().map(|&l| (l, Vec::new())).collect();
+
+        for LinkSpec {
+            leaf,
+            dir: _,
+            sources,
+        } in links
+        {
+            if sources.is_empty() {
+                // Outflow: reads the leaf's own interior only.
+                let unpacked = ready[leaf].then(rt, |()| ());
+                incoming.get_mut(leaf).unwrap().push(unpacked);
+            } else {
+                let gate = if sources.len() == 1 {
+                    ready[&sources[0]].clone()
+                } else {
+                    let parts: Vec<hpx_rt::Future<()>> =
+                        sources.iter().map(|s| ready[s].clone()).collect();
+                    hpx_rt::when_all_of(rt, &parts)
+                };
+                let payload = gate.then(rt, |()| ());
+                for s in sources {
+                    outgoing.get_mut(s).unwrap().push(payload.ticket());
+                }
+                let parts = [payload.ticket(), ready[leaf].clone()];
+                let unpacked = hpx_rt::when_all_of(rt, &parts).then(rt, |()| ());
+                incoming.get_mut(leaf).unwrap().push(unpacked);
+            }
+        }
+
+        let mut next_ready = HashMap::new();
+        for &leaf in &leaves {
+            let ghosts_filled = hpx_rt::when_all_of(rt, &incoming[&leaf]);
+            let outgoing_packed = hpx_rt::when_all_of(rt, &outgoing[&leaf]);
+            let mut parts = vec![ghosts_filled, outgoing_packed];
+            if stage == 0 {
+                parts.push(dt.clone());
+                parts.push(gravity.clone());
+            }
+            let update = hpx_rt::when_all_of(rt, &parts).then(rt, |()| ());
+            next_ready.insert(leaf, update);
+        }
+        ready = next_ready;
+    }
+
+    // Wait on every sink: in a deterministic runtime a wait whose
+    // dependency chain dangles panics with the seeded stall report.
+    for leaf in &leaves {
+        ready[leaf].wait();
+    }
+}
+
+/// Summary of a clean race-model run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceModelSummary {
+    /// Kernel launches registered with the detector.
+    pub launches: usize,
+    /// Distinct views the model allocated.
+    pub views: usize,
+}
+
+/// Replay the stepper's launch sequence for `links` over `stages` stages
+/// through a [`RaceDetector`], with the happens-before edges the future
+/// graph provides (minus whatever `bug` drops).
+///
+/// View model: one interior view per leaf; one ghost-shell view per
+/// (leaf, direction) — the 26 shells are disjoint regions, so concurrent
+/// unpacks into different shells are *not* races; one payload view per
+/// (stage, link), fresh per stage exactly like the runtime's packed
+/// buffers.  Launches: per-leaf `init` (writes interior), per-link `pack`
+/// (reads source interiors, writes payload) and `unpack`/`outflow`
+/// (writes the shell), per-leaf `combine` (writes interior and all 26
+/// shells, standing in for the stage's RHS + combine which rewrites the
+/// whole array).
+pub fn race_model_pipeline(
+    links: &[LinkSpec],
+    stages: usize,
+    bug: RaceBug,
+) -> Result<RaceModelSummary, RaceReport> {
+    let leaves = unique_leaves(links);
+    let det = RaceDetector::new();
+    let mut views = 0usize;
+    let mut view = |label: String| {
+        views += 1;
+        View::<f64>::new_1d(label, 1)
+    };
+
+    let interior: HashMap<NodeId, View<f64>> = leaves
+        .iter()
+        .map(|&l| (l, view(format!("interior({l})"))))
+        .collect();
+    let ghost: HashMap<(NodeId, usize), View<f64>> = links
+        .iter()
+        .enumerate()
+        .map(|(i, l)| ((l.leaf, i), view(format!("ghost({}, link {i})", l.leaf))))
+        .collect();
+
+    // `ready[l]`: the token after which leaf l's interior holds this
+    // stage's input (init for stage 0, the previous combine later).
+    let mut ready: HashMap<NodeId, kokkos_rs::LaunchToken> = leaves
+        .iter()
+        .map(|&l| {
+            let t = det.launch(
+                &format!("init({l})"),
+                &[],
+                &[ViewAccess::write(&interior[&l])],
+            )?;
+            Ok((l, t))
+        })
+        .collect::<Result<_, RaceReport>>()?;
+
+    for stage in 0..stages {
+        let mut shell_writers: HashMap<NodeId, Vec<kokkos_rs::LaunchToken>> =
+            leaves.iter().map(|&l| (l, Vec::new())).collect();
+        let mut interior_readers: HashMap<NodeId, Vec<kokkos_rs::LaunchToken>> =
+            leaves.iter().map(|&l| (l, Vec::new())).collect();
+
+        for (
+            i,
+            LinkSpec {
+                leaf,
+                dir: _,
+                sources,
+            },
+        ) in links.iter().enumerate()
+        {
+            let shell = &ghost[&(*leaf, i)];
+            let unpack = if sources.is_empty() {
+                det.launch(
+                    &format!("outflow(s{stage}, {leaf}, link {i})"),
+                    &[ready[leaf]],
+                    &[ViewAccess::read(&interior[leaf]), ViewAccess::write(shell)],
+                )?
+            } else {
+                let payload = view(format!("payload(s{stage}, link {i})"));
+                let pack_deps: Vec<kokkos_rs::LaunchToken> =
+                    sources.iter().map(|s| ready[s]).collect();
+                let mut pack_accesses: Vec<ViewAccess> = sources
+                    .iter()
+                    .map(|s| ViewAccess::read(&interior[s]))
+                    .collect();
+                pack_accesses.push(ViewAccess::write(&payload));
+                let pack = det.launch(
+                    &format!("pack(s{stage}, {leaf}, link {i})"),
+                    &pack_deps,
+                    &pack_accesses,
+                )?;
+                for s in sources {
+                    interior_readers.get_mut(s).unwrap().push(pack);
+                }
+                det.launch(
+                    &format!("unpack(s{stage}, {leaf}, link {i})"),
+                    &[pack, ready[leaf]],
+                    &[ViewAccess::read(&payload), ViewAccess::write(shell)],
+                )?
+            };
+            shell_writers.get_mut(leaf).unwrap().push(unpack);
+        }
+
+        let mut next_ready = HashMap::new();
+        for &leaf in &leaves {
+            let mut deps: Vec<kokkos_rs::LaunchToken> = Vec::new();
+            if bug != RaceBug::DropGhostGate {
+                deps.extend(&shell_writers[&leaf]); // ghosts_filled
+            }
+            if bug != RaceBug::DropOutgoingGate {
+                deps.extend(&interior_readers[&leaf]); // outgoing_packed
+            }
+            // Shells first: a dropped ghosts_filled gate then surfaces as
+            // the canonical write-write on a shell (combine vs unpack)
+            // rather than via the outflow's interior read.
+            let mut accesses: Vec<ViewAccess> = links
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.leaf == leaf)
+                .map(|(i, _)| ViewAccess::write(&ghost[&(leaf, i)]))
+                .collect();
+            accesses.push(ViewAccess::write(&interior[&leaf]));
+            let combine = det.launch(&format!("combine(s{stage}, {leaf})"), &deps, &accesses)?;
+            next_ready.insert(leaf, combine);
+        }
+        ready = next_ready;
+    }
+
+    Ok(RaceModelSummary {
+        launches: det.launches(),
+        views,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelChecker;
+    use octree::{ghost_link_specs, Tree};
+
+    fn links(level: u8) -> Vec<LinkSpec> {
+        ghost_link_specs(&Tree::new_uniform(level))
+    }
+
+    #[test]
+    fn faithful_graph_completes_under_all_schedules() {
+        let links = links(1);
+        let report = ModelChecker::new()
+            .schedules(16)
+            .explore(|rt| exercise_pipeline(rt, &links, 3, ScheduleBug::None));
+        assert!(report.is_clean(), "failures: {report}");
+    }
+
+    #[test]
+    fn faithful_launch_sequence_is_race_free() {
+        let summary = race_model_pipeline(&links(1), 3, RaceBug::None).expect("race-free");
+        // 8 leaves: init + 3 stages × (26 links/leaf unpack-or-outflow +
+        // packs + combine); just sanity-check magnitudes.
+        assert!(summary.launches > 8 * 26 * 3);
+        assert!(summary.views >= 8 + 8 * 26);
+    }
+
+    #[test]
+    fn refined_tree_launch_sequence_is_race_free() {
+        let mut tree = Tree::new_uniform(1);
+        let first = tree.leaves()[0];
+        tree.refine_balanced(first);
+        let links = ghost_link_specs(&tree);
+        race_model_pipeline(&links, 3, RaceBug::None).expect("race-free");
+    }
+
+    #[test]
+    fn dropped_outgoing_gate_is_a_read_write_race() {
+        let report =
+            race_model_pipeline(&links(1), 3, RaceBug::DropOutgoingGate).expect_err("must race");
+        assert_eq!(report.conflict, "read-write");
+        assert!(report.prior_site.starts_with("pack("), "{report}");
+        assert!(report.site.starts_with("combine("), "{report}");
+    }
+
+    #[test]
+    fn dropped_ghost_gate_is_a_write_write_race() {
+        let report =
+            race_model_pipeline(&links(1), 3, RaceBug::DropGhostGate).expect_err("must race");
+        assert_eq!(report.conflict, "write-write");
+        assert!(
+            report.prior_site.starts_with("unpack(") || report.prior_site.starts_with("outflow("),
+            "{report}"
+        );
+        assert!(report.site.starts_with("combine("), "{report}");
+    }
+}

@@ -1,0 +1,422 @@
+//! Source lint: no blocking waits inside kernel bodies.
+//!
+//! A `Future::wait()` (or blocking value getter) inside a
+//! `parallel_for`/`parallel_reduce` kernel body occupies a worker for the
+//! whole wait.  On the real machine that serializes an entire core team;
+//! under the deterministic scheduler it is a stall; with HPX task inlining
+//! it can deadlock outright when the awaited task would have run on the
+//! same worker.  The integration layer exists precisely so ordering is
+//! expressed with `launch_*_after`/`launch_for_tracked` edges *outside*
+//! kernels — so the lint bans the blocking calls inside them.
+//!
+//! Mechanics: strings and comments are stripped (newlines preserved), each
+//! kernel-entry call's balanced-parenthesis argument region is scanned,
+//! and every `.wait(` / `.get(` inside is flagged.  `.get(` has benign
+//! non-future uses (slices, maps); deliberate uses go in the allowlist
+//! file (`hpx-check.allow`, lines of `path:line` or whole-`path`, `#`
+//! comments).
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// Functions whose final closure argument runs *inside* a kernel.
+const KERNEL_ENTRIES: &[&str] = &[
+    "parallel_for",
+    "parallel_for_md3",
+    "parallel_for_team",
+    "parallel_reduce",
+    "parallel_scan",
+    "launch_for_async",
+    "launch_reduce_async",
+    "launch_for_after",
+    "launch_reduce_after",
+    "launch_for_tracked",
+];
+
+/// Blocking calls banned inside kernel bodies.
+const BLOCKING_CALLS: &[&str] = &["wait", "get"];
+
+/// One banned blocking call found inside a kernel argument region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitLintFinding {
+    /// Path label of the offending file (as given to the scanner).
+    pub path: String,
+    /// 1-based line of the blocking call.
+    pub line: usize,
+    /// The kernel-entry function whose argument region contains the call.
+    pub kernel: String,
+    /// The banned call (`wait` or `get`).
+    pub call: String,
+}
+
+impl std::fmt::Display for WaitLintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: blocking `.{}()` inside `{}` kernel arguments — \
+             express the ordering with a launch dependency instead",
+            self.path, self.line, self.call, self.kernel
+        )
+    }
+}
+
+/// Replace comments, string literals and char literals with spaces,
+/// preserving every newline so byte offsets keep their line numbers.
+fn strip_comments_and_strings(src: &str) -> Vec<u8> {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut i = 0;
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for slot in &mut out[from..to] {
+            if *slot != b'\n' {
+                *slot = b' ';
+            }
+        }
+    };
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let end = src[i..].find('\n').map(|o| i + o).unwrap_or(b.len());
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j + 1 < b.len() && depth > 0 {
+                    if b[j] == b'/' && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.min(b.len());
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'"' => {
+                let mut j = i + 1;
+                while j < b.len() {
+                    if b[j] == b'\\' {
+                        j += 2;
+                    } else if b[j] == b'"' {
+                        j += 1;
+                        break;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.min(b.len());
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string r"..." / r#"..."# (any hash count).
+                let mut hashes = 0;
+                let mut j = i + 1;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    j += 1;
+                    'raw: while j < b.len() {
+                        if b[j] == b'"' {
+                            let mut k = j + 1;
+                            let mut seen = 0;
+                            while k < b.len() && b[k] == b'#' && seen < hashes {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                j = k;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    let end = j.min(b.len());
+                    blank(&mut out, i, end);
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal ('x', '\n', '\u{1F600}') vs lifetime
+                // ('static): a lifetime has no closing quote nearby.
+                let rest = &b[i + 1..];
+                let close = if rest.first() == Some(&b'\\') {
+                    rest.iter().skip(1).position(|&c| c == b'\'').map(|p| p + 1)
+                } else if rest.get(1) == Some(&b'\'') {
+                    Some(1)
+                } else {
+                    None
+                };
+                if let Some(off) = close {
+                    let end = (i + 2 + off).min(b.len());
+                    blank(&mut out, i, end);
+                    i = end;
+                } else {
+                    i += 1; // lifetime: leave it
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn line_of(src: &[u8], offset: usize) -> usize {
+    1 + src[..offset].iter().filter(|&&c| c == b'\n').count()
+}
+
+/// Scan one file's source text; `path_label` is used verbatim in findings.
+pub fn scan_source(path_label: &str, src: &str) -> Vec<WaitLintFinding> {
+    let clean = strip_comments_and_strings(src);
+    let mut findings = Vec::new();
+    for entry in KERNEL_ENTRIES {
+        let pat = entry.as_bytes();
+        let mut from = 0;
+        while let Some(pos) = find_from(&clean, pat, from) {
+            from = pos + pat.len();
+            // Token boundaries: not part of a longer identifier.
+            if pos > 0 && is_ident(clean[pos - 1]) {
+                continue;
+            }
+            let mut j = pos + pat.len();
+            // Allow turbofish / whitespace between name and `(`.
+            while j < clean.len() && (clean[j] as char).is_whitespace() {
+                j += 1;
+            }
+            if j >= clean.len() || clean[j] != b'(' {
+                continue;
+            }
+            // Balanced-paren argument region.
+            let mut depth = 0usize;
+            let start = j;
+            let mut end = clean.len();
+            while j < clean.len() {
+                match clean[j] {
+                    b'(' => depth += 1,
+                    b')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = j;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            for call in BLOCKING_CALLS {
+                let needle = format!(".{call}");
+                let nb = needle.as_bytes();
+                let mut k = start;
+                while let Some(hit) = find_from(&clean[..end], nb, k) {
+                    k = hit + nb.len();
+                    let after = hit + nb.len();
+                    // Must be a call: `.wait(` — not `.wait_for` etc.
+                    let mut a = after;
+                    while a < end && (clean[a] as char).is_whitespace() {
+                        a += 1;
+                    }
+                    if a < end && clean[a] == b'(' && !is_ident(clean[after]) {
+                        findings.push(WaitLintFinding {
+                            path: path_label.to_owned(),
+                            line: line_of(&clean, hit),
+                            kernel: (*entry).to_owned(),
+                            call: (*call).to_owned(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    findings.sort_by(|a, b| (a.line, &a.call).cmp(&(b.line, &b.call)));
+    findings.dedup();
+    findings
+}
+
+fn find_from(hay: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= hay.len() || needle.is_empty() {
+        return None;
+    }
+    hay[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Allowlist: exact `path:line` entries and whole-`path` entries, with
+/// `#` comments.  Paths are compared as written in findings (relative,
+/// forward slashes).
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    lines: HashSet<(String, usize)>,
+    files: HashSet<String>,
+}
+
+impl Allowlist {
+    /// Parse allowlist text.
+    pub fn parse(text: &str) -> Self {
+        let mut allow = Allowlist::default();
+        for raw in text.lines() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some((path, num)) = line.rsplit_once(':') {
+                if let Ok(n) = num.parse::<usize>() {
+                    allow.lines.insert((path.to_owned(), n));
+                    continue;
+                }
+            }
+            allow.files.insert(line.to_owned());
+        }
+        allow
+    }
+
+    /// Load from a file; a missing file is an empty allowlist.
+    pub fn load(path: &Path) -> Self {
+        std::fs::read_to_string(path)
+            .map(|t| Self::parse(&t))
+            .unwrap_or_default()
+    }
+
+    /// `true` when `finding` is explicitly allowed.
+    pub fn permits(&self, finding: &WaitLintFinding) -> bool {
+        self.files.contains(&finding.path)
+            || self.lines.contains(&(finding.path.clone(), finding.line))
+    }
+}
+
+/// Recursively collect `.rs` files under `root`, skipping build output,
+/// vendored dependencies and VCS metadata.
+fn rust_files(root: &Path) -> Vec<PathBuf> {
+    const SKIP: &[&str] = &["target", "vendor", ".git"];
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Scan every Rust source file under `root`, dropping findings `allow`
+/// permits.  Finding paths are `root`-relative with forward slashes.
+pub fn scan_workspace(root: &Path, allow: &Allowlist) -> Vec<WaitLintFinding> {
+    let mut findings = Vec::new();
+    for file in rust_files(root) {
+        let Ok(src) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        let label = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(
+            scan_source(&label, &src)
+                .into_iter()
+                .filter(|f| !allow.permits(f)),
+        );
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_wait_inside_kernel_body() {
+        let src = "fn f(rt: &Runtime) {\n\
+                   \x20   parallel_for(&space, policy, |i| {\n\
+                   \x20       dep.wait();\n\
+                   \x20       out[i] = 1.0;\n\
+                   \x20   });\n\
+                   }\n";
+        let findings = scan_source("x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 3);
+        assert_eq!(findings[0].call, "wait");
+        assert_eq!(findings[0].kernel, "parallel_for");
+    }
+
+    #[test]
+    fn wait_outside_kernel_is_fine() {
+        let src = "fn f() {\n    parallel_for(&s, p, |i| { o[i] = 1.0; });\n    fut.wait();\n}\n";
+        assert!(scan_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_are_ignored() {
+        let src = "fn f() {\n\
+                   \x20   // parallel_for(&s, p, |i| { d.wait(); });\n\
+                   \x20   let msg = \"parallel_for(|i| x.wait())\";\n\
+                   \x20   parallel_reduce(&s, p, |i, acc| {\n\
+                   \x20       /* d.wait() in a comment */\n\
+                   \x20       *acc += 1.0;\n\
+                   \x20   }, &mut out);\n\
+                   }\n";
+        assert!(scan_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wait_like_names_are_not_flagged() {
+        let src = "fn f() {\n    parallel_for(&s, p, |i| { x.wait_for_it(); y.getter(); });\n}\n";
+        assert!(scan_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn get_inside_launch_after_is_flagged_and_allowlistable() {
+        let src = "fn f() {\n    launch_for_after(rt, &s, p, &deps, move |i| {\n        let v = m.get(i);\n    });\n}\n";
+        let findings = scan_source("a/b.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].call, "get");
+        let allow = Allowlist::parse("# comment\na/b.rs:3\n");
+        assert!(allow.permits(&findings[0]));
+        let whole_file = Allowlist::parse("a/b.rs\n");
+        assert!(whole_file.permits(&findings[0]));
+        let other = Allowlist::parse("a/b.rs:4\n");
+        assert!(!other.permits(&findings[0]));
+    }
+
+    #[test]
+    fn nested_kernel_regions_are_scanned() {
+        let src = "fn f() {\n\
+                   \x20   launch_for_async(rt, &s, p, |i| {\n\
+                   \x20       parallel_for(&s2, p2, |j| { q.wait(); });\n\
+                   \x20   });\n\
+                   }\n";
+        let findings = scan_source("x.rs", src);
+        // Hit reported for both enclosing regions, deduped by line+call
+        // only if identical kernel; at least one finding must survive.
+        assert!(findings.iter().any(|f| f.line == 3 && f.call == "wait"));
+    }
+}

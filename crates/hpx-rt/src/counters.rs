@@ -35,6 +35,11 @@ pub struct Counters {
     /// Remote-action invocations that were short-circuited locally
     /// (the Section VII-B direct-memory-access communication optimization).
     pub local_direct_accesses: AtomicU64,
+    /// Blocked-worker watchdog fires: a worker sat on an unresolved future
+    /// past `HPX_WATCHDOG_MS`/`set_blocked_wait_timeout` with nothing to help
+    /// with.  Bumped just before the watchdog panic unwinds, so post-mortem
+    /// counter dumps show how often the deadlock detector tripped.
+    pub watchdog_fires: AtomicU64,
 }
 
 impl Counters {
@@ -65,6 +70,7 @@ impl Counters {
             parcels_sent: self.parcels_sent.load(Ordering::Relaxed),
             parcel_bytes: self.parcel_bytes.load(Ordering::Relaxed),
             local_direct_accesses: self.local_direct_accesses.load(Ordering::Relaxed),
+            watchdog_fires: self.watchdog_fires.load(Ordering::Relaxed),
         }
     }
 
@@ -79,6 +85,7 @@ impl Counters {
         self.parcels_sent.store(0, Ordering::Relaxed);
         self.parcel_bytes.store(0, Ordering::Relaxed);
         self.local_direct_accesses.store(0, Ordering::Relaxed);
+        self.watchdog_fires.store(0, Ordering::Relaxed);
     }
 }
 
@@ -95,6 +102,7 @@ pub struct CountersSnapshot {
     pub parcels_sent: u64,
     pub parcel_bytes: u64,
     pub local_direct_accesses: u64,
+    pub watchdog_fires: u64,
 }
 
 impl CountersSnapshot {
@@ -114,6 +122,7 @@ impl CountersSnapshot {
             local_direct_accesses: self
                 .local_direct_accesses
                 .saturating_sub(earlier.local_direct_accesses),
+            watchdog_fires: self.watchdog_fires.saturating_sub(earlier.watchdog_fires),
         }
     }
 }
@@ -140,10 +149,15 @@ impl std::fmt::Display for CountersSnapshot {
         )?;
         writeln!(f, "/parcels/count/sent              {}", self.parcels_sent)?;
         writeln!(f, "/parcels/bytes/sent              {}", self.parcel_bytes)?;
-        write!(
+        writeln!(
             f,
             "/parcels/count/local-direct      {}",
             self.local_direct_accesses
+        )?;
+        write!(
+            f,
+            "/threads/count/watchdog-fires    {}",
+            self.watchdog_fires
         )
     }
 }

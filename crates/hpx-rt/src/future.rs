@@ -16,31 +16,62 @@
 use crate::counters::Counters;
 use crate::runtime::{try_help_current_thread, Runtime};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
-/// Debug-build watchdog for blocked worker threads, in milliseconds.
+/// Blocked-worker watchdog timeout in milliseconds; `0` disables it.
 ///
 /// When a *worker* thread waits on a future and makes no progress — the
 /// future stays pending and there are no queued tasks to help with — for
 /// longer than this, the wait panics instead of hanging: in a correctly
 /// wired dependency graph a starved worker always either finds work or sees
-/// its future resolve.  Release builds never panic here (a loaded machine
-/// can stall legitimately); debug builds turn silent deadlocks into
-/// actionable failures, which is what the pipelined stepper's graph
-/// construction is tested against.
-static BLOCKED_WAIT_TIMEOUT_MS: AtomicU64 = AtomicU64::new(30_000);
+/// its future resolve.  Debug builds arm the watchdog by default (30 s);
+/// release builds leave it off (a loaded machine can stall legitimately) but
+/// can opt in via the `HPX_WATCHDOG_MS` environment variable,
+/// [`set_blocked_wait_timeout`], or `SimOptions::watchdog_ms` in the driver.
+/// Every fire is exported as the `/threads/count/watchdog-fires` performance
+/// counter of the blocked pool before the panic unwinds.
+static BLOCKED_WAIT_TIMEOUT_MS: AtomicU64 =
+    AtomicU64::new(if cfg!(debug_assertions) { 30_000 } else { 0 });
 
-/// Set the debug-build blocked-worker watchdog (see `Future::wait`).
-/// Returns the previous value.  Intended for tests that *want* to observe
-/// the deadlock panic quickly.
+/// Set the blocked-worker watchdog timeout (see `Future::wait`);
+/// `Duration::ZERO` disables it.  Works in release builds too — this is the
+/// programmatic form of the `HPX_WATCHDOG_MS` opt-in.  Returns the previous
+/// value.
 pub fn set_blocked_wait_timeout(timeout: Duration) -> Duration {
     let prev = BLOCKED_WAIT_TIMEOUT_MS.swap(timeout.as_millis() as u64, Ordering::Relaxed);
     Duration::from_millis(prev)
 }
 
-type Continuation<T> = Box<dyn FnOnce(&T) + Send>;
+/// Effective watchdog timeout: the `HPX_WATCHDOG_MS` environment variable is
+/// folded into the configured value once, on the first blocking wait, so the
+/// opt-in needs no code change.  `0` = disabled.
+fn watchdog_timeout_ms() -> u64 {
+    static ENV_APPLIED: OnceLock<()> = OnceLock::new();
+    ENV_APPLIED.get_or_init(|| {
+        if let Some(ms) = std::env::var("HPX_WATCHDOG_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            BLOCKED_WAIT_TIMEOUT_MS.store(ms, Ordering::Relaxed);
+        }
+    });
+    BLOCKED_WAIT_TIMEOUT_MS.load(Ordering::Relaxed)
+}
+
+/// A settled future's outcome, as seen by [`Future::on_settled`] hooks: the
+/// value, or the abandonment reason.  Continuation-based combinators use
+/// this to *propagate* abandonment promptly (with a reason naming the failed
+/// input) instead of leaving their output forever pending.
+pub enum Settled<'a, T> {
+    /// The producing side fulfilled the promise.
+    Ready(&'a T),
+    /// The producing side panicked or dropped its promise.
+    Abandoned(&'a str),
+}
+
+type Continuation<T> = Box<dyn FnOnce(Settled<'_, T>) + Send>;
 
 enum State<T> {
     Pending(Vec<Continuation<T>>),
@@ -53,6 +84,36 @@ enum State<T> {
 struct Shared<T> {
     state: Mutex<State<T>>,
     ready: Condvar,
+}
+
+impl<T> Shared<T> {
+    /// Transition Pending → Abandoned, waking waiters and delivering
+    /// `Settled::Abandoned` to every attached continuation so combinators can
+    /// propagate the failure instead of leaving their outputs pending.
+    /// No-op if the future already settled.
+    fn settle_abandoned(&self, reason: String) {
+        let continuations = {
+            let mut guard = self.state.lock();
+            match std::mem::replace(&mut *guard, State::Abandoned(reason)) {
+                State::Pending(conts) => conts,
+                prev => {
+                    *guard = prev;
+                    return;
+                }
+            }
+        };
+        self.ready.notify_all();
+        if !continuations.is_empty() {
+            let guard = self.state.lock();
+            if let State::Abandoned(ref reason) = *guard {
+                // Like `Promise::set`, continuations run under the lock only
+                // to borrow the stored reason.
+                for c in continuations {
+                    c(Settled::Abandoned(reason));
+                }
+            }
+        }
+    }
 }
 
 /// The write-once producing end of a future (HPX `hpx::promise`).
@@ -115,34 +176,27 @@ impl<T: Send + 'static> Promise<T> {
                 // is a trampoline that spawns the real work, so this section
                 // is short.
                 for c in continuations {
-                    c(v);
+                    c(Settled::Ready(v));
                 }
             }
         }
     }
 
     /// Mark the promise as abandoned: waiters will panic with `reason`
-    /// instead of deadlocking.  Used when a producing task panics.
+    /// instead of deadlocking, and attached continuations observe
+    /// `Settled::Abandoned` so downstream futures abandon too.  Used when a
+    /// producing task panics.
     pub fn abandon(mut self, reason: String) {
         self.fulfilled = true;
-        let mut guard = self.shared.state.lock();
-        if matches!(*guard, State::Pending(_)) {
-            *guard = State::Abandoned(reason);
-        }
-        drop(guard);
-        self.shared.ready.notify_all();
+        self.shared.settle_abandoned(reason);
     }
 }
 
 impl<T> Drop for Promise<T> {
     fn drop(&mut self) {
         if !self.fulfilled {
-            let mut guard = self.shared.state.lock();
-            if matches!(*guard, State::Pending(_)) {
-                *guard = State::Abandoned("promise dropped without being fulfilled".to_owned());
-            }
-            drop(guard);
-            self.shared.ready.notify_all();
+            self.shared
+                .settle_abandoned("promise dropped without being fulfilled".to_owned());
         }
     }
 }
@@ -164,7 +218,6 @@ impl<T: Send + 'static> Future<T> {
             self.check_abandoned();
             return;
         }
-        #[cfg(debug_assertions)]
         let mut last_progress = std::time::Instant::now();
         loop {
             if self.is_ready() {
@@ -172,11 +225,15 @@ impl<T: Send + 'static> Future<T> {
             }
             // Help: run one task of the pool this thread belongs to.
             if try_help_current_thread() {
-                #[cfg(debug_assertions)]
-                {
-                    last_progress = std::time::Instant::now();
-                }
+                last_progress = std::time::Instant::now();
                 continue;
+            }
+            // On a deterministic (virtual) pool there is exactly one thread:
+            // an empty task queue while this future is still pending cannot
+            // resolve itself — report the deadlock immediately with the
+            // schedule seed instead of spinning.
+            if let Some(report) = crate::runtime::current_virtual_stall() {
+                panic!("hpx-rt: {report}");
             }
             // Nothing to help with — block with a timeout so that wakeups
             // via task execution on other threads are still picked up.
@@ -187,10 +244,11 @@ impl<T: Send + 'static> Future<T> {
                     .wait_for(&mut guard, Duration::from_micros(200));
             }
             drop(guard);
-            #[cfg(debug_assertions)]
-            {
-                let limit = Duration::from_millis(BLOCKED_WAIT_TIMEOUT_MS.load(Ordering::Relaxed));
-                if crate::runtime::on_any_worker_thread() && last_progress.elapsed() > limit {
+            let watchdog_ms = watchdog_timeout_ms();
+            if watchdog_ms != 0 && crate::runtime::on_any_worker_thread() {
+                let limit = Duration::from_millis(watchdog_ms);
+                if last_progress.elapsed() > limit {
+                    crate::runtime::note_watchdog_fire();
                     panic!(
                         "hpx-rt: suspected deadlock: a worker thread has been blocked on an \
                          unresolved future for {limit:?} with no queued tasks to help with \
@@ -236,28 +294,56 @@ impl<T: Send + 'static> Future<T> {
         Counters::bump(&rt.counters().continuations_attached);
         let (promise, out) = Promise::new_pair();
         let rt2 = rt.clone();
-        self.on_ready(move |v: &T| {
-            let v = v.clone();
-            rt2.spawn(move || {
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(v))) {
-                    Ok(u) => promise.set(u),
-                    Err(p) => promise.abandon(crate::runtime::panic_message(&p)),
-                }
-            });
+        self.on_settled(move |s: Settled<'_, T>| match s {
+            Settled::Ready(v) => {
+                let v = v.clone();
+                rt2.spawn(move || {
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(v))) {
+                        Ok(u) => promise.set(u),
+                        Err(p) => promise.abandon(crate::runtime::panic_message(&*p)),
+                    }
+                });
+            }
+            Settled::Abandoned(reason) => {
+                promise.abandon(format!("hpx-rt: `then` input abandoned: {reason}"));
+            }
         });
         out
     }
 
     /// Low-level continuation hook: run `f` with a reference to the value as
-    /// soon as it is available (inline if already ready).
+    /// soon as it is available (inline if already ready).  If the producing
+    /// side abandons the promise after attachment, `f` is silently dropped —
+    /// combinators that must *react* to abandonment use [`Future::on_settled`].
+    ///
+    /// # Panics
+    /// Panics if the future is already abandoned when `f` is attached.
     pub fn on_ready(&self, f: impl FnOnce(&T) + Send + 'static) {
         let mut guard = self.shared.state.lock();
         match *guard {
-            State::Pending(ref mut conts) => conts.push(Box::new(f)),
+            State::Pending(ref mut conts) => conts.push(Box::new(move |s: Settled<'_, T>| {
+                if let Settled::Ready(v) = s {
+                    f(v);
+                }
+            })),
             State::Ready(ref v) => f(v),
             State::Abandoned(ref reason) => {
                 panic!("hpx-rt: continuation on abandoned future: {reason}")
             }
+        }
+    }
+
+    /// Continuation hook that observes *either* outcome: the ready value or
+    /// the abandonment reason.  Never panics at attach time — this is what
+    /// [`when_all`]/[`when_all_of`]/[`Future::then`] build on so a single
+    /// dropped promise surfaces as a diagnosable abandoned output instead of
+    /// a poisoned worker or a silent hang.
+    pub fn on_settled(&self, f: impl FnOnce(Settled<'_, T>) + Send + 'static) {
+        let mut guard = self.shared.state.lock();
+        match *guard {
+            State::Pending(ref mut conts) => conts.push(Box::new(f)),
+            State::Ready(ref v) => f(Settled::Ready(v)),
+            State::Abandoned(ref reason) => f(Settled::Abandoned(reason)),
         }
     }
 
@@ -283,7 +369,12 @@ impl<T: Send + 'static> Future<T> {
     /// are folded into a [`when_all_of`] dependency gate.
     pub fn ticket(&self) -> Future<()> {
         let (p, out) = Promise::new_pair();
-        self.on_ready(move |_| p.set(()));
+        self.on_settled(move |s: Settled<'_, T>| match s {
+            Settled::Ready(_) => p.set(()),
+            Settled::Abandoned(reason) => {
+                p.abandon(format!("hpx-rt: ticket input abandoned: {reason}"));
+            }
+        });
         out
     }
 
@@ -304,17 +395,22 @@ impl<T: Send + 'static> Future<T> {
         let (promise, out) = Promise::new_pair();
         let rt2 = rt.clone();
         let source = self.clone();
-        self.on_ready(move |_| {
-            let source = source.clone();
-            rt2.spawn(move || {
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    source.with_value(|v| f(v))
-                }));
-                match result {
-                    Ok(u) => promise.set(u),
-                    Err(p) => promise.abandon(crate::runtime::panic_message(&p)),
-                }
-            });
+        self.on_settled(move |s: Settled<'_, T>| match s {
+            Settled::Ready(_) => {
+                let source = source.clone();
+                rt2.spawn(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        source.with_value(|v| f(v))
+                    }));
+                    match result {
+                        Ok(u) => promise.set(u),
+                        Err(p) => promise.abandon(crate::runtime::panic_message(&*p)),
+                    }
+                });
+            }
+            Settled::Abandoned(reason) => {
+                promise.abandon(format!("hpx-rt: `then_ref` input abandoned: {reason}"));
+            }
         });
         out
     }
@@ -338,12 +434,28 @@ pub fn when_any<T: Clone + Send + 'static>(futures: Vec<Future<T>>) -> Future<(u
         promise.abandon("when_any of an empty set".to_owned());
         return out;
     }
+    let n = futures.len();
     let promise = Arc::new(Mutex::new(Some(promise)));
+    let abandoned = Arc::new(AtomicUsize::new(0));
     for (i, fut) in futures.into_iter().enumerate() {
         let promise = promise.clone();
-        fut.on_ready(move |v: &T| {
-            if let Some(p) = promise.lock().take() {
-                p.set((i, v.clone()));
+        let abandoned = abandoned.clone();
+        fut.on_settled(move |s: Settled<'_, T>| match s {
+            Settled::Ready(v) => {
+                if let Some(p) = promise.lock().take() {
+                    p.set((i, v.clone()));
+                }
+            }
+            Settled::Abandoned(reason) => {
+                // Individual losses are survivable; only when *every* input
+                // is gone can no winner ever emerge.
+                if abandoned.fetch_add(1, Ordering::AcqRel) + 1 == n {
+                    if let Some(p) = promise.lock().take() {
+                        p.abandon(format!(
+                            "hpx-rt: when_any: all {n} inputs abandoned (last: {reason})"
+                        ));
+                    }
+                }
             }
         });
     }
@@ -377,8 +489,6 @@ pub fn when_all<T: Clone + Send + 'static>(
     rt: &Runtime,
     futures: Vec<Future<T>>,
 ) -> Future<Vec<T>> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
     let n = futures.len();
     let (promise, out) = Promise::new_pair();
     if n == 0 {
@@ -393,18 +503,33 @@ pub fn when_all<T: Clone + Send + 'static>(
         let remaining = remaining.clone();
         let promise = promise.clone();
         let rt = rt.clone();
-        fut.on_ready(move |v: &T| {
-            slots.lock()[i] = Some(v.clone());
-            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                let p = promise.lock().take().expect("when_all completed twice");
-                let values: Vec<T> = slots
-                    .lock()
-                    .iter_mut()
-                    .map(|s| s.take().expect("when_all slot missing"))
-                    .collect();
-                // Complete on a task so long continuation chains do not
-                // recurse on the completing thread's stack.
-                rt.spawn(move || p.set(values));
+        fut.on_settled(move |s: Settled<'_, T>| match s {
+            Settled::Ready(v) => {
+                slots.lock()[i] = Some(v.clone());
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    // The promise is gone only if an abandoned input already
+                    // failed the join; the late completion is then harmless.
+                    let Some(p) = promise.lock().take() else {
+                        return;
+                    };
+                    let values: Option<Vec<T>> =
+                        slots.lock().iter_mut().map(|s| s.take()).collect();
+                    match values {
+                        // Complete on a task so long continuation chains do
+                        // not recurse on the completing thread's stack.
+                        Some(values) => rt.spawn(move || p.set(values)),
+                        None => p.abandon(
+                            "hpx-rt: when_all: remaining-count hit zero with an unfilled \
+                             slot (an input completed twice?)"
+                                .to_owned(),
+                        ),
+                    }
+                }
+            }
+            Settled::Abandoned(reason) => {
+                if let Some(p) = promise.lock().take() {
+                    p.abandon(format!("hpx-rt: when_all: input #{i} abandoned: {reason}"));
+                }
             }
         });
     }
@@ -421,8 +546,6 @@ pub fn when_all<T: Clone + Send + 'static>(
 /// Completion is delivered through `rt.spawn` so long dependency chains do
 /// not recurse on the completing thread's stack.
 pub fn when_all_of<T: Send + 'static>(rt: &Runtime, futures: &[Future<T>]) -> Future<()> {
-    use std::sync::atomic::AtomicUsize;
-
     let n = futures.len();
     let (promise, out) = Promise::new_pair();
     if n == 0 {
@@ -431,14 +554,24 @@ pub fn when_all_of<T: Send + 'static>(rt: &Runtime, futures: &[Future<T>]) -> Fu
     }
     let remaining = Arc::new(AtomicUsize::new(n));
     let promise = Arc::new(Mutex::new(Some(promise)));
-    for fut in futures {
+    for (i, fut) in futures.iter().enumerate() {
         let remaining = remaining.clone();
         let promise = promise.clone();
         let rt = rt.clone();
-        fut.on_ready(move |_| {
-            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                let p = promise.lock().take().expect("when_all_of completed twice");
-                rt.spawn(move || p.set(()));
+        fut.on_settled(move |s: Settled<'_, T>| match s {
+            Settled::Ready(_) => {
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    if let Some(p) = promise.lock().take() {
+                        rt.spawn(move || p.set(()));
+                    }
+                }
+            }
+            Settled::Abandoned(reason) => {
+                if let Some(p) = promise.lock().take() {
+                    p.abandon(format!(
+                        "hpx-rt: when_all_of: input #{i} abandoned: {reason}"
+                    ));
+                }
             }
         });
     }
@@ -629,11 +762,13 @@ mod tests {
         rt.shutdown();
     }
 
-    #[cfg(debug_assertions)]
     #[test]
     fn watchdog_flags_worker_blocked_on_unresolvable_future() {
+        // Runs in release builds too now that the watchdog is an opt-in
+        // release feature (set_blocked_wait_timeout / HPX_WATCHDOG_MS).
         let prev = set_blocked_wait_timeout(Duration::from_millis(250));
         let rt = Runtime::new(1);
+        let fires_before = rt.counters().snapshot().watchdog_fires;
         // A promise that is neither fulfilled nor abandoned: forget it so its
         // Drop cannot rescue the waiter.  The single worker blocks with no
         // queued work, which the watchdog must flag as a deadlock.
@@ -643,9 +778,108 @@ mod tests {
             f.wait();
         });
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.get()));
+        let fires_after = rt.counters().snapshot().watchdog_fires;
         set_blocked_wait_timeout(prev);
         rt.shutdown();
         assert!(outcome.is_err(), "watchdog should have fired");
+        assert!(
+            fires_after > fires_before,
+            "watchdog fire should be exported as a performance counter"
+        );
+    }
+
+    #[test]
+    fn then_propagates_abandonment_with_reason() {
+        let rt = Runtime::new(1);
+        let (p, f) = Promise::<i32>::new_pair();
+        let g = f.then(&rt, |x| x + 1).then(&rt, |x| x * 2);
+        drop(p);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g.get()));
+        let msg = crate::runtime::panic_message(&*outcome.unwrap_err());
+        assert!(msg.contains("abandoned"), "got: {msg}");
+        assert!(msg.contains("promise dropped"), "got: {msg}");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn ticket_propagates_abandonment() {
+        let (p, f) = Promise::<i32>::new_pair();
+        let t = f.ticket();
+        drop(p);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t.wait()));
+        let msg = crate::runtime::panic_message(&*outcome.unwrap_err());
+        assert!(msg.contains("ticket input abandoned"), "got: {msg}");
+    }
+
+    #[test]
+    fn when_all_abandons_with_input_index() {
+        let rt = Runtime::new(2);
+        let (p0, f0) = Promise::<i32>::new_pair();
+        let (p1, f1) = Promise::<i32>::new_pair();
+        let all = when_all(&rt, vec![f0, f1]);
+        p0.set(1);
+        drop(p1); // input #1 is lost
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| all.get()));
+        let msg = crate::runtime::panic_message(&*outcome.unwrap_err());
+        assert!(msg.contains("when_all: input #1 abandoned"), "got: {msg}");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn when_all_of_abandons_instead_of_hanging() {
+        let rt = Runtime::new(2);
+        let (p0, f0) = Promise::<()>::new_pair();
+        let (p1, f1) = Promise::<()>::new_pair();
+        let gate = when_all_of(&rt, &[f0, f1]);
+        drop(p0);
+        p1.set(());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| gate.wait()));
+        let msg = crate::runtime::panic_message(&*outcome.unwrap_err());
+        assert!(
+            msg.contains("when_all_of: input #0 abandoned"),
+            "got: {msg}"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn when_any_survives_partial_abandonment() {
+        let (p0, f0) = Promise::<i32>::new_pair();
+        let (p1, f1) = Promise::<i32>::new_pair();
+        let any = when_any(vec![f0, f1]);
+        drop(p0);
+        p1.set(11);
+        assert_eq!(any.get(), (1, 11));
+    }
+
+    #[test]
+    fn when_any_abandons_only_when_every_input_is_lost() {
+        let (p0, f0) = Promise::<i32>::new_pair();
+        let (p1, f1) = Promise::<i32>::new_pair();
+        let any = when_any(vec![f0, f1]);
+        drop(p0);
+        drop(p1);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| any.get()));
+        let msg = crate::runtime::panic_message(&*outcome.unwrap_err());
+        assert!(msg.contains("all 2 inputs abandoned"), "got: {msg}");
+    }
+
+    #[test]
+    fn on_settled_sees_already_abandoned_future_without_panicking() {
+        let (p, f) = Promise::<i32>::new_pair();
+        drop(p);
+        let saw = Arc::new(Mutex::new(None));
+        let saw2 = saw.clone();
+        f.on_settled(move |s| {
+            *saw2.lock() = Some(match s {
+                Settled::Ready(_) => "ready".to_owned(),
+                Settled::Abandoned(r) => r.to_owned(),
+            });
+        });
+        assert_eq!(
+            saw.lock().as_deref(),
+            Some("promise dropped without being fulfilled")
+        );
     }
 
     #[test]

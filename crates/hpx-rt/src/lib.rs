@@ -43,7 +43,7 @@ pub use channel::{channel, Receiver, Sender};
 pub use counters::{Counters, CountersSnapshot};
 pub use future::{
     dataflow2, make_ready_future, set_blocked_wait_timeout, when_all, when_all_of, when_any,
-    Future, Promise,
+    Future, Promise, Settled,
 };
 pub use locality::{ActionRegistry, Locality, LocalityId, Parcel, SimCluster};
 pub use pjm::JobSpec;

@@ -31,6 +31,64 @@ struct SleepState {
     shutdown: bool,
 }
 
+/// State of a [`Runtime::deterministic`] pool: a virtual single-threaded
+/// scheduler standing in for the work-stealing workers.  Every runnable task
+/// sits in one queue; each scheduling point removes a *seeded-pseudo-random*
+/// element, so one `u64` seed fully determines the interleaving and a failing
+/// schedule can be replayed from its seed alone.  This is the loom-style
+/// substrate the `hpx-check` model checker samples schedules with.
+struct VirtualState {
+    queue: Vec<Job>,
+    rng: u64,
+    seed: u64,
+    steps: u64,
+    max_steps: u64,
+    /// Panics contained by `PoolInner::execute` (a detached task dying is a
+    /// bug signal under model checking, not console noise).
+    contained_panics: Vec<String>,
+}
+
+impl VirtualState {
+    fn new(seed: u64) -> VirtualState {
+        VirtualState {
+            queue: Vec::new(),
+            rng: splitmix64(seed).max(1),
+            seed,
+            steps: 0,
+            max_steps: 1_000_000,
+            contained_panics: Vec::new(),
+        }
+    }
+
+    fn next_choice(&mut self) -> u64 {
+        // xorshift64: tiny, deterministic, and good enough to decorrelate
+        // neighbouring seeds after the splitmix64 scramble.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    fn stall_report(&self) -> String {
+        format!(
+            "deterministic schedule stalled (seed {seed}, after {steps} tasks): blocked on a \
+             pending future with no runnable task — a deadlock, lost wakeup, or dropped \
+             promise; replay with Runtime::deterministic({seed})",
+            seed = self.seed,
+            steps = self.steps,
+        )
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 struct PoolInner {
     injector: Injector<Job>,
     stealers: Vec<Stealer<Job>>,
@@ -40,12 +98,16 @@ struct PoolInner {
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     num_workers: usize,
     shutdown_flag: AtomicBool,
+    /// `Some` for deterministic pools; replaces the deques entirely.
+    virtual_sched: Option<Mutex<VirtualState>>,
 }
 
 #[derive(Clone, Copy)]
 struct WorkerCtx {
     pool: *const PoolInner,
-    local: *const Deque<Job>,
+    /// `None` when the thread entered the pool without a local deque (a
+    /// deterministic-mode driver thread, see [`Runtime::enter`]).
+    local: Option<*const Deque<Job>>,
 }
 
 thread_local! {
@@ -78,6 +140,7 @@ impl Runtime {
             threads: Mutex::new(Vec::new()),
             num_workers,
             shutdown_flag: AtomicBool::new(false),
+            virtual_sched: None,
         });
         let mut handles = Vec::with_capacity(num_workers);
         for (i, deque) in deques.into_iter().enumerate() {
@@ -91,6 +154,112 @@ impl Runtime {
         }
         *inner.threads.lock() = handles;
         Runtime { inner }
+    }
+
+    /// A **deterministic** pool: no worker threads, one virtual task queue,
+    /// and a seeded scheduler that picks the next task pseudo-randomly at
+    /// every scheduling point (spawn/resolve/steal/park all funnel through
+    /// the same queue).  The same seed always yields the same interleaving.
+    ///
+    /// Tasks only execute while the driving thread is inside
+    /// [`Runtime::enter`] (or a blocking wait reached from it) — the pool is
+    /// single-threaded by construction, which is what turns "blocked with an
+    /// empty queue" into a *definite* deadlock rather than a heuristic: waits
+    /// panic immediately with a seed-stamped report instead of hanging.
+    ///
+    /// This is the loom-lite substrate of the `hpx-check` model checker.
+    pub fn deterministic(seed: u64) -> Self {
+        let inner = Arc::new(PoolInner {
+            injector: Injector::new(),
+            stealers: Vec::new(),
+            sleep: Mutex::new(SleepState { shutdown: false }),
+            wake: Condvar::new(),
+            counters: Counters::new(),
+            threads: Mutex::new(Vec::new()),
+            num_workers: 1,
+            shutdown_flag: AtomicBool::new(false),
+            virtual_sched: Some(Mutex::new(VirtualState::new(seed))),
+        });
+        Runtime { inner }
+    }
+
+    /// `true` for pools created by [`Runtime::deterministic`].
+    pub fn is_deterministic(&self) -> bool {
+        self.inner.virtual_sched.is_some()
+    }
+
+    /// The schedule seed of a deterministic pool, `None` otherwise.
+    pub fn schedule_seed(&self) -> Option<u64> {
+        self.inner.virtual_sched.as_ref().map(|vs| vs.lock().seed)
+    }
+
+    /// Cap the number of tasks a deterministic schedule may execute before
+    /// being declared a livelock (default 1 000 000).  No-op on threaded
+    /// pools.
+    pub fn set_schedule_step_budget(&self, max_steps: u64) {
+        if let Some(vs) = &self.inner.virtual_sched {
+            vs.lock().max_steps = max_steps;
+        }
+    }
+
+    /// Tasks executed so far by a deterministic schedule (0 for threaded
+    /// pools).
+    pub fn schedule_steps(&self) -> u64 {
+        self.inner
+            .virtual_sched
+            .as_ref()
+            .map_or(0, |vs| vs.lock().steps)
+    }
+
+    /// Run `f` with the calling thread registered as the (sole) worker of
+    /// this deterministic pool, so blocking waits inside `f` execute queued
+    /// tasks in seeded order instead of hanging.
+    ///
+    /// # Panics
+    /// Panics if called on a threaded pool.
+    pub fn enter<R>(&self, f: impl FnOnce() -> R) -> R {
+        assert!(
+            self.is_deterministic(),
+            "Runtime::enter is only for deterministic pools; threaded pools schedule on \
+             their own workers"
+        );
+        struct Restore(Option<WorkerCtx>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0;
+                CTX.with(|c| c.set(prev));
+            }
+        }
+        let prev = CTX.with(|c| {
+            c.replace(Some(WorkerCtx {
+                pool: Arc::as_ptr(&self.inner),
+                local: None,
+            }))
+        });
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// Drain a deterministic pool: execute queued tasks (in seeded order,
+    /// including any they spawn) until the queue is empty.
+    pub fn run_until_idle(&self) {
+        self.enter(|| {
+            while let Some(job) = self.inner.find_task(None) {
+                self.inner.execute(job);
+            }
+        });
+    }
+
+    /// Take the messages of panics contained inside detached tasks of a
+    /// deterministic schedule (double-resolves, abandoned-future waits, …).
+    /// Threaded pools report contained panics to stderr instead and return
+    /// an empty vector here.
+    pub fn take_contained_panics(&self) -> Vec<String> {
+        self.inner
+            .virtual_sched
+            .as_ref()
+            .map(|vs| std::mem::take(&mut vs.lock().contained_panics))
+            .unwrap_or_default()
     }
 
     /// The process-wide default pool, sized to the host's parallelism.
@@ -131,16 +300,24 @@ impl Runtime {
 
     fn spawn_boxed(&self, job: Job) {
         Counters::bump(&self.inner.counters.tasks_spawned);
+        if let Some(vs) = &self.inner.virtual_sched {
+            // Deterministic mode: every task goes into the one virtual
+            // queue; the seeded scheduler picks the execution order.
+            vs.lock().queue.push(job);
+            return;
+        }
         let leftover = CTX.with(|c| {
             if let Some(ctx) = c.get() {
                 if std::ptr::eq(ctx.pool, Arc::as_ptr(&self.inner)) {
-                    // SAFETY: `ctx.local` points to the deque owned by this
-                    // very thread's worker loop, which is alive for as long
-                    // as the thread runs inside `worker_loop`.  Pushing from
-                    // the owning thread is the intended use of
-                    // `crossbeam::deque::Worker`.
-                    unsafe { (*ctx.local).push(job) };
-                    return None;
+                    if let Some(local) = ctx.local {
+                        // SAFETY: `local` points to the deque owned by this
+                        // very thread's worker loop, which is alive for as
+                        // long as the thread runs inside `worker_loop`.
+                        // Pushing from the owning thread is the intended use
+                        // of `crossbeam::deque::Worker`.
+                        unsafe { (*local).push(job) };
+                        return None;
+                    }
                 }
             }
             Some(job)
@@ -162,7 +339,7 @@ impl Runtime {
         Counters::bump(&self.inner.counters.futures_created);
         self.spawn(move || match catch_unwind(AssertUnwindSafe(f)) {
             Ok(v) => promise.set(v),
-            Err(payload) => promise.abandon(panic_message(&payload)),
+            Err(payload) => promise.abandon(panic_message(&*payload)),
         });
         future
     }
@@ -199,6 +376,13 @@ impl Runtime {
             if let Some(job) = self.inner.find_task(current_local(&self.inner)) {
                 self.inner.execute(job);
                 idle_spins = 0;
+            } else if let Some(vs) = &self.inner.virtual_sched {
+                // Single-threaded by construction: an empty queue while the
+                // condition still holds can never make progress.
+                if cond() {
+                    let report = vs.lock().stall_report();
+                    panic!("hpx-rt: {report}");
+                }
             } else {
                 idle_spins += 1;
                 if idle_spins < 64 {
@@ -249,7 +433,7 @@ fn current_local(pool: &PoolInner) -> Option<*const Deque<Job>> {
     CTX.with(|c| {
         c.get().and_then(|ctx| {
             if std::ptr::eq(ctx.pool, pool as *const _) {
-                Some(ctx.local)
+                ctx.local
             } else {
                 None
             }
@@ -259,6 +443,24 @@ fn current_local(pool: &PoolInner) -> Option<*const Deque<Job>> {
 
 impl PoolInner {
     fn find_task(&self, local: Option<*const Deque<Job>>) -> Option<Job> {
+        // 0. Deterministic mode: the virtual queue is the only source, and
+        //    the seeded RNG picks which runnable task goes next.
+        if let Some(vs) = &self.virtual_sched {
+            let mut g = vs.lock();
+            if g.queue.is_empty() {
+                return None;
+            }
+            g.steps += 1;
+            assert!(
+                g.steps <= g.max_steps,
+                "hpx-rt: deterministic schedule (seed {}) exceeded its step budget of {} \
+                 tasks: livelock or unbounded task graph",
+                g.seed,
+                g.max_steps
+            );
+            let idx = (g.next_choice() as usize) % g.queue.len();
+            return Some(g.queue.remove(idx));
+        }
         // 1. Own deque (hot cache).
         if let Some(local) = local {
             // SAFETY: `local` is this thread's own deque (see `current_local`).
@@ -297,10 +499,14 @@ impl PoolInner {
         let result = catch_unwind(AssertUnwindSafe(job));
         Counters::bump(&self.counters.tasks_executed);
         if let Err(payload) = result {
-            eprintln!(
-                "hpx-rt: task panicked (contained): {}",
-                panic_message(&payload)
-            );
+            let msg = panic_message(&*payload);
+            if let Some(vs) = &self.virtual_sched {
+                // Under model checking a contained panic is a finding, not
+                // noise: record it for `Runtime::take_contained_panics`.
+                vs.lock().contained_panics.push(msg);
+            } else {
+                eprintln!("hpx-rt: task panicked (contained): {msg}");
+            }
         }
     }
 }
@@ -319,7 +525,6 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// watchdog only arms on worker threads: an external thread blocking for a
 /// long time is ordinary, a starved worker with nothing to help with is a
 /// dependency-graph bug.
-#[cfg(debug_assertions)]
 pub(crate) fn on_any_worker_thread() -> bool {
     CTX.with(|c| c.get().is_some())
 }
@@ -333,7 +538,7 @@ pub(crate) fn try_help_current_thread() -> bool {
     // SAFETY: the pool outlives the worker thread (workers hold an Arc), and
     // we are on a worker thread of exactly this pool.
     let pool = unsafe { &*ctx.pool };
-    if let Some(job) = pool.find_task(Some(ctx.local)) {
+    if let Some(job) = pool.find_task(ctx.local) {
         pool.execute(job);
         true
     } else {
@@ -341,11 +546,40 @@ pub(crate) fn try_help_current_thread() -> bool {
     }
 }
 
+/// If the calling thread drives a *deterministic* pool whose queue is empty,
+/// return the seed-stamped deadlock report — blocking now could never be
+/// woken (single-threaded by construction).  `None` on threaded pools or
+/// while runnable tasks remain.
+pub(crate) fn current_virtual_stall() -> Option<String> {
+    let ctx = CTX.with(|c| c.get())?;
+    // SAFETY: as in `try_help_current_thread` — the pool outlives every
+    // thread registered with it.
+    let pool = unsafe { &*ctx.pool };
+    let vs = pool.virtual_sched.as_ref()?;
+    let g = vs.lock();
+    if g.queue.is_empty() {
+        Some(g.stall_report())
+    } else {
+        None
+    }
+}
+
+/// Count a blocked-worker watchdog fire on the calling thread's pool (the
+/// `/threads/count/watchdog-fires` performance counter), just before the
+/// wait panics.
+pub(crate) fn note_watchdog_fire() {
+    if let Some(ctx) = CTX.with(|c| c.get()) {
+        // SAFETY: as in `try_help_current_thread`.
+        let pool = unsafe { &*ctx.pool };
+        Counters::bump(&pool.counters.watchdog_fires);
+    }
+}
+
 fn worker_loop(pool: Arc<PoolInner>, local: Deque<Job>) {
     CTX.with(|c| {
         c.set(Some(WorkerCtx {
             pool: Arc::as_ptr(&pool),
-            local: &local as *const _,
+            local: Some(&local as *const _),
         }))
     });
     loop {
@@ -549,6 +783,92 @@ mod tests {
         let f = rt.async_call(|| 5);
         assert_eq!(f.get(), 5);
         rt.shutdown();
+    }
+
+    fn schedule_order(seed: u64, tasks: usize) -> Vec<usize> {
+        let rt = Runtime::deterministic(seed);
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        rt.enter(|| {
+            for i in 0..tasks {
+                let order = order.clone();
+                rt.spawn(move || order.lock().push(i));
+            }
+        });
+        rt.run_until_idle();
+        let out = order.lock().clone();
+        out
+    }
+
+    #[test]
+    fn deterministic_same_seed_reproduces_schedule() {
+        let a = schedule_order(42, 16);
+        let b = schedule_order(42, 16);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_seeds_explore_different_orders() {
+        let orders: std::collections::HashSet<Vec<usize>> =
+            (0..8).map(|s| schedule_order(s, 8)).collect();
+        assert!(
+            orders.len() > 1,
+            "8 seeds over 8 tasks should produce more than one interleaving"
+        );
+    }
+
+    #[test]
+    fn deterministic_async_and_scope_complete_under_enter() {
+        let rt = Runtime::deterministic(7);
+        let out = rt.enter(|| {
+            let f = rt.async_call(|| 20);
+            let g = f.then(&rt, |x| x + 2);
+            let mut data = [0u64; 16];
+            rt.scope(|s| {
+                for chunk in data.chunks_mut(4) {
+                    s.spawn(move || {
+                        for x in chunk {
+                            *x += 1;
+                        }
+                    });
+                }
+            });
+            assert!(data.iter().all(|&x| x == 1));
+            g.get()
+        });
+        assert_eq!(out, 22);
+        assert!(rt.is_deterministic());
+        assert_eq!(rt.schedule_seed(), Some(7));
+        assert!(rt.schedule_steps() > 0);
+    }
+
+    #[test]
+    fn deterministic_wait_on_forgotten_promise_reports_seed() {
+        let rt = Runtime::deterministic(99);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            rt.enter(|| {
+                let (p, f) = crate::future::Promise::<i32>::new_pair();
+                std::mem::forget(p);
+                f.wait();
+            })
+        }));
+        let msg = panic_message(&*outcome.unwrap_err());
+        assert!(msg.contains("deterministic schedule stalled"), "got: {msg}");
+        assert!(msg.contains("seed 99"), "got: {msg}");
+    }
+
+    #[test]
+    fn deterministic_contained_panics_are_recorded() {
+        let rt = Runtime::deterministic(3);
+        rt.enter(|| rt.spawn(|| panic!("planted double-resolve stand-in")));
+        rt.run_until_idle();
+        let panics = rt.take_contained_panics();
+        assert_eq!(panics.len(), 1);
+        assert!(panics[0].contains("planted double-resolve stand-in"));
+        assert!(rt.take_contained_panics().is_empty(), "take drains");
     }
 
     #[test]

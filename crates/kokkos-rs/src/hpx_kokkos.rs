@@ -11,8 +11,9 @@
 
 use crate::parallel::{parallel_for, parallel_reduce};
 use crate::policy::RangePolicy;
+use crate::race::{LaunchToken, RaceDetector, ViewAccess};
 use crate::space::ExecSpace;
-use hpx_rt::{Future, Runtime};
+use hpx_rt::{when_all_of, Future, Runtime};
 
 /// Launch `parallel_for(space, policy, kernel)` asynchronously on `rt`;
 /// the returned future becomes ready when the whole kernel has executed.
@@ -92,6 +93,47 @@ where
     dep.ticket().then(rt, move |()| {
         parallel_reduce(&space, policy, identity, map, combine)
     })
+}
+
+/// A kernel launch registered with a [`RaceDetector`]: the completion future
+/// plus the happens-before token later launches cite as a dependency.
+pub struct TrackedLaunch {
+    /// Completes when the kernel has executed.
+    pub done: Future<()>,
+    /// This launch's identity in the detector's happens-before order.
+    pub token: LaunchToken,
+}
+
+/// Race-checked [`launch_for_after`]: registers the launch (site, ordering
+/// deps, declared view accesses) with `det` — aborting with both launch
+/// sites on an unordered conflicting access — then runs the kernel once
+/// every dependency's future has resolved.
+///
+/// The declared `deps` are the *only* ordering edges the detector credits,
+/// so a kernel gated on too little fails loudly here instead of racing
+/// silently under an unlucky schedule.
+// The signature is `launch_for_after`'s plus the three race-tracking
+// inputs; bundling them would only obscure the correspondence.
+#[allow(clippy::too_many_arguments)]
+pub fn launch_for_tracked<F>(
+    rt: &Runtime,
+    space: ExecSpace,
+    policy: RangePolicy,
+    det: &RaceDetector,
+    site: &str,
+    deps: &[&TrackedLaunch],
+    accesses: &[ViewAccess],
+    kernel: F,
+) -> TrackedLaunch
+where
+    F: Fn(usize) + Sync + Send + 'static,
+{
+    let dep_tokens: Vec<LaunchToken> = deps.iter().map(|d| d.token).collect();
+    let token = det.launch_or_abort(site, &dep_tokens, accesses);
+    let dep_futures: Vec<Future<()>> = deps.iter().map(|d| d.done.clone()).collect();
+    let done =
+        when_all_of(rt, &dep_futures).then(rt, move |()| parallel_for(&space, policy, kernel));
+    TrackedLaunch { done, token }
 }
 
 #[cfg(test)]
@@ -218,6 +260,72 @@ mod tests {
         assert_eq!(first.get(), 45);
         assert_eq!(second.get(), 90);
         rt.shutdown();
+    }
+
+    #[test]
+    fn tracked_launches_enforce_order_and_run() {
+        let rt = Runtime::new(2);
+        let det = RaceDetector::new();
+        let view = crate::view::View::<f64>::new_1d("rho", 64);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h1 = hits.clone();
+        let init = launch_for_tracked(
+            &rt,
+            ExecSpace::hpx(rt.clone()),
+            RangePolicy::new(0, 64),
+            &det,
+            "init(rho)",
+            &[],
+            &[ViewAccess::write(&view)],
+            move |_| {
+                h1.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        let h2 = hits.clone();
+        let flux = launch_for_tracked(
+            &rt,
+            ExecSpace::hpx(rt.clone()),
+            RangePolicy::new(0, 64),
+            &det,
+            "flux(rho)",
+            &[&init],
+            &[ViewAccess::read(&view)],
+            move |_| {
+                h2.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        flux.done.wait();
+        assert_eq!(hits.load(Ordering::SeqCst), 128);
+        rt.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "data race on view")]
+    fn tracked_launch_without_edge_aborts() {
+        let rt = Runtime::new(1);
+        let det = RaceDetector::new();
+        let view = crate::view::View::<f64>::new_1d("rho", 8);
+        let _a = launch_for_tracked(
+            &rt,
+            ExecSpace::Serial,
+            RangePolicy::new(0, 8),
+            &det,
+            "writer_a",
+            &[],
+            &[ViewAccess::write(&view)],
+            |_| {},
+        );
+        // No dependency on `_a`: unordered write-write on the same view.
+        let _b = launch_for_tracked(
+            &rt,
+            ExecSpace::Serial,
+            RangePolicy::new(0, 8),
+            &det,
+            "writer_b",
+            &[],
+            &[ViewAccess::write(&view)],
+            |_| {},
+        );
     }
 
     #[test]

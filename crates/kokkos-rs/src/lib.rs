@@ -25,18 +25,21 @@
 pub mod hpx_kokkos;
 pub mod parallel;
 pub mod policy;
+pub mod race;
 pub mod space;
 pub mod view;
 
 pub use hpx_kokkos::{
-    launch_for_after, launch_for_async, launch_reduce_after, launch_reduce_async,
+    launch_for_after, launch_for_async, launch_for_tracked, launch_reduce_after,
+    launch_reduce_async, TrackedLaunch,
 };
 pub use parallel::{
     parallel_for, parallel_for_md3, parallel_for_team, parallel_reduce, parallel_scan,
 };
 pub use policy::{ChunkSpec, MDRangePolicy3, RangePolicy, TeamPolicy};
+pub use race::{AccessKind, LaunchToken, RaceDetector, RaceReport, ViewAccess};
 pub use space::{DeviceKind, DeviceSpec, ExecSpace, HpxSpace};
-pub use view::{Layout, View};
+pub use view::{Layout, View, ViewId};
 
 #[cfg(test)]
 mod tests {

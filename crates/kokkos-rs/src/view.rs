@@ -17,13 +17,30 @@ pub enum Layout {
     Left,
 }
 
+/// Process-unique identity of one [`View`] allocation.
+///
+/// Used by the `race` module's happens-before checker to tell *which*
+/// storage two kernel launches touch: a clone is a new allocation and gets a
+/// fresh id, so only launches sharing the very same buffer can conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ViewId(u64);
+
+impl ViewId {
+    fn fresh() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        ViewId(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
 /// A labelled, owned, contiguous array of rank 1–3.
 ///
 /// Views are the unit of data a kernel operates on.  `as_slice` /
 /// `as_mut_slice` expose the raw storage for SIMD kernels; `at`/`at_mut`
 /// give layout-aware multi-dimensional access.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct View<T> {
+    id: ViewId,
     label: String,
     data: Vec<T>,
     dims: [usize; 3],
@@ -31,10 +48,36 @@ pub struct View<T> {
     layout: Layout,
 }
 
+impl<T: Clone> Clone for View<T> {
+    fn clone(&self) -> Self {
+        View {
+            id: ViewId::fresh(), // a clone is a distinct allocation
+            label: self.label.clone(),
+            data: self.data.clone(),
+            dims: self.dims,
+            rank: self.rank,
+            layout: self.layout,
+        }
+    }
+}
+
+impl<T: PartialEq> PartialEq for View<T> {
+    fn eq(&self, other: &Self) -> bool {
+        // Identity is deliberately excluded: two views are equal when their
+        // observable contents are, whichever allocations back them.
+        self.label == other.label
+            && self.data == other.data
+            && self.dims == other.dims
+            && self.rank == other.rank
+            && self.layout == other.layout
+    }
+}
+
 impl<T: Clone + Default> View<T> {
     /// Rank-1 view of `n` default-initialized elements.
     pub fn new_1d(label: impl Into<String>, n: usize) -> Self {
         View {
+            id: ViewId::fresh(),
             label: label.into(),
             data: vec![T::default(); n],
             dims: [n, 1, 1],
@@ -46,6 +89,7 @@ impl<T: Clone + Default> View<T> {
     /// Rank-2 view of `n0 × n1` default-initialized elements.
     pub fn new_2d(label: impl Into<String>, n0: usize, n1: usize) -> Self {
         View {
+            id: ViewId::fresh(),
             label: label.into(),
             data: vec![T::default(); n0 * n1],
             dims: [n0, n1, 1],
@@ -57,6 +101,7 @@ impl<T: Clone + Default> View<T> {
     /// Rank-3 view of `n0 × n1 × n2` default-initialized elements.
     pub fn new_3d(label: impl Into<String>, n0: usize, n1: usize, n2: usize) -> Self {
         View {
+            id: ViewId::fresh(),
             label: label.into(),
             data: vec![T::default(); n0 * n1 * n2],
             dims: [n0, n1, n2],
@@ -72,6 +117,7 @@ impl<T: Clone + Default> View<T> {
             return self.clone();
         }
         let mut out = View {
+            id: ViewId::fresh(),
             label: self.label.clone(),
             data: vec![T::default(); self.data.len()],
             dims: self.dims,
@@ -92,6 +138,11 @@ impl<T: Clone + Default> View<T> {
 }
 
 impl<T> View<T> {
+    /// This allocation's process-unique identity (see [`ViewId`]).
+    pub fn id(&self) -> ViewId {
+        self.id
+    }
+
     /// Kokkos-style label (used in diagnostics).
     pub fn label(&self) -> &str {
         &self.label
@@ -186,6 +237,7 @@ impl<T: Clone> View<T> {
     /// Rank-1 view initialized from a slice.
     pub fn from_slice_1d(label: impl Into<String>, data: &[T]) -> Self {
         View {
+            id: ViewId::fresh(),
             label: label.into(),
             data: data.to_vec(),
             dims: [data.len(), 1, 1],
@@ -301,5 +353,13 @@ mod tests {
         let v = View::from_slice_1d("s", &[1, 2, 3]);
         assert_eq!(v.as_slice(), &[1, 2, 3]);
         assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn clone_gets_fresh_identity_but_stays_equal() {
+        let v = View::from_slice_1d("s", &[1, 2, 3]);
+        let c = v.clone();
+        assert_ne!(v.id(), c.id());
+        assert_eq!(v, c);
     }
 }

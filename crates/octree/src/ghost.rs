@@ -63,6 +63,50 @@ struct GhostRequest {
     dir: Dir,
 }
 
+/// One (leaf, direction) ghost link, classified: which source leaves the
+/// link reads (several for a fine-from-coarse jump), or none at the domain
+/// boundary (outflow reads the leaf's own interior).
+///
+/// This is the *single* classification both the runtime graph
+/// ([`DistGrid::exchange_ghosts_pipelined`]) and the `hpx-check` static
+/// future-DAG linter consume, so the analyzed graph cannot drift from the
+/// executed one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// The destination leaf whose ghost shell the link fills.
+    pub leaf: NodeId,
+    /// Direction of the shell, from the leaf's perspective.
+    pub dir: Dir,
+    /// Source leaves read to assemble the payload; empty at the domain
+    /// boundary.
+    pub sources: Vec<NodeId>,
+}
+
+impl LinkSpec {
+    /// `true` for a domain-boundary (outflow) link.
+    pub fn is_boundary(&self) -> bool {
+        self.sources.is_empty()
+    }
+}
+
+/// Classify every (leaf, direction) ghost link of `tree`: 26 per leaf, in
+/// `leaves() × Dir::all26()` order.
+pub fn ghost_link_specs(tree: &Tree) -> Vec<LinkSpec> {
+    tree.leaves()
+        .into_iter()
+        .flat_map(|leaf| Dir::all26().map(move |dir| (leaf, dir)))
+        .map(|(leaf, dir)| {
+            let sources = match tree.neighbor_of(leaf, dir) {
+                Neighbor::SameLevel(nb) => vec![nb],
+                Neighbor::Coarser(c) => vec![c],
+                Neighbor::Finer(kids) => kids,
+                Neighbor::DomainBoundary => Vec::new(),
+            };
+            LinkSpec { leaf, dir, sources }
+        })
+        .collect()
+}
+
 struct DistGridInner {
     tree: RwLock<Tree>,
     owner: RwLock<HashMap<NodeId, LocalityId>>,
@@ -298,6 +342,13 @@ impl DistGrid {
         self.leaves().len() * 26
     }
 
+    /// Classify every ghost link of the current tree (see
+    /// [`ghost_link_specs`]): the exact link set
+    /// [`DistGrid::exchange_ghosts_pipelined`] wires into futures.
+    pub fn link_specs(&self) -> Vec<LinkSpec> {
+        ghost_link_specs(&self.inner.tree.read())
+    }
+
     /// Futurized ghost exchange: instead of a phase barrier, every
     /// (leaf, direction) link becomes its own future chain gated on the
     /// `ready` futures of exactly the source leaves it reads.
@@ -326,29 +377,9 @@ impl DistGrid {
         let owner = self.inner.owner.read().clone();
 
         // Classify all links first so no tree lock is held while futures are
-        // wired (continuations re-acquire it from worker threads).
-        enum Link {
-            Boundary,
-            Sources(Vec<NodeId>),
-        }
-        let links: Vec<(NodeId, Dir, Link)> = {
-            let tree = self.inner.tree.read();
-            leaves
-                .iter()
-                .flat_map(|&leaf| {
-                    let tree = &tree;
-                    Dir::all26().map(move |dir| {
-                        let link = match tree.neighbor_of(leaf, dir) {
-                            Neighbor::SameLevel(nb) => Link::Sources(vec![nb]),
-                            Neighbor::Coarser(c) => Link::Sources(vec![c]),
-                            Neighbor::Finer(kids) => Link::Sources(kids),
-                            Neighbor::DomainBoundary => Link::Boundary,
-                        };
-                        (leaf, dir, link)
-                    })
-                })
-                .collect()
-        };
+        // wired (continuations re-acquire it from worker threads).  This is
+        // the same classification `hpx-check`'s DAG linter analyzes.
+        let links = self.link_specs();
 
         let links_resolved = Arc::new(AtomicUsize::new(0));
         let total_links = links.len();
@@ -358,90 +389,87 @@ impl DistGrid {
         let mut outgoing: HashMap<NodeId, Vec<hpx_rt::Future<()>>> =
             leaves.iter().map(|&l| (l, Vec::new())).collect();
 
-        for (leaf, dir, link) in links {
+        for LinkSpec { leaf, dir, sources } in links {
             let me = owner[&leaf];
             let rt_leaf = cluster.locality(me.0).runtime().clone();
             let grid = self.grid(leaf);
             let resolved = links_resolved.clone();
-            match link {
-                Link::Boundary => {
-                    // Outflow reads the leaf's own interior: gate on the
-                    // leaf itself.
-                    let unpacked = ready[&leaf].then(&rt_leaf, move |()| {
-                        apply_outflow(&mut grid.write(), dir);
-                        resolved.fetch_add(1, Ordering::Relaxed);
+            if sources.is_empty() {
+                // Outflow reads the leaf's own interior: gate on the
+                // leaf itself.
+                let unpacked = ready[&leaf].then(&rt_leaf, move |()| {
+                    apply_outflow(&mut grid.write(), dir);
+                    resolved.fetch_add(1, Ordering::Relaxed);
+                });
+                incoming.get_mut(&leaf).unwrap().push(unpacked);
+            } else {
+                let all_local = sources.iter().all(|s| owner[s] == me);
+                let src_rt = cluster.locality(owner[&sources[0]].0).runtime().clone();
+                let gate = if sources.len() == 1 {
+                    ready[&sources[0]].clone()
+                } else {
+                    let parts: Vec<hpx_rt::Future<()>> =
+                        sources.iter().map(|s| ready[s].clone()).collect();
+                    hpx_rt::when_all_of(&src_rt, &parts)
+                };
+                // The link's payload future: packed as soon as all of its
+                // *sources* are ready, on either the direct or parcel
+                // path.  The unpack additionally gates on the destination
+                // leaf's own readiness — its previous-stage combine
+                // rewrites the whole array (ghost shells included), so a
+                // ghost write landing before it would be clobbered.
+                let unpacked = if all_local && config.direct_local_access {
+                    direct_links += 1;
+                    let inner = self.inner.clone();
+                    let loc = cluster.locality(me.0).clone();
+                    let payload = gate.then(&src_rt, move |()| {
+                        loc.note_local_direct_access();
+                        compute_payload(&inner, leaf, dir)
+                            .expect("non-boundary link must produce data")
                     });
-                    incoming.get_mut(&leaf).unwrap().push(unpacked);
-                }
-                Link::Sources(sources) => {
-                    let all_local = sources.iter().all(|s| owner[s] == me);
-                    let src_rt = cluster.locality(owner[&sources[0]].0).runtime().clone();
-                    let gate = if sources.len() == 1 {
-                        ready[&sources[0]].clone()
-                    } else {
-                        let parts: Vec<hpx_rt::Future<()>> =
-                            sources.iter().map(|s| ready[s].clone()).collect();
-                        hpx_rt::when_all_of(&src_rt, &parts)
+                    for s in &sources {
+                        outgoing.get_mut(s).unwrap().push(payload.ticket());
+                    }
+                    let parts = [payload.ticket(), ready[&leaf].clone()];
+                    hpx_rt::when_all_of(&rt_leaf, &parts).then(&rt_leaf, move |()| {
+                        payload.with_value(|data| grid.write().unpack_recv(dir, data));
+                        resolved.fetch_add(1, Ordering::Relaxed);
+                    })
+                } else {
+                    let dest = owner[&sources[0]];
+                    let bytes = {
+                        let grids = self.inner.grids.read();
+                        let g = grids[&leaf].read();
+                        g.payload_bytes(dir.opposite())
                     };
-                    // The link's payload future: packed as soon as all of its
-                    // *sources* are ready, on either the direct or parcel
-                    // path.  The unpack additionally gates on the destination
-                    // leaf's own readiness — its previous-stage combine
-                    // rewrites the whole array (ghost shells included), so a
-                    // ghost write landing before it would be clobbered.
-                    let unpacked = if all_local && config.direct_local_access {
-                        direct_links += 1;
-                        let inner = self.inner.clone();
-                        let loc = cluster.locality(me.0).clone();
-                        let payload = gate.then(&src_rt, move |()| {
-                            loc.note_local_direct_access();
-                            compute_payload(&inner, leaf, dir)
-                                .expect("non-boundary link must produce data")
+                    let loc_me = cluster.locality(me.0).clone();
+                    // The parcel is only *sent* once the gate resolves, so
+                    // the remote pack handler observes stage-consistent
+                    // sources; its reply is re-exposed as a plain future.
+                    let (reply_p, reply_f) = hpx_rt::Promise::<ArcPayload>::new_pair();
+                    gate.on_ready(move |_| {
+                        let f = loc_me.apply_async(
+                            dest,
+                            "ghost_pack",
+                            Box::new(GhostRequest { leaf, dir }),
+                            bytes,
+                        );
+                        f.on_ready(move |arc| reply_p.set(arc.clone()));
+                    });
+                    for s in &sources {
+                        outgoing.get_mut(s).unwrap().push(reply_f.ticket());
+                    }
+                    let parts = [reply_f.ticket(), ready[&leaf].clone()];
+                    hpx_rt::when_all_of(&rt_leaf, &parts).then(&rt_leaf, move |()| {
+                        reply_f.with_value(|arc| {
+                            let data = downcast_payload::<Vec<f64>>(arc)
+                                .expect("ghost_pack returns Vec<f64>");
+                            grid.write().unpack_recv(dir, data);
                         });
-                        for s in &sources {
-                            outgoing.get_mut(s).unwrap().push(payload.ticket());
-                        }
-                        let parts = [payload.ticket(), ready[&leaf].clone()];
-                        hpx_rt::when_all_of(&rt_leaf, &parts).then(&rt_leaf, move |()| {
-                            payload.with_value(|data| grid.write().unpack_recv(dir, data));
-                            resolved.fetch_add(1, Ordering::Relaxed);
-                        })
-                    } else {
-                        let dest = owner[&sources[0]];
-                        let bytes = {
-                            let grids = self.inner.grids.read();
-                            let g = grids[&leaf].read();
-                            g.payload_bytes(dir.opposite())
-                        };
-                        let loc_me = cluster.locality(me.0).clone();
-                        // The parcel is only *sent* once the gate resolves, so
-                        // the remote pack handler observes stage-consistent
-                        // sources; its reply is re-exposed as a plain future.
-                        let (reply_p, reply_f) = hpx_rt::Promise::<ArcPayload>::new_pair();
-                        gate.on_ready(move |_| {
-                            let f = loc_me.apply_async(
-                                dest,
-                                "ghost_pack",
-                                Box::new(GhostRequest { leaf, dir }),
-                                bytes,
-                            );
-                            f.on_ready(move |arc| reply_p.set(arc.clone()));
-                        });
-                        for s in &sources {
-                            outgoing.get_mut(s).unwrap().push(reply_f.ticket());
-                        }
-                        let parts = [reply_f.ticket(), ready[&leaf].clone()];
-                        hpx_rt::when_all_of(&rt_leaf, &parts).then(&rt_leaf, move |()| {
-                            reply_f.with_value(|arc| {
-                                let data = downcast_payload::<Vec<f64>>(arc)
-                                    .expect("ghost_pack returns Vec<f64>");
-                                grid.write().unpack_recv(dir, data);
-                            });
-                            resolved.fetch_add(1, Ordering::Relaxed);
-                        })
-                    };
-                    incoming.get_mut(&leaf).unwrap().push(unpacked);
-                }
+                        resolved.fetch_add(1, Ordering::Relaxed);
+                    })
+                };
+                incoming.get_mut(&leaf).unwrap().push(unpacked);
             }
         }
 

@@ -29,7 +29,7 @@ pub mod partition;
 pub mod subgrid;
 pub mod tree;
 
-pub use ghost::{DistGrid, GhostConfig, PipelinedExchange};
+pub use ghost::{ghost_link_specs, DistGrid, GhostConfig, LinkSpec, PipelinedExchange};
 pub use index::{Dir, NodeId, Octant, MAX_LEVEL};
 pub use partition::{partition_morton, PartitionStats};
 pub use subgrid::SubGrid;

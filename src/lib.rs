@@ -11,11 +11,14 @@
 //! * [`amr`] — AMR octree with sub-grids and ghost-layer exchange.
 //! * [`octotiger`] — the application: hydro + FMM gravity + SCF.
 //! * [`cluster`] — machine models and the discrete-event scaling simulator.
+//! * [`check`] — concurrency analyses: schedule-exploring model checker,
+//!   static future-DAG linter, view race detector, kernel-body wait lint.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every reproduced table and figure.
 
 pub use cluster;
+pub use hpx_check as check;
 pub use hpx_rt as hpx;
 pub use kokkos_rs as kokkos;
 pub use octotiger;
