@@ -39,6 +39,7 @@ fn hydro_rhs_bench(c: &mut Criterion) {
     for n in [8usize, 16] {
         let u = make_state(n);
         let mut rhs = hydro::rhs_like(&u);
+        let mut scratch = hydro::kernels::KernelScratch::ephemeral(n, 2);
         for (label, mode) in [("scalar", VectorMode::Scalar), ("sve", VectorMode::Sve512)] {
             let opts = HydroOptions {
                 vector_mode: mode,
@@ -46,7 +47,8 @@ fn hydro_rhs_bench(c: &mut Criterion) {
             };
             group.bench_function(BenchmarkId::new(label, n), |bench| {
                 bench.iter(|| {
-                    let info = hydro::compute_rhs(black_box(&u), &mut rhs, &src, &opts);
+                    let info =
+                        hydro::compute_rhs(black_box(&u), &mut rhs, &src, &opts, &mut scratch);
                     black_box(info.max_signal_speed);
                 })
             });

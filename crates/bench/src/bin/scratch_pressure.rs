@@ -1,0 +1,10 @@
+//! Allocation-pressure report for the scratch-recycling subsystem.
+//!
+//! Runs a small real simulation twice (recycling on/off) and prints the
+//! pool misses — i.e. actual buffer allocations — per step.  The paper's
+//! A64FX memory budget (28 GB usable HBM2 per node) is the reason the
+//! production configuration must hit zero allocations in steady state.
+
+fn main() {
+    std::process::exit(bench::scratch_pressure().print_and_exit_code());
+}

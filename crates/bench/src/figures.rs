@@ -475,6 +475,67 @@ pub fn fault_companion() -> FigureReport {
     r
 }
 
+/// Allocation-pressure companion: the scratch-recycling subsystem's
+/// allocs-per-step, measured on a real (small) simulation rather than the
+/// machine model.  The paper's A64FX nodes have 28 GB usable HBM2, so
+/// Octo-Tiger's production configuration cannot afford per-launch buffer
+/// churn — steady state must run out of the recycling pools.
+pub fn scratch_pressure() -> FigureReport {
+    use octotiger::{Scenario, ScenarioKind, SimOptions, Simulation};
+
+    let mut r = FigureReport::new(
+        "scratch",
+        "Allocation pressure per step (pooled vs unpooled scratch)",
+    );
+    let steps = 6usize;
+    let run = |recycle: bool| -> Vec<u64> {
+        let cluster = hpx_rt::SimCluster::new(1, 2);
+        let sc = Scenario::build(ScenarioKind::RotatingStar, &cluster, 1, 0, 4);
+        let mut opts = SimOptions::default();
+        opts.gravity = false;
+        opts.omega = sc.omega;
+        opts.recycle_scratch = recycle;
+        let mut sim = Simulation::new(sc.grid, opts);
+        let mut prev = 0u64;
+        let mut per_step = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let s = sim.step(&cluster);
+            // `scratch_misses` is cumulative, so the per-step alloc count
+            // is the delta.  The unpooled run rebuilds its arena each step,
+            // which resets the counter — count the raw misses then.
+            per_step.push(if recycle {
+                s.scratch_misses - prev
+            } else {
+                s.scratch_misses
+            });
+            prev = if recycle { s.scratch_misses } else { 0 };
+        }
+        cluster.shutdown();
+        per_step
+    };
+    let pooled = run(true);
+    let unpooled = run(false);
+    for (i, &m) in pooled.iter().enumerate() {
+        r.point("recycling ON", (i + 1) as f64, m as f64, "allocs/step");
+    }
+    for (i, &m) in unpooled.iter().enumerate() {
+        r.point("recycling OFF", (i + 1) as f64, m as f64, "allocs/step");
+    }
+    r.check(
+        "steady state is allocation-free: zero pool misses after the warm-up step",
+        pooled[1..].iter().all(|&m| m == 0),
+    );
+    r.check(
+        "the warm-up step is the only one that allocates",
+        pooled[0] > 0,
+    );
+    r.check(
+        "without recycling every step re-allocates its scratch",
+        unpooled.iter().all(|&m| m > 0),
+    );
+    r
+}
+
 /// Quick smoke evaluation of every figure (used by integration tests).
 pub fn all_reports() -> Vec<FigureReport> {
     vec![
@@ -488,6 +549,7 @@ pub fn all_reports() -> Vec<FigureReport> {
         figure9(),
         figure10(),
         fault_companion(),
+        scratch_pressure(),
     ]
 }
 

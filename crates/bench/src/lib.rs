@@ -16,7 +16,7 @@ pub mod report;
 
 pub use figures::{
     all_reports, fault_companion, figure10, figure3, figure4, figure5, figure6, figure7, figure8,
-    figure9, table2,
+    figure9, scratch_pressure, table2,
 };
 pub use report::{Check, FigureReport};
 
@@ -55,11 +55,12 @@ pub fn measure_hydro_simd_speedup(n: usize, reps: usize) -> f64 {
             cfl: 0.4,
         };
         let mut rhs = hydro::rhs_like(&u);
+        let mut scratch = hydro::kernels::KernelScratch::ephemeral(n, 2);
         // Warm up.
-        hydro::compute_rhs(&u, &mut rhs, &src, &opts);
+        hydro::compute_rhs(&u, &mut rhs, &src, &opts, &mut scratch);
         let t0 = Instant::now();
         for _ in 0..reps {
-            hydro::compute_rhs(&u, &mut rhs, &src, &opts);
+            hydro::compute_rhs(&u, &mut rhs, &src, &opts, &mut scratch);
         }
         t0.elapsed().as_secs_f64()
     };

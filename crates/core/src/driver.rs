@@ -15,15 +15,20 @@ use crate::diag::ConservationLedger;
 use crate::gravity::direct::PointMasses;
 use crate::gravity::{GravityOptions, GravitySolver, LeafField, LeafSources};
 use crate::hydro::{self, HydroOptions, SourceInput};
-use crate::state::{field, NF};
+use crate::state::field;
 use crate::units::BOX_SIZE;
+use crate::workspace::{self, LeafWorkspace};
 use hpx_rt::{Future, SimCluster};
+use kokkos_rs::pool::ScratchArena;
 use kokkos_rs::ExecSpace;
 use octree::{DistGrid, GhostConfig, NodeId};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 use sve_simd::VectorMode;
+
+/// Shared handle to the per-leaf workspace table, cloned into stage tasks.
+type WorkspaceMap = Arc<HashMap<NodeId, Arc<parking_lot::Mutex<LeafWorkspace>>>>;
 
 /// All the paper's run-time switches in one place.
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +60,11 @@ pub struct SimOptions {
     /// release runs can also opt in via `HPX_WATCHDOG_MS`); `Some(0)`
     /// disables it.
     pub watchdog_ms: Option<u64>,
+    /// Reuse the per-leaf workspaces and scratch arena across steps (the
+    /// CPPuddle-style zero-allocation steady state).  `false` rebuilds every
+    /// workspace from a fresh arena each step — physics is bit-identical
+    /// (see `tests/scratch_recycling.rs`), only allocation traffic changes.
+    pub recycle_scratch: bool,
 }
 
 impl Default for SimOptions {
@@ -68,6 +78,7 @@ impl Default for SimOptions {
             cfl: 0.4,
             pipeline: false,
             watchdog_ms: None,
+            recycle_scratch: true,
         }
     }
 }
@@ -101,6 +112,16 @@ pub struct StepStats {
     /// Always 0 for the barrier stepper, which fully drains each exchange
     /// before launching any kernel.
     pub overlapped_tasks: u64,
+    /// Scratch-pool checkouts served from a free list (cumulative across
+    /// the run; kernel-scratch, gravity, and ghost-payload pools combined).
+    pub scratch_hits: u64,
+    /// Scratch-pool checkouts that had to allocate (cumulative).  In steady
+    /// state this stops growing after the first step.
+    pub scratch_misses: u64,
+    /// Bytes currently checked out of the scratch pools.
+    pub scratch_bytes_in_use: u64,
+    /// High-water mark of bytes simultaneously checked out.
+    pub scratch_high_water: u64,
     /// FMM interaction counts, if gravity ran.
     pub gravity_stats: Option<crate::gravity::solver::SolveStats>,
 }
@@ -123,6 +144,11 @@ pub struct Simulation {
     pub apex: hpx_rt::Apex,
     /// FMM statistics of the most recent gravity solve.
     last_gravity_stats: Option<crate::gravity::solver::SolveStats>,
+    /// The simulation's scratch arena: kernel scratch and gravity fields
+    /// check their buffers out of this pool.
+    scratch: ScratchArena,
+    /// One recycled workspace per leaf, rebuilt lazily after regrids.
+    workspaces: HashMap<NodeId, Arc<parking_lot::Mutex<LeafWorkspace>>>,
 }
 
 impl Simulation {
@@ -136,7 +162,48 @@ impl Simulation {
             mass_outflow: 0.0,
             apex: hpx_rt::Apex::new(false),
             last_gravity_stats: None,
+            scratch: ScratchArena::new(),
+            workspaces: HashMap::new(),
         }
+    }
+
+    /// Handle to the simulation's scratch arena (kernel + gravity buffers;
+    /// ghost payloads live in [`DistGrid::scratch`]).
+    pub fn scratch(&self) -> ScratchArena {
+        self.scratch.clone()
+    }
+
+    /// Create workspaces for new leaves and drop the ones whose leaves a
+    /// regrid consumed.  Dropped workspaces return their kernel scratch to
+    /// the arena, so the new leaves' checkouts can recycle it.
+    fn ensure_workspaces(&mut self) {
+        let n = self.grid.n();
+        let gw = self.grid.ghost_width();
+        let leaves = self.grid.leaves();
+        let live: std::collections::HashSet<NodeId> = leaves.iter().copied().collect();
+        self.workspaces.retain(|id, _| live.contains(id));
+        for leaf in leaves {
+            self.workspaces.entry(leaf).or_insert_with(|| {
+                Arc::new(parking_lot::Mutex::new(LeafWorkspace::new(
+                    n,
+                    gw,
+                    &self.scratch,
+                )))
+            });
+        }
+    }
+
+    /// Combined pool telemetry: the simulation arena plus the grid's
+    /// ghost-payload pool, as the four `StepStats` scratch fields.
+    fn scratch_telemetry(&self) -> (u64, u64, u64, u64) {
+        let a = self.scratch.stats();
+        let b = self.grid.scratch().stats();
+        (
+            a.hits + b.hits,
+            a.misses + b.misses,
+            a.bytes_in_use + b.bytes_in_use,
+            a.high_water + b.high_water,
+        )
     }
 
     /// Leaf-parallel execution: each locality runs its own leaves as tasks
@@ -218,6 +285,13 @@ impl Simulation {
         if let Some(ms) = self.opts.watchdog_ms {
             hpx_rt::set_blocked_wait_timeout(std::time::Duration::from_millis(ms));
         }
+        if !self.opts.recycle_scratch {
+            // Fresh arena + workspaces every step: the unpooled reference
+            // configuration the recycling equivalence tests compare against.
+            self.scratch = ScratchArena::new();
+            self.workspaces.clear();
+        }
+        self.ensure_workspaces();
         if self.opts.pipeline {
             self.step_pipelined(cluster)
         } else {
@@ -239,10 +313,13 @@ impl Simulation {
         let gravity_fields: Option<Arc<HashMap<NodeId, LeafField>>> = if self.opts.gravity {
             let _t = self.apex.timer("gravity:solve");
             let sources = self.leaf_sources();
-            let solver = GravitySolver::new(GravityOptions {
-                vector_mode: self.opts.vector_mode,
-                ..self.opts.gravity_opts
-            });
+            let solver = GravitySolver::with_scratch(
+                GravityOptions {
+                    vector_mode: self.opts.vector_mode,
+                    ..self.opts.gravity_opts
+                },
+                self.scratch.clone(),
+            );
             let space = ExecSpace::hpx(cluster.locality(0).runtime().clone());
             let (fields, stats) = self.grid.with_tree(|t| solver.solve(t, &sources, &space));
             kernel_launches += stats.multipole_kernel_launches as u64 + leaves.len() as u64;
@@ -259,13 +336,16 @@ impl Simulation {
             self.compute_dt()
         };
 
-        // ---- Save u⁰. ---------------------------------------------------
-        let u0: Arc<HashMap<NodeId, octree::SubGrid>> = Arc::new(
-            leaves
-                .iter()
-                .map(|&l| (l, self.grid.grid(l).read().clone()))
-                .collect(),
-        );
+        // ---- Save u⁰ into the recycled workspaces. ----------------------
+        // No tasks are in flight yet, so the try_lock never contends.
+        for &l in &leaves {
+            self.workspaces[&l]
+                .try_lock()
+                .expect("leaf workspace aliased outside a step")
+                .u0
+                .copy_from(&self.grid.grid(l).read());
+        }
+        let ws_map: WorkspaceMap = Arc::new(self.workspaces.clone());
 
         // ---- Three SSP-RK3 stages. --------------------------------------
         // Effective Shu-Osher weights of the three stage RHS evaluations in
@@ -301,7 +381,7 @@ impl Simulation {
             let grid = self.grid.clone();
             let opts = self.opts;
             let gf = gravity_fields.clone();
-            let u0 = u0.clone();
+            let ws_map = ws_map.clone();
             let masks = boundary_masks.clone();
             let stage_outflow = Arc::new(parking_lot::Mutex::new(0.0f64));
             let stage_outflow_task = stage_outflow.clone();
@@ -319,34 +399,53 @@ impl Simulation {
                     vector_mode: opts.vector_mode,
                     cfl: opts.cfl,
                 };
+                // Each stage exchange drains before any stage task runs, so
+                // exactly one task touches this leaf's workspace at a time.
+                let mut guard = ws_map[&leaf]
+                    .try_lock()
+                    .expect("leaf workspace aliased by a concurrent task");
+                let ws = &mut *guard;
                 // Compute the RHS from the current state (reads), then
                 // apply the stage combination (writes).
-                let (mut rhs, u_cur) = {
+                {
                     let g = handle.read();
-                    let mut rhs = hydro::rhs_like(&g);
-                    let leaf_gravity = gf.as_ref().map(|m| &m[&leaf]);
-                    let gvecs = leaf_gravity.map(|f| [&f.gx[..], &f.gy[..], &f.gz[..]]);
-                    let src = SourceInput {
-                        gravity: gvecs,
-                        omega: opts.omega,
-                        origin,
-                        h,
-                        boundary_faces: masks[&leaf],
-                    };
-                    let info = hydro::compute_rhs(&g, &mut rhs, &src, &hopts);
-                    *stage_outflow_task.lock() += info.boundary_mass_outflow_rate;
-                    (rhs, g.clone())
+                    ws.u_cur.copy_from(&g);
+                }
+                let leaf_gravity = gf.as_ref().map(|m| &m[&leaf]);
+                let gvecs = leaf_gravity.map(|f| [&f.gx[..], &f.gy[..], &f.gz[..]]);
+                let src = SourceInput {
+                    gravity: gvecs,
+                    omega: opts.omega,
+                    origin,
+                    h,
+                    boundary_faces: masks[&leaf],
                 };
+                let info =
+                    hydro::compute_rhs(&ws.u_cur, &mut ws.rhs, &src, &hopts, &mut ws.scratch);
+                *stage_outflow_task.lock() += info.boundary_mass_outflow_rate;
                 // Zero RHS in ghost zones so stage combines don't touch
                 // them with stale flux data (they are refreshed by the next
                 // exchange anyway, but keep them clean for diagnostics).
-                zero_ghost_fields(&mut rhs);
-                let base = &u0[&leaf];
+                workspace::zero_ghost_runs(&mut ws.rhs, &ws.ghost_runs);
                 let mut g = handle.write();
                 match stage {
-                    0 => hydro::rk3::stage_euler(&u_cur, &rhs, dt, &mut g, opts.vector_mode),
-                    1 => hydro::rk3::stage_two(base, &u_cur, &rhs, dt, &mut g, opts.vector_mode),
-                    _ => hydro::rk3::stage_three(base, &u_cur, &rhs, dt, &mut g, opts.vector_mode),
+                    0 => hydro::rk3::stage_euler(&ws.u_cur, &ws.rhs, dt, &mut g, opts.vector_mode),
+                    1 => hydro::rk3::stage_two(
+                        &ws.u0,
+                        &ws.u_cur,
+                        &ws.rhs,
+                        dt,
+                        &mut g,
+                        opts.vector_mode,
+                    ),
+                    _ => hydro::rk3::stage_three(
+                        &ws.u0,
+                        &ws.u_cur,
+                        &ws.rhs,
+                        dt,
+                        &mut g,
+                        opts.vector_mode,
+                    ),
                 }
             });
             step_outflow += stage_weight[stage] * dt * *stage_outflow.lock();
@@ -360,6 +459,8 @@ impl Simulation {
         let cells = 3 * n3 * leaves.len() as u64;
         // Each of the three exchanges drains fully before its stage runs.
         let links_total = 3 * self.grid.total_ghost_links() as u64;
+        let (scratch_hits, scratch_misses, scratch_bytes_in_use, scratch_high_water) =
+            self.scratch_telemetry();
         StepStats {
             dt,
             time: self.time,
@@ -372,6 +473,10 @@ impl Simulation {
             ghost_links_total: links_total,
             ghost_links_resolved: links_total,
             overlapped_tasks: 0,
+            scratch_hits,
+            scratch_misses,
+            scratch_bytes_in_use,
+            scratch_high_water,
             gravity_stats: self.last_gravity_stats,
         }
     }
@@ -414,10 +519,13 @@ impl Simulation {
         );
         let gravity_fut: Option<Future<GravityResult>> = if self.opts.gravity {
             let sources = self.leaf_sources();
-            let solver = GravitySolver::new(GravityOptions {
-                vector_mode: self.opts.vector_mode,
-                ..self.opts.gravity_opts
-            });
+            let solver = GravitySolver::with_scratch(
+                GravityOptions {
+                    vector_mode: self.opts.vector_mode,
+                    ..self.opts.gravity_opts
+                },
+                self.scratch.clone(),
+            );
             let space = ExecSpace::hpx(rt0.clone());
             let grid = self.grid.clone();
             Some(rt0.async_call(move || {
@@ -428,13 +536,16 @@ impl Simulation {
             None
         };
 
-        // ---- Save u⁰ (synchronously: reads race only with other reads). --
-        let u0: Arc<HashMap<NodeId, octree::SubGrid>> = Arc::new(
-            leaves
-                .iter()
-                .map(|&l| (l, self.grid.grid(l).read().clone()))
-                .collect(),
-        );
+        // ---- Save u⁰ (synchronously: the previous step fully joined, so
+        // no task holds a workspace and the grids race only with reads). --
+        for &l in &leaves {
+            self.workspaces[&l]
+                .try_lock()
+                .expect("leaf workspace aliased outside a step")
+                .u0
+                .copy_from(&self.grid.grid(l).read());
+        }
+        let ws_map: WorkspaceMap = Arc::new(self.workspaces.clone());
 
         // ---- Global Δt as an asynchronous Kokkos reduction. -------------
         // min/max are associative and commutative, so the chunked reduction
@@ -523,7 +634,7 @@ impl Simulation {
                 let grid = self.grid.clone();
                 let opts = self.opts;
                 let gf = gravity_fut.clone();
-                let u0 = u0.clone();
+                let ws_map = ws_map.clone();
                 let masks = boundary_masks.clone();
                 let stage_outflow = stage_outflows[stage].clone();
                 let dt_fut = dt_fut.clone();
@@ -550,35 +661,52 @@ impl Simulation {
                         vector_mode: opts.vector_mode,
                         cfl: opts.cfl,
                     };
-                    let (mut rhs, u_cur) = {
+                    // The per-leaf future chain (`ready` → exchange gates →
+                    // this update) serializes every task touching this
+                    // leaf's workspace; contention here is a graph bug.
+                    let mut guard = ws_map[&leaf]
+                        .try_lock()
+                        .expect("leaf workspace aliased by a concurrent task");
+                    let ws = &mut *guard;
+                    {
                         let g = handle.read();
-                        let mut rhs = hydro::rhs_like(&g);
-                        let gfields = gf.as_ref().map(|f| f.get().0);
-                        let leaf_gravity = gfields.as_ref().map(|m| &m[&leaf]);
-                        let gvecs = leaf_gravity.map(|f| [&f.gx[..], &f.gy[..], &f.gz[..]]);
-                        let src = SourceInput {
-                            gravity: gvecs,
-                            omega: opts.omega,
-                            origin,
-                            h,
-                            boundary_faces: masks[&leaf],
-                        };
-                        let info = hydro::compute_rhs(&g, &mut rhs, &src, &hopts);
-                        *stage_outflow.lock() += info.boundary_mass_outflow_rate;
-                        (rhs, g.clone())
+                        ws.u_cur.copy_from(&g);
+                    }
+                    let gfields = gf.as_ref().map(|f| f.get().0);
+                    let leaf_gravity = gfields.as_ref().map(|m| &m[&leaf]);
+                    let gvecs = leaf_gravity.map(|f| [&f.gx[..], &f.gy[..], &f.gz[..]]);
+                    let src = SourceInput {
+                        gravity: gvecs,
+                        omega: opts.omega,
+                        origin,
+                        h,
+                        boundary_faces: masks[&leaf],
                     };
-                    zero_ghost_fields(&mut rhs);
-                    let base = &u0[&leaf];
+                    let info =
+                        hydro::compute_rhs(&ws.u_cur, &mut ws.rhs, &src, &hopts, &mut ws.scratch);
+                    *stage_outflow.lock() += info.boundary_mass_outflow_rate;
+                    workspace::zero_ghost_runs(&mut ws.rhs, &ws.ghost_runs);
                     let mut g = handle.write();
                     match stage {
-                        0 => hydro::rk3::stage_euler(&u_cur, &rhs, dt, &mut g, opts.vector_mode),
-                        1 => {
-                            hydro::rk3::stage_two(base, &u_cur, &rhs, dt, &mut g, opts.vector_mode)
-                        }
+                        0 => hydro::rk3::stage_euler(
+                            &ws.u_cur,
+                            &ws.rhs,
+                            dt,
+                            &mut g,
+                            opts.vector_mode,
+                        ),
+                        1 => hydro::rk3::stage_two(
+                            &ws.u0,
+                            &ws.u_cur,
+                            &ws.rhs,
+                            dt,
+                            &mut g,
+                            opts.vector_mode,
+                        ),
                         _ => hydro::rk3::stage_three(
-                            base,
-                            &u_cur,
-                            &rhs,
+                            &ws.u0,
+                            &ws.u_cur,
+                            &ws.rhs,
                             dt,
                             &mut g,
                             opts.vector_mode,
@@ -622,6 +750,8 @@ impl Simulation {
         self.step_count += 1;
         let elapsed = t0.elapsed().as_secs_f64();
         let cells = 3 * n3 * leaves.len() as u64;
+        let (scratch_hits, scratch_misses, scratch_bytes_in_use, scratch_high_water) =
+            self.scratch_telemetry();
         StepStats {
             dt,
             time: self.time,
@@ -634,6 +764,10 @@ impl Simulation {
             ghost_links_total: links_total,
             ghost_links_resolved,
             overlapped_tasks: overlapped.load(Ordering::SeqCst),
+            scratch_hits,
+            scratch_misses,
+            scratch_bytes_in_use,
+            scratch_high_water,
             gravity_stats,
         }
     }
@@ -652,28 +786,6 @@ impl Simulation {
         }
         let after = ConservationLedger::measure(&self.grid);
         (before, after, stats)
-    }
-}
-
-/// Zero all ghost cells of every field (keep the interior).
-fn zero_ghost_fields(g: &mut octree::SubGrid) {
-    let n = g.n();
-    let gw = g.ghost();
-    let ext = g.ext();
-    for f in 0..NF {
-        let data = g.field_mut(f);
-        for i in 0..ext {
-            for j in 0..ext {
-                for k in 0..ext {
-                    let interior = (gw..gw + n).contains(&i)
-                        && (gw..gw + n).contains(&j)
-                        && (gw..gw + n).contains(&k);
-                    if !interior {
-                        data[(i * ext + j) * ext + k] = 0.0;
-                    }
-                }
-            }
-        }
     }
 }
 
@@ -731,6 +843,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use crate::scenario::{Scenario, ScenarioKind};
+    use crate::state::NF;
 
     fn small_sim(cluster: &SimCluster, gravity: bool) -> Simulation {
         let sc = Scenario::build(ScenarioKind::RotatingStar, cluster, 1, 0, 4);

@@ -14,6 +14,7 @@
 use super::direct::{p2p_at_w, PointMasses};
 use super::multipole::{LocalExpansion, Multipole};
 use crate::units::BOX_SIZE;
+use kokkos_rs::pool::{Recycled, ScratchArena};
 use kokkos_rs::{parallel_for, ChunkSpec, ExecSpace, RangePolicy};
 use octree::{NodeId, Tree};
 use parking_lot::Mutex;
@@ -56,12 +57,17 @@ pub struct LeafSources {
 
 /// Gravity output for one leaf: potential and acceleration per cell, in the
 /// same cell order as the input points.
+///
+/// The arrays are checked out of the solver's [`ScratchArena`]: dropping a
+/// step's field map returns them for the next solve, so steady-state
+/// gravity allocates nothing.  (A `Default`/`Clone` field is detached —
+/// owned outright, freed on drop.)
 #[derive(Debug, Clone, Default)]
 pub struct LeafField {
-    pub phi: Vec<f64>,
-    pub gx: Vec<f64>,
-    pub gy: Vec<f64>,
-    pub gz: Vec<f64>,
+    pub phi: Recycled<f64>,
+    pub gx: Recycled<f64>,
+    pub gy: Recycled<f64>,
+    pub gz: Recycled<f64>,
 }
 
 /// Interaction statistics of one solve (inputs to the cluster workload
@@ -80,6 +86,11 @@ pub struct SolveStats {
 #[derive(Debug, Clone, Default)]
 pub struct GravitySolver {
     pub opts: GravityOptions,
+    /// Arena the per-leaf output fields are checked out of.  Pass a
+    /// long-lived pool via [`GravitySolver::with_scratch`] to recycle them
+    /// across solves; a solver built with [`GravitySolver::new`] gets its
+    /// own (then recycling only spans that solver's lifetime).
+    scratch: ScratchArena,
 }
 
 /// Physical center and half-diagonal of a node's cube.
@@ -95,9 +106,19 @@ fn node_geometry(id: NodeId) -> ([f64; 3], f64) {
 }
 
 impl GravitySolver {
-    /// New solver with the given options.
+    /// New solver with the given options and a private scratch arena.
     pub fn new(opts: GravityOptions) -> GravitySolver {
-        GravitySolver { opts }
+        GravitySolver {
+            opts,
+            scratch: ScratchArena::new(),
+        }
+    }
+
+    /// New solver drawing its output buffers from `scratch` — the
+    /// simulation passes its own arena so fields recycle across steps even
+    /// though the solver itself is rebuilt per solve.
+    pub fn with_scratch(opts: GravityOptions, scratch: ScratchArena) -> GravitySolver {
+        GravitySolver { opts, scratch }
     }
 
     /// Solve for the gravitational field of `sources` on `tree`, running
@@ -289,10 +310,10 @@ impl GravitySolver {
             let pts = &sources[&leaf].points;
             let ncells = pts.len();
             let mut field = LeafField {
-                phi: vec![0.0; ncells],
-                gx: vec![0.0; ncells],
-                gy: vec![0.0; ncells],
-                gz: vec![0.0; ncells],
+                phi: self.scratch.checkout(ncells),
+                gx: self.scratch.checkout(ncells),
+                gy: self.scratch.checkout(ncells),
+                gz: self.scratch.checkout(ncells),
             };
             let (center, _) = node_geometry(leaf);
             let local = locals.get(&leaf);

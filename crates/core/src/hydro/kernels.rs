@@ -13,35 +13,96 @@ use super::rotating;
 use super::SourceInput;
 use crate::state::{field, DUAL_ENERGY_SWITCH, NF};
 use crate::units::{GAMMA, P_FLOOR, RHO_FLOOR};
+use kokkos_rs::pool::{Recycled, ScratchArena};
 use octree::SubGrid;
 use sve_simd::{ChunkedLanes, Simd};
 
-/// Primitive-variable arrays over the full ghosted block.
-struct PrimArrays {
-    rho: Vec<f64>,
-    vx: Vec<f64>,
-    vy: Vec<f64>,
-    vz: Vec<f64>,
-    p: Vec<f64>,
-    tau: Vec<f64>,
-    f1: Vec<f64>,
-    f2: Vec<f64>,
+/// Number of primitive-variable arrays the kernels recover.
+const NPRIM: usize = 8;
+
+/// Pooled scratch for one leaf's RHS evaluation: the primitive arrays
+/// (`NPRIM` fields over the ghosted block) and the flux arrays (`3 × NF`
+/// interface fields), each one flat recycled buffer instead of the nested
+/// per-field `Vec`s this kernel used to allocate per call.
+///
+/// Owned by the leaf's workspace in the stepper; checked out of the
+/// simulation's [`ScratchArena`] once and reused every stage of every step.
+#[derive(Debug)]
+pub struct KernelScratch {
+    prim: Recycled<f64>,
+    flux: Recycled<f64>,
 }
 
-/// Recover primitives over the whole ghosted block (vectorized; the
-/// dual-energy `τ^γ` branch is a per-lane `powf`).
-fn primitives_w<const W: usize>(u: &SubGrid) -> PrimArrays {
+impl KernelScratch {
+    /// Scratch for an `n`-cell leaf with `ghost` ghost width, checked out
+    /// of `pool` (returned to it on drop).
+    pub fn new(n: usize, ghost: usize, pool: &ScratchArena) -> KernelScratch {
+        let ext3 = (n + 2 * ghost).pow(3);
+        KernelScratch {
+            prim: pool.checkout(NPRIM * ext3),
+            flux: pool.checkout(3 * NF * ext3),
+        }
+    }
+
+    /// Unpooled scratch that frees on drop — for tests, benches, and other
+    /// one-off RHS evaluations outside a stepper workspace.
+    pub fn ephemeral(n: usize, ghost: usize) -> KernelScratch {
+        let ext3 = (n + 2 * ghost).pow(3);
+        KernelScratch {
+            prim: Recycled::detached(vec![0.0; NPRIM * ext3]),
+            flux: Recycled::detached(vec![0.0; 3 * NF * ext3]),
+        }
+    }
+
+    /// `true` if this scratch is sized for an `n`/`ghost` leaf.
+    pub fn fits(&self, n: usize, ghost: usize) -> bool {
+        let ext3 = (n + 2 * ghost).pow(3);
+        self.prim.len() == NPRIM * ext3 && self.flux.len() == 3 * NF * ext3
+    }
+}
+
+/// Immutable per-variable slices into the flat primitive scratch.
+struct PrimSlices<'a> {
+    rho: &'a [f64],
+    vx: &'a [f64],
+    vy: &'a [f64],
+    vz: &'a [f64],
+    p: &'a [f64],
+    tau: &'a [f64],
+    f1: &'a [f64],
+    f2: &'a [f64],
+}
+
+fn prim_slices(prim: &[f64], len: usize) -> PrimSlices<'_> {
+    debug_assert_eq!(prim.len(), NPRIM * len);
+    let mut it = prim.chunks_exact(len);
+    PrimSlices {
+        rho: it.next().expect("prim slice"),
+        vx: it.next().expect("prim slice"),
+        vy: it.next().expect("prim slice"),
+        vz: it.next().expect("prim slice"),
+        p: it.next().expect("prim slice"),
+        tau: it.next().expect("prim slice"),
+        f1: it.next().expect("prim slice"),
+        f2: it.next().expect("prim slice"),
+    }
+}
+
+/// Recover primitives over the whole ghosted block into the flat `prim`
+/// scratch (vectorized; the dual-energy `τ^γ` branch is a per-lane `powf`).
+/// Layout: `NPRIM` consecutive blocks of `ext³` in [`prim_slices`] order.
+fn primitives_w<const W: usize>(u: &SubGrid, prim: &mut [f64]) {
     let len = u.ext().pow(3);
-    let mut out = PrimArrays {
-        rho: vec![0.0; len],
-        vx: vec![0.0; len],
-        vy: vec![0.0; len],
-        vz: vec![0.0; len],
-        p: vec![0.0; len],
-        tau: vec![0.0; len],
-        f1: vec![0.0; len],
-        f2: vec![0.0; len],
-    };
+    debug_assert_eq!(prim.len(), NPRIM * len);
+    let mut it = prim.chunks_exact_mut(len);
+    let out_rho = it.next().expect("prim slice");
+    let out_vx = it.next().expect("prim slice");
+    let out_vy = it.next().expect("prim slice");
+    let out_vz = it.next().expect("prim slice");
+    let out_p = it.next().expect("prim slice");
+    let out_tau = it.next().expect("prim slice");
+    let out_f1 = it.next().expect("prim slice");
+    let out_f2 = it.next().expect("prim slice");
     let rho_c = u.field(field::RHO);
     let sx = u.field(field::SX);
     let sy = u.field(field::SY);
@@ -86,16 +147,15 @@ fn primitives_w<const W: usize>(u: &SubGrid) -> PrimArrays {
         let e_entropy = tau.simd_max(Simd::splat(0.0)).map(|t| t.powf(GAMMA));
         let e = Simd::select(use_direct, e_direct, e_entropy);
         let p = (gamma_m1 * e).simd_max(floor_p);
-        store(rho, &mut out.rho);
-        store(vx, &mut out.vx);
-        store(vy, &mut out.vy);
-        store(vz, &mut out.vz);
-        store(p, &mut out.p);
-        store(tau, &mut out.tau);
-        store(load(f1_c), &mut out.f1);
-        store(load(f2_c), &mut out.f2);
+        store(rho, out_rho);
+        store(vx, out_vx);
+        store(vy, out_vy);
+        store(vz, out_vz);
+        store(p, out_p);
+        store(tau, out_tau);
+        store(load(f1_c), out_f1);
+        store(load(f2_c), out_f2);
     }
-    out
 }
 
 /// Load `W` lanes (contiguous along k) from `src` at flat position `base`,
@@ -125,12 +185,14 @@ fn recon_field<const W: usize>(
     reconstruct_interface(qm2, qm1, q0, qp1)
 }
 
-/// Compute `L(u)` (flux divergence + sources) into `rhs`; returns the
-/// leaf's maximum wave speed and its boundary mass-outflow rate.
+/// Compute `L(u)` (flux divergence + sources) into `rhs` using the pooled
+/// `scratch` buffers; returns the leaf's maximum wave speed and its
+/// boundary mass-outflow rate.
 pub fn compute_rhs_w<const W: usize>(
     u: &SubGrid,
     rhs: &mut SubGrid,
     src: &SourceInput<'_>,
+    scratch: &mut KernelScratch,
 ) -> super::RhsInfo {
     let n = u.n();
     let g = u.ghost();
@@ -138,14 +200,23 @@ pub fn compute_rhs_w<const W: usize>(
     assert!(g >= 2, "hydro needs ghost width >= 2 for reconstruction");
     assert_eq!(rhs.n(), n);
     assert_eq!(rhs.nfields(), NF);
-    let prim = primitives_w::<W>(u);
+    assert!(
+        scratch.fits(n, g),
+        "kernel scratch sized for a different leaf"
+    );
     let ext2 = ext * ext;
+    let ext3 = ext * ext2;
+    primitives_w::<W>(u, &mut scratch.prim);
+    let prim = prim_slices(&scratch.prim, ext3);
     let strides = [ext2, ext, 1usize];
     let h = src.h;
 
-    // Flux arrays: flux[axis][field][cell m] = flux through interface
-    // m−1/2 along that axis.
-    let mut flux: Vec<Vec<f64>> = (0..3 * NF).map(|_| vec![0.0; ext * ext2]).collect();
+    // Flux arrays, one flat recycled buffer: block `axis*NF + field` holds
+    // flux[cell m] = flux through interface m−1/2 along that axis.  Zeroed
+    // up front so recycled storage can never leak a previous launch's
+    // interface values into this one.
+    let flux = &mut scratch.flux[..];
+    flux.fill(0.0);
     let mut max_speed = 0.0f64;
 
     for axis in 0..3 {
@@ -162,14 +233,14 @@ pub fn compute_rhs_w<const W: usize>(
                 for (koff, lanes) in ChunkedLanes::<W>::new(k_hi - k_lo) {
                     let k = k_lo + koff;
                     let base = (i * ext + j) * ext + k;
-                    let (rho_l, rho_r) = recon_field::<W>(&prim.rho, base, stride, lanes);
-                    let (vx_l, vx_r) = recon_field::<W>(&prim.vx, base, stride, lanes);
-                    let (vy_l, vy_r) = recon_field::<W>(&prim.vy, base, stride, lanes);
-                    let (vz_l, vz_r) = recon_field::<W>(&prim.vz, base, stride, lanes);
-                    let (p_l, p_r) = recon_field::<W>(&prim.p, base, stride, lanes);
-                    let (tau_l, tau_r) = recon_field::<W>(&prim.tau, base, stride, lanes);
-                    let (f1_l, f1_r) = recon_field::<W>(&prim.f1, base, stride, lanes);
-                    let (f2_l, f2_r) = recon_field::<W>(&prim.f2, base, stride, lanes);
+                    let (rho_l, rho_r) = recon_field::<W>(prim.rho, base, stride, lanes);
+                    let (vx_l, vx_r) = recon_field::<W>(prim.vx, base, stride, lanes);
+                    let (vy_l, vy_r) = recon_field::<W>(prim.vy, base, stride, lanes);
+                    let (vz_l, vz_r) = recon_field::<W>(prim.vz, base, stride, lanes);
+                    let (p_l, p_r) = recon_field::<W>(prim.p, base, stride, lanes);
+                    let (tau_l, tau_r) = recon_field::<W>(prim.tau, base, stride, lanes);
+                    let (f1_l, f1_r) = recon_field::<W>(prim.f1, base, stride, lanes);
+                    let (f2_l, f2_r) = recon_field::<W>(prim.f2, base, stride, lanes);
                     let floor_rho = Simd::splat(RHO_FLOOR);
                     let floor_p = Simd::splat(P_FLOOR);
                     let left = PrimLanes {
@@ -195,7 +266,7 @@ pub fn compute_rhs_w<const W: usize>(
                     let (f, speed) = hll_flux(axis, &left, &right);
                     max_speed = max_speed.max(speed.reduce_max());
                     for (fi, fv) in f.into_iter().enumerate() {
-                        let dst = &mut flux[axis * NF + fi];
+                        let dst = &mut flux[(axis * NF + fi) * ext3..];
                         if lanes == W {
                             fv.write_to_slice(&mut dst[base..]);
                         } else {
@@ -218,7 +289,7 @@ pub fn compute_rhs_w<const W: usize>(
                     let c = row + k;
                     let mut div = 0.0;
                     for axis in 0..3 {
-                        let fl = &flux[axis * NF + f];
+                        let fl = &flux[(axis * NF + f) * ext3..];
                         div += fl[c + strides[axis]] - fl[c];
                     }
                     dst[c] = -div * inv_h;
@@ -234,7 +305,7 @@ pub fn compute_rhs_w<const W: usize>(
     // leaf's boundary faces (positive = outflow).
     let area = h * h;
     let mut outflow = 0.0;
-    let rho_flux = |axis: usize| &flux[axis * NF + field::RHO];
+    let rho_flux = |axis: usize| &flux[(axis * NF + field::RHO) * ext3..];
     for (face, &is_boundary) in src.boundary_faces.iter().enumerate() {
         if !is_boundary {
             continue;
@@ -348,7 +419,8 @@ mod tests {
             h: 0.25,
             boundary_faces: [false; 6],
         };
-        let info = compute_rhs_w::<8>(&u, &mut rhs, &src);
+        let mut scratch = KernelScratch::ephemeral(n, 2);
+        let info = compute_rhs_w::<8>(&u, &mut rhs, &src, &mut scratch);
         assert!(info.max_signal_speed > 0.5);
         // d(total mass)/dt = -(flux out - flux in); with a linear density
         // gradient and constant v, the interior RHS sum must equal
@@ -379,6 +451,60 @@ mod tests {
             h: 1.0,
             boundary_faces: [false; 6],
         };
-        compute_rhs_w::<1>(&u, &mut rhs, &src);
+        let mut scratch = KernelScratch::ephemeral(4, 1);
+        compute_rhs_w::<1>(&u, &mut rhs, &src, &mut scratch);
+    }
+
+    /// The same scratch reused across calls must give bit-identical results
+    /// to fresh scratch: the kernel fully overwrites what it reads.
+    #[test]
+    fn reused_scratch_is_bit_identical_to_fresh() {
+        let n = 4;
+        let mut u = SubGrid::new(n, 2, NF);
+        for i in 0..u.ext() {
+            for j in 0..u.ext() {
+                for k in 0..u.ext() {
+                    let rho = 1.0 + 0.01 * ((i * 7 + j * 3 + k) % 5) as f64;
+                    let p0 = Primitive {
+                        rho,
+                        vx: 0.1,
+                        vy: -0.2,
+                        vz: 0.05,
+                        p: 0.7,
+                    };
+                    let (c, tau) = from_primitive(&p0);
+                    u.set(field::RHO, i, j, k, c.rho);
+                    u.set(field::SX, i, j, k, c.sx);
+                    u.set(field::SY, i, j, k, c.sy);
+                    u.set(field::SZ, i, j, k, c.sz);
+                    u.set(field::EGAS, i, j, k, c.egas);
+                    u.set(field::TAU, i, j, k, tau);
+                }
+            }
+        }
+        let src = SourceInput {
+            gravity: None,
+            omega: 0.1,
+            origin: [0.0; 3],
+            h: 0.25,
+            boundary_faces: [true, false, false, true, false, false],
+        };
+        let mut rhs_fresh = SubGrid::new(n, 2, NF);
+        let mut fresh = KernelScratch::ephemeral(n, 2);
+        let info_fresh = compute_rhs_w::<8>(&u, &mut rhs_fresh, &src, &mut fresh);
+
+        let mut reused = KernelScratch::ephemeral(n, 2);
+        // Dirty the scratch with a different state first.
+        let mut rhs_scratch = SubGrid::new(n, 2, NF);
+        compute_rhs_w::<8>(&rhs_fresh, &mut rhs_scratch, &src, &mut reused);
+        let mut rhs_reused = SubGrid::new(n, 2, NF);
+        let info_reused = compute_rhs_w::<8>(&u, &mut rhs_reused, &src, &mut reused);
+
+        assert_eq!(rhs_fresh, rhs_reused);
+        assert_eq!(info_fresh.max_signal_speed, info_reused.max_signal_speed);
+        assert_eq!(
+            info_fresh.boundary_mass_outflow_rate,
+            info_reused.boundary_mass_outflow_rate
+        );
     }
 }

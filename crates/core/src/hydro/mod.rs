@@ -73,16 +73,18 @@ pub struct RhsInfo {
 }
 
 /// Compute the full right-hand side `L(u)` for one leaf into `rhs`
-/// (interior cells only; `rhs` must have the same shape as `u`).
+/// (interior cells only; `rhs` must have the same shape as `u`), using the
+/// caller's pooled [`kernels::KernelScratch`].
 pub fn compute_rhs(
     u: &SubGrid,
     rhs: &mut SubGrid,
     src: &SourceInput<'_>,
     opts: &HydroOptions,
+    scratch: &mut kernels::KernelScratch,
 ) -> RhsInfo {
     match opts.vector_mode {
-        VectorMode::Scalar => kernels::compute_rhs_w::<1>(u, rhs, src),
-        VectorMode::Sve512 => kernels::compute_rhs_w::<8>(u, rhs, src),
+        VectorMode::Scalar => kernels::compute_rhs_w::<1>(u, rhs, src, scratch),
+        VectorMode::Sve512 => kernels::compute_rhs_w::<8>(u, rhs, src, scratch),
     }
 }
 
@@ -147,12 +149,13 @@ mod tests {
             h: 0.1,
             boundary_faces: [false; 6],
         };
+        let mut scratch = kernels::KernelScratch::ephemeral(4, 2);
         for mode in VectorMode::all() {
             let opts = HydroOptions {
                 vector_mode: mode,
                 cfl: 0.4,
             };
-            let info = compute_rhs(&u, &mut rhs, &src, &opts);
+            let info = compute_rhs(&u, &mut rhs, &src, &opts, &mut scratch);
             assert!(info.max_signal_speed > 0.0);
             assert_eq!(info.boundary_mass_outflow_rate, 0.0);
             for f in 0..NF {
@@ -210,6 +213,7 @@ mod tests {
         };
         let mut rhs_scalar = rhs_like(&u);
         let mut rhs_sve = rhs_like(&u);
+        let mut scratch = kernels::KernelScratch::ephemeral(4, 2);
         compute_rhs(
             &u,
             &mut rhs_scalar,
@@ -218,6 +222,7 @@ mod tests {
                 vector_mode: VectorMode::Scalar,
                 cfl: 0.4,
             },
+            &mut scratch,
         );
         compute_rhs(
             &u,
@@ -227,6 +232,7 @@ mod tests {
                 vector_mode: VectorMode::Sve512,
                 cfl: 0.4,
             },
+            &mut scratch,
         );
         for f in 0..NF {
             for i in 0..4 {
@@ -266,7 +272,8 @@ mod tests {
             boundary_faces: [false; 6],
         };
         let mut rhs = rhs_like(&u);
-        compute_rhs(&u, &mut rhs, &src, &HydroOptions::default());
+        let mut scratch = kernels::KernelScratch::ephemeral(4, 2);
+        compute_rhs(&u, &mut rhs, &src, &HydroOptions::default(), &mut scratch);
         // ds/dt = ρ g; uniform state has zero flux divergence.
         assert!((rhs.get_interior(field::SX, 1, 1, 1) - 2.0 * 0.25).abs() < 1e-12);
         assert!((rhs.get_interior(field::SZ, 2, 2, 2) + 2.0 * 0.5).abs() < 1e-12);

@@ -43,6 +43,7 @@ pub mod scenario;
 pub mod scf;
 pub mod state;
 pub mod units;
+pub mod workspace;
 
 pub use diag::ConservationLedger;
 pub use driver::{SimOptions, Simulation, StepStats};

@@ -45,6 +45,11 @@ pub enum RaceBug {
     /// rewrites ghost shells concurrently with the unpacks writing them
     /// (write-write race).
     DropGhostGate,
+    /// Every leaf is handed the *same* recycled workspace (a buggy
+    /// workspace map): two leaves' stage kernels scribble over one
+    /// `u_cur`/`rhs`/scratch set concurrently — the exact aliasing the
+    /// stepper's per-leaf `try_lock` guards panic on (write-write race).
+    AliasWorkspace,
 }
 
 fn unique_leaves(links: &[LinkSpec]) -> Vec<NodeId> {
@@ -162,11 +167,16 @@ pub struct RaceModelSummary {
 /// (leaf, direction) — the 26 shells are disjoint regions, so concurrent
 /// unpacks into different shells are *not* races; one payload view per
 /// (stage, link), fresh per stage exactly like the runtime's packed
-/// buffers.  Launches: per-leaf `init` (writes interior), per-link `pack`
-/// (reads source interiors, writes payload) and `unpack`/`outflow`
-/// (writes the shell), per-leaf `combine` (writes interior and all 26
-/// shells, standing in for the stage's RHS + combine which rewrites the
-/// whole array).
+/// buffers; one *workspace* view per leaf, persistent across stages like
+/// the stepper's recycled `LeafWorkspace` (`u0`/`u_cur`/`rhs`/kernel
+/// scratch).  Launches: per-leaf `init` (writes interior), per-link
+/// `pack` (reads source interiors, writes payload) and `unpack`/`outflow`
+/// (writes the shell), per-leaf `combine` (writes interior, all 26
+/// shells, and its workspace, standing in for the stage's
+/// copy-in + RHS + combine which rewrites the whole array).  The per-leaf
+/// future chain is what makes reusing one workspace across stages safe;
+/// [`RaceBug::AliasWorkspace`] demonstrates the detector catches the
+/// cross-leaf sharing that chain cannot order.
 pub fn race_model_pipeline(
     links: &[LinkSpec],
     stages: usize,
@@ -189,6 +199,23 @@ pub fn race_model_pipeline(
         .enumerate()
         .map(|(i, l)| ((l.leaf, i), view(format!("ghost({}, link {i})", l.leaf))))
         .collect();
+    // Recycled per-leaf workspaces: persistent across stages (the whole
+    // point of the pool), so the same view is written by all three of a
+    // leaf's combines — safe only because the ready-chain orders them.
+    let workspace: HashMap<NodeId, View<f64>> = leaves
+        .iter()
+        .map(|&l| (l, view(format!("workspace({l})"))))
+        .collect();
+    // Under the planted aliasing bug every leaf's combine touches the
+    // *first* leaf's workspace storage (same `ViewId`, own label — the
+    // detector reports which leaves collided).
+    let workspace_id = |l: NodeId| {
+        if bug == RaceBug::AliasWorkspace {
+            workspace[&leaves[0]].id()
+        } else {
+            workspace[&l].id()
+        }
+    };
 
     // `ready[l]`: the token after which leaf l's interior holds this
     // stage's input (init for stage 0, the previous combine later).
@@ -271,6 +298,12 @@ pub fn race_model_pipeline(
                 .map(|(i, _)| ViewAccess::write(&ghost[&(leaf, i)]))
                 .collect();
             accesses.push(ViewAccess::write(&interior[&leaf]));
+            // The stage kernel's exclusive use of the leaf's recycled
+            // workspace (u_cur copy-in, RHS write, kernel scratch).
+            accesses.push(ViewAccess::write_id(
+                workspace_id(leaf),
+                format!("workspace({leaf})"),
+            ));
             let combine = det.launch(&format!("combine(s{stage}, {leaf})"), &deps, &accesses)?;
             next_ready.insert(leaf, combine);
         }
@@ -327,6 +360,25 @@ mod tests {
         assert_eq!(report.conflict, "read-write");
         assert!(report.prior_site.starts_with("pack("), "{report}");
         assert!(report.site.starts_with("combine("), "{report}");
+    }
+
+    #[test]
+    fn recycled_workspaces_are_clean_when_chained() {
+        // The faithful graph writes each leaf's workspace three times (one
+        // combine per stage) — the ready-chain orders them, so the model
+        // proves recycling a workspace across stages is race-free.
+        let summary = race_model_pipeline(&links(1), 3, RaceBug::None).expect("race-free");
+        assert!(summary.views >= 8 + 8 * 26 + 8, "workspaces must be viewed");
+    }
+
+    #[test]
+    fn aliased_workspace_is_a_write_write_race() {
+        let report =
+            race_model_pipeline(&links(1), 3, RaceBug::AliasWorkspace).expect_err("must race");
+        assert_eq!(report.conflict, "write-write");
+        assert!(report.prior_site.starts_with("combine("), "{report}");
+        assert!(report.site.starts_with("combine("), "{report}");
+        assert!(report.view_label.starts_with("workspace("), "{report}");
     }
 
     #[test]

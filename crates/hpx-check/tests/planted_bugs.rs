@@ -128,3 +128,20 @@ fn race_model_catches_dropped_gate_in_stepper_shape() {
     assert_eq!(report.conflict, "write-write");
     assert!(report.site.starts_with("combine("), "{report}");
 }
+
+/// Planted bug #4: workspace aliasing.  A buggy workspace map hands two
+/// leaves the same recycled buffers; nothing in the future graph orders
+/// two different leaves' stage kernels, so the detector must flag the
+/// write-write on the shared workspace — while the faithful per-leaf
+/// mapping, where the ready-chain orders each workspace's three writers,
+/// stays clean.
+#[test]
+fn race_model_catches_aliased_recycled_workspace() {
+    let links = ghost_link_specs(&Tree::new_uniform(1));
+    let report = race_model_pipeline(&links, 3, RaceBug::AliasWorkspace).expect_err("must race");
+    assert_eq!(report.conflict, "write-write");
+    assert!(report.view_label.starts_with("workspace("), "{report}");
+    assert!(report.prior_site.starts_with("combine("), "{report}");
+    assert!(report.site.starts_with("combine("), "{report}");
+    race_model_pipeline(&links, 3, RaceBug::None).expect("per-leaf workspaces are race-free");
+}

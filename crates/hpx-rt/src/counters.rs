@@ -162,6 +162,116 @@ impl std::fmt::Display for CountersSnapshot {
     }
 }
 
+// ---------------------------------------------------------------------
+// Scratch-buffer recycling counters
+// ---------------------------------------------------------------------
+
+/// Process-wide counters of the CPPuddle-style scratch-buffer recycling
+/// subsystem (`kokkos-rs`'s `BufferPool`), exported in HPX counter style as
+/// `/octotiger/scratch/{hits,misses,bytes-in-use,high-water}`.
+///
+/// Unlike [`Counters`], these are global rather than per-locality: buffer
+/// pools are shared across the simulated localities of one process exactly
+/// as CPPuddle's allocator is shared across an HPX node.  Pools keep their
+/// own per-pool statistics too; this block is the aggregated observability
+/// surface the counter dumps print.
+#[derive(Debug, Default)]
+pub struct ScratchCounters {
+    /// Checkouts served from a free list (no heap allocation).
+    pub hits: AtomicU64,
+    /// Checkouts that had to allocate (pool warm-up, or a new size bucket).
+    pub misses: AtomicU64,
+    /// Bytes currently checked out of pools (gauge, not monotonic).
+    pub bytes_in_use: AtomicU64,
+    /// Maximum `bytes_in_use` ever observed.
+    pub high_water: AtomicU64,
+}
+
+impl ScratchCounters {
+    /// Record a free-list hit.
+    pub fn note_hit(&self) {
+        Counters::bump(&self.hits);
+    }
+
+    /// Record an allocating miss.
+    pub fn note_miss(&self) {
+        Counters::bump(&self.misses);
+    }
+
+    /// Record `bytes` leaving the free lists (checked out), updating the
+    /// high-water mark.
+    pub fn add_in_use(&self, bytes: u64) {
+        let now = self.bytes_in_use.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Record `bytes` returning to the free lists (checked back in).
+    pub fn sub_in_use(&self, bytes: u64) {
+        self.bytes_in_use.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough snapshot.
+    pub fn snapshot(&self) -> ScratchSnapshot {
+        ScratchSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bytes_in_use: self.bytes_in_use.load(Ordering::Relaxed),
+            high_water: self.high_water.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter (HPX's `reset_active_counters`).
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.bytes_in_use.store(0, Ordering::Relaxed);
+        self.high_water.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-global [`ScratchCounters`] block every buffer pool reports
+/// into.
+pub fn scratch_counters() -> &'static ScratchCounters {
+    static GLOBAL: ScratchCounters = ScratchCounters {
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+        bytes_in_use: AtomicU64::new(0),
+        high_water: AtomicU64::new(0),
+    };
+    &GLOBAL
+}
+
+/// Plain-data snapshot of [`ScratchCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchSnapshot {
+    pub hits: u64,
+    pub misses: u64,
+    pub bytes_in_use: u64,
+    pub high_water: u64,
+}
+
+impl ScratchSnapshot {
+    /// Monotonic-counter deltas `self - earlier` (hits/misses saturate;
+    /// the gauges are carried over as-is).
+    pub fn since(&self, earlier: &ScratchSnapshot) -> ScratchSnapshot {
+        ScratchSnapshot {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            bytes_in_use: self.bytes_in_use,
+            high_water: self.high_water,
+        }
+    }
+}
+
+impl std::fmt::Display for ScratchSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "/octotiger/scratch/hits          {}", self.hits)?;
+        writeln!(f, "/octotiger/scratch/misses        {}", self.misses)?;
+        writeln!(f, "/octotiger/scratch/bytes-in-use  {}", self.bytes_in_use)?;
+        write!(f, "/octotiger/scratch/high-water    {}", self.high_water)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

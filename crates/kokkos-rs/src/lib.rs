@@ -25,6 +25,7 @@
 pub mod hpx_kokkos;
 pub mod parallel;
 pub mod policy;
+pub mod pool;
 pub mod race;
 pub mod space;
 pub mod view;
@@ -37,6 +38,7 @@ pub use parallel::{
     parallel_for, parallel_for_md3, parallel_for_team, parallel_reduce, parallel_scan,
 };
 pub use policy::{ChunkSpec, MDRangePolicy3, RangePolicy, TeamPolicy};
+pub use pool::{BufferPool, Recycled, ScratchArena};
 pub use race::{AccessKind, LaunchToken, RaceDetector, RaceReport, ViewAccess};
 pub use space::{DeviceKind, DeviceSpec, ExecSpace, HpxSpace};
 pub use view::{Layout, View, ViewId};

@@ -57,6 +57,26 @@ impl ViewAccess {
             kind: AccessKind::Write,
         }
     }
+
+    /// Declare a read of the allocation identified by `id` — for storage
+    /// tracked by identity alone (e.g. a pooled [`crate::pool::Recycled`]
+    /// scratch buffer), without a full `View` in hand.
+    pub fn read_id(id: ViewId, label: impl Into<String>) -> Self {
+        ViewAccess {
+            view: id,
+            label: label.into(),
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// Declare a write of the allocation identified by `id`.
+    pub fn write_id(id: ViewId, label: impl Into<String>) -> Self {
+        ViewAccess {
+            view: id,
+            label: label.into(),
+            kind: AccessKind::Write,
+        }
+    }
 }
 
 /// Opaque handle for one registered launch, used to declare ordering edges

@@ -26,7 +26,7 @@ pub enum Layout {
 pub struct ViewId(u64);
 
 impl ViewId {
-    fn fresh() -> Self {
+    pub(crate) fn fresh() -> Self {
         use std::sync::atomic::{AtomicU64, Ordering};
         static NEXT: AtomicU64 = AtomicU64::new(1);
         ViewId(NEXT.fetch_add(1, Ordering::Relaxed))

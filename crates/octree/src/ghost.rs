@@ -30,6 +30,7 @@ use crate::subgrid::SubGrid;
 use crate::tree::{Neighbor, Tree};
 use hpx_rt::locality::{downcast_payload, ArcPayload};
 use hpx_rt::{LocalityId, SimCluster};
+use kokkos_rs::pool::{BufferPool, Recycled};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -114,6 +115,9 @@ struct DistGridInner {
     n: usize,
     ghost: usize,
     nfields: usize,
+    /// Recycling arena every ghost payload is checked out of: after the
+    /// first exchange warms it up, packing allocates nothing.
+    pool: BufferPool<f64>,
 }
 
 /// A distributed AMR grid: a [`Tree`] whose leaves carry [`SubGrid`]s
@@ -150,6 +154,7 @@ impl DistGrid {
             n,
             ghost,
             nfields,
+            pool: BufferPool::new(),
         });
         let handler_inner = inner.clone();
         cluster.register_action("ghost_pack", move |arg, _loc| {
@@ -175,6 +180,12 @@ impl DistGrid {
     /// Fields per sub-grid.
     pub fn nfields(&self) -> usize {
         self.inner.nfields
+    }
+
+    /// Handle to the ghost-payload recycling arena (for pool telemetry —
+    /// the stepper folds its statistics into `StepStats`).
+    pub fn scratch(&self) -> BufferPool<f64> {
+        self.inner.pool.clone()
     }
 
     /// SFC-sorted leaves.
@@ -256,7 +267,7 @@ impl DistGrid {
         // Phase 1: gather payloads (reads only — interiors are stable).
         // Each entry: (leaf, dir, payload or pending future).
         enum Pending {
-            Data(Vec<f64>),
+            Data(Recycled<f64>),
             Remote(hpx_rt::Future<hpx_rt::locality::ArcPayload>),
             Boundary,
         }
@@ -325,8 +336,8 @@ impl DistGrid {
                 }
                 Pending::Remote(fut) => {
                     let reply = fut.get();
-                    let data =
-                        downcast_payload::<Vec<f64>>(&reply).expect("ghost_pack returns Vec<f64>");
+                    let data = downcast_payload::<Recycled<f64>>(&reply)
+                        .expect("ghost_pack returns a recycled buffer");
                     let grid = self.grid(leaf);
                     grid.write().unpack_recv(dir, data);
                 }
@@ -462,8 +473,8 @@ impl DistGrid {
                     let parts = [reply_f.ticket(), ready[&leaf].clone()];
                     hpx_rt::when_all_of(&rt_leaf, &parts).then(&rt_leaf, move |()| {
                         reply_f.with_value(|arc| {
-                            let data = downcast_payload::<Vec<f64>>(arc)
-                                .expect("ghost_pack returns Vec<f64>");
+                            let data = downcast_payload::<Recycled<f64>>(arc)
+                                .expect("ghost_pack returns a recycled buffer");
                             grid.write().unpack_recv(dir, data);
                         });
                         resolved.fetch_add(1, Ordering::Relaxed);
@@ -509,28 +520,42 @@ pub struct PipelinedExchange {
 }
 
 /// Assemble the ghost payload `leaf` needs from direction `dir`, in the
-/// element order expected by `SubGrid::unpack_recv(dir, ..)`.
-/// `None` at the domain boundary.
-fn compute_payload(inner: &DistGridInner, leaf: NodeId, dir: Dir) -> Option<Vec<f64>> {
+/// element order expected by `SubGrid::unpack_recv(dir, ..)`, in a buffer
+/// checked out of the grid's recycling arena.  `None` at the domain
+/// boundary.
+fn compute_payload(inner: &DistGridInner, leaf: NodeId, dir: Dir) -> Option<Recycled<f64>> {
     let tree = inner.tree.read();
     let grids = inner.grids.read();
+    // Every case produces exactly the destination ghost region's cell count
+    // per field, so the checkout capacity is exact and the bucket is stable
+    // per direction class.
+    let cells = SubGrid::box_cells(&SubGrid::recv_box_of(inner.n, inner.ghost, dir));
     match tree.neighbor_of(leaf, dir) {
-        Neighbor::SameLevel(nb) => Some(grids[&nb].read().pack_send(dir.opposite())),
+        Neighbor::SameLevel(nb) => {
+            let mut out = inner.pool.checkout_empty(inner.nfields * cells);
+            grids[&nb].read().pack_send_into(dir.opposite(), &mut out);
+            Some(out)
+        }
         Neighbor::Coarser(c) => {
+            let mut out = inner.pool.checkout_empty(inner.nfields * cells);
             let coarse = grids[&c].read();
-            Some(pack_prolonged(&coarse, c, leaf, dir, inner.n, inner.ghost))
+            pack_prolonged(&coarse, c, leaf, dir, inner.n, inner.ghost, &mut out);
+            Some(out)
         }
         Neighbor::Finer(kids) => {
+            let mut out = inner.pool.checkout_empty(inner.nfields * cells);
             let kid_grids: HashMap<NodeId, Arc<RwLock<SubGrid>>> =
                 kids.iter().map(|k| (*k, grids[k].clone())).collect();
-            Some(pack_restricted(
+            pack_restricted(
                 &kid_grids,
                 leaf,
                 dir,
                 inner.n,
                 inner.ghost,
                 inner.nfields,
-            ))
+                &mut out,
+            );
+            Some(out)
         }
         Neighbor::DomainBoundary => None,
     }
@@ -563,7 +588,8 @@ fn div_floor(a: i64, b: i64) -> i64 {
 
 /// Payload for a fine leaf whose neighbour in `dir` is one level coarser:
 /// piecewise-constant prolongation of the coarse interior onto the fine
-/// ghost region.
+/// ghost region, pushed into `out` (cleared first).
+#[allow(clippy::too_many_arguments)]
 fn pack_prolonged(
     coarse: &SubGrid,
     coarse_id: NodeId,
@@ -571,13 +597,13 @@ fn pack_prolonged(
     dir: Dir,
     n: usize,
     ghost: usize,
-) -> Vec<f64> {
+    out: &mut Vec<f64>,
+) {
     let fine_coords = fine_id.coords();
     let coarse_coords = coarse_id.coords();
     // Shape of the fine ghost region (same as recv_box of the fine grid).
-    let probe = SubGrid::new(n, ghost, 1);
-    let b = probe.recv_box(dir);
-    let mut out = Vec::with_capacity(coarse.nfields() * SubGrid::box_cells(&b));
+    let b = SubGrid::recv_box_of(n, ghost, dir);
+    out.clear();
     let ni = n as i64;
     let gi = ghost as i64;
     for f in 0..coarse.nfields() {
@@ -604,12 +630,12 @@ fn pack_prolonged(
             }
         }
     }
-    out
 }
 
 /// Payload for a coarse leaf whose same-level neighbour in `dir` is refined:
 /// conservative 8-cell average of the fine children's interiors onto the
-/// coarse ghost region.
+/// coarse ghost region, pushed into `out` (cleared first).
+#[allow(clippy::too_many_arguments)]
 fn pack_restricted(
     kids: &HashMap<NodeId, Arc<RwLock<SubGrid>>>,
     coarse_id: NodeId,
@@ -617,11 +643,11 @@ fn pack_restricted(
     n: usize,
     ghost: usize,
     nfields: usize,
-) -> Vec<f64> {
+    out: &mut Vec<f64>,
+) {
     let coarse_coords = coarse_id.coords();
-    let probe = SubGrid::new(n, ghost, 1);
-    let b = probe.recv_box(dir);
-    let mut out = Vec::with_capacity(nfields * SubGrid::box_cells(&b));
+    let b = SubGrid::recv_box_of(n, ghost, dir);
+    out.clear();
     let ni = n as i64;
     let gi = ghost as i64;
     // Lock each child once.
@@ -673,7 +699,6 @@ fn pack_restricted(
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -999,6 +1024,27 @@ mod tests {
         }
         assert_eq!(ex.links_resolved.load(Ordering::SeqCst), ex.total_links);
         check_same_level_ghosts(&dg);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn repeated_exchange_recycles_every_payload() {
+        let cluster = SimCluster::new(2, 2);
+        let dg = DistGrid::new(Tree::new_uniform(2), 4, 2, 1, &cluster);
+        fill_linear(&dg);
+        dg.exchange_ghosts(&cluster, GhostConfig::default()); // warm-up
+        let warm = dg.scratch().stats();
+        assert!(warm.misses > 0, "warm-up must populate the pool");
+        for _ in 0..3 {
+            dg.exchange_ghosts(&cluster, GhostConfig::default());
+        }
+        let s = dg.scratch().stats();
+        assert_eq!(
+            s.misses, warm.misses,
+            "steady-state exchange must allocate nothing"
+        );
+        assert!(s.hits > warm.hits);
+        assert_eq!(s.bytes_in_use, 0, "all payloads returned to the pool");
         cluster.shutdown();
     }
 

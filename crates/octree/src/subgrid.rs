@@ -160,12 +160,17 @@ impl SubGrid {
     /// Source box (in storage coords) of the interior data this grid must
     /// *send* toward direction `dir`.
     pub fn send_box(&self, dir: Dir) -> Box3 {
+        Self::send_box_of(self.n, self.ghost, dir)
+    }
+
+    /// [`SubGrid::send_box`] from geometry alone, without a grid in hand.
+    pub fn send_box_of(n: usize, ghost: usize, dir: Dir) -> Box3 {
         let mut out = [(0usize, 0usize); 3];
         for (axis, d) in dir.as_array().into_iter().enumerate() {
             out[axis] = match d {
-                -1 => (self.ghost, 2 * self.ghost),
-                0 => (self.ghost, self.ghost + self.n),
-                1 => (self.n, self.n + self.ghost),
+                -1 => (ghost, 2 * ghost),
+                0 => (ghost, ghost + n),
+                1 => (n, n + ghost),
                 _ => unreachable!(),
             };
         }
@@ -175,12 +180,17 @@ impl SubGrid {
     /// Destination box (in storage coords) of the ghost cells this grid
     /// *receives* from its neighbour in direction `dir`.
     pub fn recv_box(&self, dir: Dir) -> Box3 {
+        Self::recv_box_of(self.n, self.ghost, dir)
+    }
+
+    /// [`SubGrid::recv_box`] from geometry alone, without a grid in hand.
+    pub fn recv_box_of(n: usize, ghost: usize, dir: Dir) -> Box3 {
         let mut out = [(0usize, 0usize); 3];
         for (axis, d) in dir.as_array().into_iter().enumerate() {
             out[axis] = match d {
-                -1 => (0, self.ghost),
-                0 => (self.ghost, self.ghost + self.n),
-                1 => (self.ghost + self.n, self.ext()),
+                -1 => (0, ghost),
+                0 => (ghost, ghost + n),
+                1 => (ghost + n, n + 2 * ghost),
                 _ => unreachable!(),
             };
         }
@@ -195,6 +205,15 @@ impl SubGrid {
     /// Pack all fields over `b` (field-major, then i, j, k order).
     pub fn pack_box(&self, b: &Box3) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.nfields * Self::box_cells(b));
+        self.pack_box_into(b, &mut out);
+        out
+    }
+
+    /// Pack all fields over `b` into `out` (cleared first) — the
+    /// allocation-free variant: hand it a pooled buffer whose capacity is
+    /// `nfields * box_cells(b)` and no heap traffic occurs.
+    pub fn pack_box_into(&self, b: &Box3, out: &mut Vec<f64>) {
+        out.clear();
         for f in 0..self.nfields {
             for i in b[0].0..b[0].1 {
                 for j in b[1].0..b[1].1 {
@@ -204,7 +223,6 @@ impl SubGrid {
                 }
             }
         }
-        out
     }
 
     /// Unpack `data` (as produced by [`SubGrid::pack_box`] over a box of the
@@ -233,6 +251,52 @@ impl SubGrid {
     /// Pack the slab this grid sends toward `dir` (same-level exchange).
     pub fn pack_send(&self, dir: Dir) -> Vec<f64> {
         self.pack_box(&self.send_box(dir))
+    }
+
+    /// Allocation-free variant of [`SubGrid::pack_send`].
+    pub fn pack_send_into(&self, dir: Dir, out: &mut Vec<f64>) {
+        self.pack_box_into(&self.send_box(dir), out);
+    }
+
+    /// Copy every cell of every field from `src` without touching the
+    /// allocation (`clone_from_slice`), unlike the derived `Clone` which
+    /// reallocates.
+    ///
+    /// # Panics
+    /// Panics if the grids disagree in shape.
+    pub fn copy_from(&mut self, src: &SubGrid) {
+        assert_eq!(
+            (self.n, self.ghost, self.nfields),
+            (src.n, src.ghost, src.nfields),
+            "copy_from shape mismatch"
+        );
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Flat-index runs `(start, len)` covering exactly the ghost cells of
+    /// *one* field, in storage order.  Rows fully outside the interior are
+    /// one run; interior rows contribute their two ghost caps.  Computed
+    /// once per leaf workspace and reused to zero ghost fields each stage
+    /// without re-walking the geometry.
+    pub fn ghost_runs(&self) -> Vec<(usize, usize)> {
+        let (g, n, ext) = (self.ghost, self.n, self.ext());
+        let mut runs = Vec::new();
+        if g == 0 {
+            return runs;
+        }
+        let interior = g..g + n;
+        for i in 0..ext {
+            for j in 0..ext {
+                let row = (i * ext + j) * ext;
+                if interior.contains(&i) && interior.contains(&j) {
+                    runs.push((row, g));
+                    runs.push((row + g + n, g));
+                } else {
+                    runs.push((row, ext));
+                }
+            }
+        }
+        runs
     }
 
     /// Unpack a same-level slab received *from* direction `dir`.
@@ -528,5 +592,68 @@ mod tests {
     fn fields_pair_mut_same_field_panics() {
         let mut sg = SubGrid::new(2, 0, 2);
         let _ = sg.fields_pair_mut(1, 1);
+    }
+
+    #[test]
+    fn pack_box_into_matches_pack_box() {
+        let src = filled(4, 1, 2);
+        let b: Box3 = [(1, 3), (0, 2), (2, 5)];
+        let mut out = Vec::new();
+        out.push(99.0); // stale content must be cleared
+        src.pack_box_into(&b, &mut out);
+        assert_eq!(out, src.pack_box(&b));
+        let mut out2 = Vec::new();
+        let dir = Dir::new(1, 0, -1);
+        src.pack_send_into(dir, &mut out2);
+        assert_eq!(out2, src.pack_send(dir));
+    }
+
+    #[test]
+    fn copy_from_preserves_allocation_and_contents() {
+        let src = filled(4, 2, 3);
+        let mut dst = SubGrid::new(4, 2, 3);
+        let ptr = dst.data.as_ptr();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.data.as_ptr(), ptr, "copy_from must not reallocate");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn copy_from_rejects_shape_mismatch() {
+        let src = SubGrid::new(4, 1, 1);
+        let mut dst = SubGrid::new(4, 2, 1);
+        dst.copy_from(&src);
+    }
+
+    #[test]
+    fn ghost_runs_cover_exactly_the_ghost_cells() {
+        for (n, g) in [(4usize, 1usize), (4, 2), (8, 2), (2, 0)] {
+            let sg = SubGrid::new(n, g, 1);
+            let ext = sg.ext();
+            let runs = sg.ghost_runs();
+            let mut marked = vec![false; ext * ext * ext];
+            for (start, len) in runs {
+                for o in start..start + len {
+                    assert!(!marked[o], "run overlap at {o} for n={n} g={g}");
+                    marked[o] = true;
+                }
+            }
+            let interior = g..g + n;
+            for i in 0..ext {
+                for j in 0..ext {
+                    for k in 0..ext {
+                        let is_ghost = !(interior.contains(&i)
+                            && interior.contains(&j)
+                            && interior.contains(&k));
+                        assert_eq!(
+                            marked[(i * ext + j) * ext + k],
+                            is_ghost,
+                            "cell ({i},{j},{k}) n={n} g={g}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -6,7 +6,11 @@
 #[test]
 fn every_figure_reproduces_its_papers_claims() {
     let reports = bench::all_reports();
-    assert_eq!(reports.len(), 10, "9 tables/figures + fault companion");
+    assert_eq!(
+        reports.len(),
+        11,
+        "9 tables/figures + fault companion + scratch pressure"
+    );
     let mut failures = Vec::new();
     for r in &reports {
         for c in &r.checks {
