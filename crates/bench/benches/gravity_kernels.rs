@@ -3,8 +3,12 @@
 //! task-splitting Figure 9 studies.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kokkos_rs::ExecSpace;
 use octotiger::gravity::direct::{p2p_at, PointMasses};
 use octotiger::gravity::multipole::Multipole;
+use octotiger::gravity::{GravityPlan, GravitySolver, LeafSources};
+use octree::{NodeId, Tree};
+use std::collections::HashMap;
 use std::hint::black_box;
 use sve_simd::VectorMode;
 
@@ -65,5 +69,79 @@ fn l2l_eval_bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, p2p_bench, m2l_bench, l2l_eval_bench);
+/// Full FMM solves with the interaction plan cached vs rebuilt every
+/// solve: the gap is the dual-tree traversal + list construction the plan
+/// cache eliminates from steady-state steps.
+fn plan_cache_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gravity/solve");
+    group.sample_size(20);
+    // Cells per leaf shrink with depth so each config solves in bench
+    // time; the level-4 config is traversal-heavy (4681 nodes, one point
+    // per leaf), where the cache's saving is largest.
+    for (level, n) in [(2u8, 4usize), (3, 2), (4, 1)] {
+        let tree = Tree::new_uniform(level);
+        let sources: HashMap<NodeId, LeafSources> = tree
+            .leaves()
+            .into_iter()
+            .map(|leaf| {
+                let (corner, size) = leaf.cube();
+                let h = size / n as f64;
+                let mut points = PointMasses::default();
+                for i in 0..n {
+                    for j in 0..n {
+                        for k in 0..n {
+                            let x = corner[0] + (i as f64 + 0.5) * h - 0.5;
+                            let y = corner[1] + (j as f64 + 0.5) * h - 0.5;
+                            let z = corner[2] + (k as f64 + 0.5) * h - 0.5;
+                            points.push([x, y, z], 1.0 + 0.1 * (31.0 * x + 17.0 * y).sin());
+                        }
+                    }
+                }
+                (leaf, LeafSources { points })
+            })
+            .collect();
+        let solver = GravitySolver::default();
+        solver.solve(&tree, &sources, &ExecSpace::Serial); // warm the cache
+        group.bench_function(BenchmarkId::new("plan_cached", level), |bench| {
+            bench.iter(|| {
+                black_box(solver.solve(black_box(&tree), black_box(&sources), &ExecSpace::Serial))
+            })
+        });
+        group.bench_function(BenchmarkId::new("plan_rebuilt", level), |bench| {
+            bench.iter(|| {
+                solver.invalidate_plan();
+                black_box(solver.solve(black_box(&tree), black_box(&sources), &ExecSpace::Serial))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Plan acquisition alone: a cache hit (version check + `Arc` clone) vs
+/// the full dual-tree traversal and CSR construction a rebuild performs —
+/// the per-solve cost the cache removes, isolated from the kernels.
+fn plan_acquisition_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gravity/plan");
+    for level in [2u8, 3, 4] {
+        let tree = Tree::new_uniform(level);
+        group.bench_function(BenchmarkId::new("build", level), |bench| {
+            bench.iter(|| black_box(GravityPlan::build(black_box(&tree), 0.5)))
+        });
+        let solver = GravitySolver::default();
+        solver.plan_for(&tree); // warm the cache
+        group.bench_function(BenchmarkId::new("cache_hit", level), |bench| {
+            bench.iter(|| black_box(solver.plan_for(black_box(&tree))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    p2p_bench,
+    m2l_bench,
+    l2l_eval_bench,
+    plan_cache_bench,
+    plan_acquisition_bench
+);
 criterion_main!(benches);

@@ -65,6 +65,13 @@ pub struct SimOptions {
     /// workspace from a fresh arena each step — physics is bit-identical
     /// (see `tests/scratch_recycling.rs`), only allocation traffic changes.
     pub recycle_scratch: bool,
+    /// Reuse the FMM interaction plan across steps while the tree topology
+    /// is unchanged (Octo-Tiger computes interaction lists once per
+    /// regrid).  `false` invalidates the plan before every solve — the
+    /// traverse-every-step reference configuration; physics is
+    /// bit-identical (see `tests/gravity_plan.rs`), only traversal work
+    /// changes.
+    pub cache_gravity_plan: bool,
 }
 
 impl Default for SimOptions {
@@ -79,6 +86,7 @@ impl Default for SimOptions {
             pipeline: false,
             watchdog_ms: None,
             recycle_scratch: true,
+            cache_gravity_plan: true,
         }
     }
 }
@@ -124,6 +132,10 @@ pub struct StepStats {
     pub scratch_high_water: u64,
     /// FMM interaction counts, if gravity ran.
     pub gravity_stats: Option<crate::gravity::solver::SolveStats>,
+    /// Whether this step's gravity solve reused the cached interaction
+    /// plan (`false` when the plan was rebuilt — first step, post-regrid,
+    /// or `cache_gravity_plan = false` — and when gravity is off).
+    pub gravity_plan_hit: bool,
 }
 
 /// A running simulation bound to a cluster's localities.
@@ -149,11 +161,17 @@ pub struct Simulation {
     scratch: ScratchArena,
     /// One recycled workspace per leaf, rebuilt lazily after regrids.
     workspaces: HashMap<NodeId, Arc<parking_lot::Mutex<LeafWorkspace>>>,
+    /// The persistent FMM solver: its cached interaction plan (and pooled
+    /// expansion buffers) survive across steps, so a solve on an unchanged
+    /// tree skips the dual-tree traversal entirely.
+    gravity_solver: GravitySolver,
 }
 
 impl Simulation {
     /// Wrap an initialized grid.
     pub fn new(grid: DistGrid, opts: SimOptions) -> Simulation {
+        let scratch = ScratchArena::new();
+        let gravity_solver = GravitySolver::with_scratch(opts.gravity_opts, scratch.clone());
         Simulation {
             grid,
             opts,
@@ -162,9 +180,17 @@ impl Simulation {
             mass_outflow: 0.0,
             apex: hpx_rt::Apex::new(false),
             last_gravity_stats: None,
-            scratch: ScratchArena::new(),
+            scratch,
             workspaces: HashMap::new(),
+            gravity_solver,
         }
+    }
+
+    /// Per-run (plan-hit, plan-rebuild) counts of the persistent gravity
+    /// solver — the per-`Simulation` view of the global
+    /// `/octotiger/gravity/plan-{hits,rebuilds}` counters.
+    pub fn gravity_plan_counters(&self) -> (u64, u64) {
+        self.gravity_solver.plan_counters()
     }
 
     /// Handle to the simulation's scratch arena (kernel + gravity buffers;
@@ -290,6 +316,18 @@ impl Simulation {
             // configuration the recycling equivalence tests compare against.
             self.scratch = ScratchArena::new();
             self.workspaces.clear();
+            self.gravity_solver.set_scratch(self.scratch.clone());
+        }
+        // Options are mutable between steps: push the current FMM knobs
+        // into the persistent solver (a θ change invalidates the cached
+        // plan by itself, via the plan's validity key).
+        self.gravity_solver.opts = GravityOptions {
+            vector_mode: self.opts.vector_mode,
+            ..self.opts.gravity_opts
+        };
+        if !self.opts.cache_gravity_plan {
+            // Traverse-every-step reference configuration.
+            self.gravity_solver.invalidate_plan();
         }
         self.ensure_workspaces();
         if self.opts.pipeline {
@@ -313,15 +351,19 @@ impl Simulation {
         let gravity_fields: Option<Arc<HashMap<NodeId, LeafField>>> = if self.opts.gravity {
             let _t = self.apex.timer("gravity:solve");
             let sources = self.leaf_sources();
-            let solver = GravitySolver::with_scratch(
-                GravityOptions {
-                    vector_mode: self.opts.vector_mode,
-                    ..self.opts.gravity_opts
-                },
-                self.scratch.clone(),
-            );
+            let solver = &self.gravity_solver;
             let space = ExecSpace::hpx(cluster.locality(0).runtime().clone());
-            let (fields, stats) = self.grid.with_tree(|t| solver.solve(t, &sources, &space));
+            // Plan acquisition (cache hit: no traversal) and the dense
+            // kernels are timed separately, so the apex report shows what
+            // caching actually saves.
+            let plan = {
+                let _p = self.apex.timer("gravity:plan");
+                self.grid.with_tree(|t| solver.plan_for(t))
+            };
+            let (fields, stats) = {
+                let _k = self.apex.timer("gravity:kernels");
+                solver.solve_with_plan(&plan, &sources, &space)
+            };
             kernel_launches += stats.multipole_kernel_launches as u64 + leaves.len() as u64;
             self.last_gravity_stats = Some(stats);
             Some(Arc::new(fields))
@@ -329,6 +371,7 @@ impl Simulation {
             self.last_gravity_stats = None;
             None
         };
+        let gravity_plan_hit = self.opts.gravity && self.gravity_solver.last_plan_hit();
 
         // ---- Global fixed time step. -----------------------------------
         let dt = {
@@ -478,6 +521,7 @@ impl Simulation {
             scratch_bytes_in_use,
             scratch_high_water,
             gravity_stats: self.last_gravity_stats,
+            gravity_plan_hit,
         }
     }
 
@@ -519,17 +563,22 @@ impl Simulation {
         );
         let gravity_fut: Option<Future<GravityResult>> = if self.opts.gravity {
             let sources = self.leaf_sources();
-            let solver = GravitySolver::with_scratch(
-                GravityOptions {
-                    vector_mode: self.opts.vector_mode,
-                    ..self.opts.gravity_opts
-                },
-                self.scratch.clone(),
-            );
+            // The clone shares the persistent solver's plan cache, so the
+            // solve inside the future still hits the cached plan.
+            let solver = self.gravity_solver.clone();
+            let apex = self.apex.clone();
             let space = ExecSpace::hpx(rt0.clone());
             let grid = self.grid.clone();
             Some(rt0.async_call(move || {
-                let (fields, stats) = grid.with_tree(|t| solver.solve(t, &sources, &space));
+                let _t = apex.timer("gravity:solve");
+                let plan = {
+                    let _p = apex.timer("gravity:plan");
+                    grid.with_tree(|t| solver.plan_for(t))
+                };
+                let (fields, stats) = {
+                    let _k = apex.timer("gravity:kernels");
+                    solver.solve_with_plan(&plan, &sources, &space)
+                };
                 (Arc::new(fields), stats)
             }))
         } else {
@@ -769,6 +818,7 @@ impl Simulation {
             scratch_bytes_in_use,
             scratch_high_water,
             gravity_stats,
+            gravity_plan_hit: self.opts.gravity && self.gravity_solver.last_plan_hit(),
         }
     }
 

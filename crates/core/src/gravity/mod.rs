@@ -16,11 +16,15 @@
 //!
 //! The near/far decision uses a dual-tree traversal with a geometric
 //! multipole acceptance criterion, which handles the adaptive tree without
-//! interaction-list gaps by construction.
+//! interaction-list gaps by construction.  The traversal's outcome is
+//! frozen into a CSR-encoded [`plan::GravityPlan`] keyed on the tree's
+//! topology version, so solves on an unchanged tree skip it entirely.
 
 pub mod direct;
 pub mod multipole;
+pub mod plan;
 pub mod solver;
 
 pub use multipole::{LocalExpansion, Multipole};
+pub use plan::GravityPlan;
 pub use solver::{GravityOptions, GravitySolver, LeafField, LeafSources};

@@ -71,6 +71,47 @@ impl Multipole {
         Multipole { m, com, quad, oct }
     }
 
+    /// P2M straight from a SoA point set — the leaf layout the rest of the
+    /// gravity module already uses — so the upward pass needs no per-leaf
+    /// AoS marshalling copy.  Performs the same accumulations in the same
+    /// order as [`Multipole::from_points`], so the two are bit-identical.
+    pub fn from_soa(points: &crate::gravity::direct::PointMasses) -> Multipole {
+        let mut m = 0.0;
+        let mut com = [0.0; 3];
+        for c in 0..points.len() {
+            let w = points.ms[c];
+            m += w;
+            com[0] += w * points.xs[c];
+            com[1] += w * points.ys[c];
+            com[2] += w * points.zs[c];
+        }
+        if m.abs() < f64::MIN_POSITIVE {
+            return Multipole::zero([0.0; 3]);
+        }
+        for c in &mut com {
+            *c /= m;
+        }
+        let mut quad = [[0.0; 3]; 3];
+        let mut oct = [[[0.0; 3]; 3]; 3];
+        for c in 0..points.len() {
+            let w = points.ms[c];
+            let d = [
+                points.xs[c] - com[0],
+                points.ys[c] - com[1],
+                points.zs[c] - com[2],
+            ];
+            for i in 0..3 {
+                for j in 0..3 {
+                    quad[i][j] += w * d[i] * d[j];
+                    for k in 0..3 {
+                        oct[i][j][k] += w * d[i] * d[j] * d[k];
+                    }
+                }
+            }
+        }
+        Multipole { m, com, quad, oct }
+    }
+
     /// M2M: combine child expansions into one about the children's common
     /// center of mass.
     pub fn combine(children: &[&Multipole]) -> Multipole {
@@ -376,6 +417,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn from_soa_is_bit_identical_to_from_points() {
+        use crate::gravity::direct::PointMasses;
+        let mut soa = PointMasses::default();
+        let mut aos = Vec::new();
+        for i in 0..37 {
+            let f = i as f64;
+            let x = [0.3 * f.sin(), 0.2 * (1.7 * f).cos(), 0.1 * (0.9 * f).sin()];
+            let m = 1.0 + 0.05 * (2.3 * f).cos();
+            soa.push(x, m);
+            aos.push((x, m));
+        }
+        let a = Multipole::from_soa(&soa);
+        let b = Multipole::from_points(&aos);
+        assert_eq!(a.m.to_bits(), b.m.to_bits());
+        for c in 0..3 {
+            assert_eq!(a.com[c].to_bits(), b.com[c].to_bits());
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(a.quad[i][j].to_bits(), b.quad[i][j].to_bits());
+                for k in 0..3 {
+                    assert_eq!(a.oct[i][j][k].to_bits(), b.oct[i][j][k].to_bits());
+                }
+            }
+        }
+        // The massless early-out matches too.
+        let empty = Multipole::from_soa(&PointMasses::default());
+        assert_eq!(empty, Multipole::from_points(&[]));
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The FMM driver: dual-tree traversal, the three solver phases, and the
-//! task-splittable multipole kernel.
+//! The FMM driver: the three solver phases run over a cached
+//! [`GravityPlan`], plus the task-splittable multipole kernel.
 //!
 //! Phase structure follows paper Section VII-C: *"In each gravity solver
 //! iteration, we have one bottom-up tree traversal.  In the second step, we
@@ -10,16 +10,33 @@
 //! [`GravityOptions::tasks_per_multipole_kernel`]: 1 task (Octo-Tiger's
 //! default, hot cache) or 16 tasks (the paper's anti-starvation setting,
 //! Figure 9).
+//!
+//! The *dual-tree traversal* that decides near/far is **not** redone per
+//! solve: it is frozen into a [`GravityPlan`] keyed on
+//! [`Tree::topology_version`] and θ, cached on the solver (and shared by
+//! its clones), and only rebuilt after a regrid — mirroring the real
+//! Octo-Tiger, which computes interaction lists once per regrid.  Plan
+//! reuse is observable through the global
+//! `/octotiger/gravity/plan-{hits,rebuilds}` counters and the per-solver
+//! [`GravitySolver::plan_counters`].  All three phases run as dense-index
+//! kernels over the plan's slot table with per-chunk disjoint `&mut`
+//! slices ([`kokkos_rs::parallel_for_mut`]) — no `HashMap` lookups and no
+//! `Mutex` traffic on the hot path.
 
 use super::direct::{p2p_at_w, PointMasses};
 use super::multipole::{LocalExpansion, Multipole};
-use crate::units::BOX_SIZE;
+use super::plan::{GravityPlan, SlotKind};
 use kokkos_rs::pool::{Recycled, ScratchArena};
-use kokkos_rs::{parallel_for, ChunkSpec, ExecSpace, RangePolicy};
+use kokkos_rs::{parallel_for_mut, ChunkSpec, ExecSpace, RangePolicy};
 use octree::{NodeId, Tree};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use sve_simd::VectorMode;
+
+#[cfg(test)]
+pub(crate) use super::plan::node_geometry;
 
 /// FMM solver options.
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +99,30 @@ pub struct SolveStats {
     pub multipole_kernel_launches: usize,
 }
 
+/// Recycled expansion buffers of the solve phases, kept on the plan cache
+/// so steady-state solves allocate nothing (CPPuddle-style, like the
+/// `ScratchArena` the `LeafField` outputs already recycle through).
+#[derive(Debug, Default)]
+struct SolveBuffers {
+    /// Per-slot multipole moments (the upward pass's output).
+    multipoles: Vec<Multipole>,
+    /// Per-slot local expansions (M2L targets + downward accumulation).
+    locals: Vec<LocalExpansion>,
+    /// Dense M2L accumulators, aligned with the plan's target list.
+    m2l_acc: Vec<LocalExpansion>,
+}
+
+/// The solver's plan cache: shared (`Arc`) between a solver and its clones
+/// so the pipelined stepper's solver clone hits the same cache.
+#[derive(Debug, Default)]
+struct PlanCache {
+    plan: Mutex<Option<Arc<GravityPlan>>>,
+    buffers: Mutex<Option<SolveBuffers>>,
+    hits: AtomicU64,
+    rebuilds: AtomicU64,
+    last_hit: AtomicBool,
+}
+
 /// The FMM solver.
 #[derive(Debug, Clone, Default)]
 pub struct GravitySolver {
@@ -91,18 +132,9 @@ pub struct GravitySolver {
     /// across solves; a solver built with [`GravitySolver::new`] gets its
     /// own (then recycling only spans that solver's lifetime).
     scratch: ScratchArena,
-}
-
-/// Physical center and half-diagonal of a node's cube.
-fn node_geometry(id: NodeId) -> ([f64; 3], f64) {
-    let (corner, size) = id.cube();
-    let s_phys = size * BOX_SIZE;
-    let center = [
-        (corner[0] + 0.5 * size - 0.5) * BOX_SIZE,
-        (corner[1] + 0.5 * size - 0.5) * BOX_SIZE,
-        (corner[2] + 0.5 * size - 0.5) * BOX_SIZE,
-    ];
-    (center, 0.5 * s_phys * 3f64.sqrt())
+    /// Cached interaction plan + recycled solve buffers, shared with
+    /// clones of this solver.
+    cache: Arc<PlanCache>,
 }
 
 impl GravitySolver {
@@ -111,203 +143,224 @@ impl GravitySolver {
         GravitySolver {
             opts,
             scratch: ScratchArena::new(),
+            cache: Arc::new(PlanCache::default()),
         }
     }
 
     /// New solver drawing its output buffers from `scratch` — the
-    /// simulation passes its own arena so fields recycle across steps even
-    /// though the solver itself is rebuilt per solve.
+    /// simulation passes its own arena so fields recycle across steps.
     pub fn with_scratch(opts: GravityOptions, scratch: ScratchArena) -> GravitySolver {
-        GravitySolver { opts, scratch }
+        GravitySolver {
+            opts,
+            scratch,
+            cache: Arc::new(PlanCache::default()),
+        }
+    }
+
+    /// Swap the output arena (the driver does this when the user disables
+    /// scratch recycling and rebuilds the arena each step).  The plan
+    /// cache is untouched: buffer pooling and traversal caching are
+    /// independent switches.
+    pub fn set_scratch(&mut self, scratch: ScratchArena) {
+        self.scratch = scratch;
+    }
+
+    /// The interaction plan for `tree`: the cached one when still valid
+    /// (a *plan hit* — zero traversal work), else a freshly traversed one
+    /// that replaces the cache (a *plan rebuild*).  Either outcome bumps
+    /// the matching `/octotiger/gravity/plan-*` counter.
+    pub fn plan_for(&self, tree: &Tree) -> Arc<GravityPlan> {
+        let mut guard = self.cache.plan.lock();
+        if let Some(plan) = guard.as_ref() {
+            if plan.is_valid_for(tree, self.opts.theta) {
+                self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                self.cache.last_hit.store(true, Ordering::Relaxed);
+                hpx_rt::gravity_plan_counters().note_hit();
+                return plan.clone();
+            }
+        }
+        let plan = Arc::new(GravityPlan::build(tree, self.opts.theta));
+        self.cache.rebuilds.fetch_add(1, Ordering::Relaxed);
+        self.cache.last_hit.store(false, Ordering::Relaxed);
+        hpx_rt::gravity_plan_counters().note_rebuild();
+        *guard = Some(plan.clone());
+        plan
+    }
+
+    /// Drop the cached plan: the next [`GravitySolver::plan_for`] re-runs
+    /// the dual-tree traversal.  Used by the per-step-rebuild reference
+    /// configuration (`SimOptions::cache_gravity_plan = false`) and the
+    /// benchmark baseline.
+    pub fn invalidate_plan(&self) {
+        *self.cache.plan.lock() = None;
+    }
+
+    /// Whether the most recent [`GravitySolver::plan_for`] reused the
+    /// cached plan.
+    pub fn last_plan_hit(&self) -> bool {
+        self.cache.last_hit.load(Ordering::Relaxed)
+    }
+
+    /// Per-solver (plan-hit, plan-rebuild) counts — exact even when other
+    /// solvers in the process bump the global counters concurrently.
+    pub fn plan_counters(&self) -> (u64, u64) {
+        (
+            self.cache.hits.load(Ordering::Relaxed),
+            self.cache.rebuilds.load(Ordering::Relaxed),
+        )
     }
 
     /// Solve for the gravitational field of `sources` on `tree`, running
-    /// the multipole and evaluation kernels on `space`.
+    /// the kernels on `space`.  Equivalent to [`GravitySolver::plan_for`]
+    /// followed by [`GravitySolver::solve_with_plan`].
     pub fn solve(
         &self,
         tree: &Tree,
         sources: &HashMap<NodeId, LeafSources>,
         space: &ExecSpace,
     ) -> (HashMap<NodeId, LeafField>, SolveStats) {
-        let leaves = tree.leaves();
-        debug_assert!(leaves.iter().all(|l| sources.contains_key(l)));
+        let plan = self.plan_for(tree);
+        self.solve_with_plan(&plan, sources, space)
+    }
 
-        // ---- Phase 1: bottom-up (P2M + M2M). --------------------------
-        let multipoles = self.upward_pass(tree, sources, &leaves);
+    /// Run the three solver phases over a prebuilt plan — pure kernels,
+    /// zero traversal work, no `NodeId` hashing on the hot path.
+    pub fn solve_with_plan(
+        &self,
+        plan: &GravityPlan,
+        sources: &HashMap<NodeId, LeafSources>,
+        space: &ExecSpace,
+    ) -> (HashMap<NodeId, LeafField>, SolveStats) {
+        debug_assert!(plan.leaves.iter().all(|l| sources.contains_key(l)));
+        // Check the expansion buffers out of the cache (or build fresh on
+        // first use / when a concurrent solve holds them).
+        let mut bufs = self.cache.buffers.lock().take().unwrap_or_default();
 
-        // ---- Dual-tree traversal: near/far decomposition. -------------
-        let (m2l_by_target, p2p_by_target) = self.traverse(tree);
+        // ---- Phase 1: bottom-up (P2M + M2M), parallel per level. -------
+        self.upward_pass(plan, sources, &mut bufs.multipoles, space);
 
         // ---- Phase 2: the multipole (M2L) kernel. ----------------------
-        let locals = self.multipole_kernel(tree, &multipoles, &m2l_by_target, space);
+        self.multipole_kernel(
+            plan,
+            &bufs.multipoles,
+            &mut bufs.locals,
+            &mut bufs.m2l_acc,
+            space,
+        );
 
         // ---- Phase 3: top-down (L2L) + evaluation + P2P. ---------------
-        let locals = downward_pass(tree, locals);
-        let fields = self.evaluate(tree, sources, &leaves, &locals, &p2p_by_target, space);
+        downward_pass(plan, &mut bufs.locals, space);
+        let fields = self.evaluate(plan, sources, &bufs.locals, space);
 
-        let stats = SolveStats {
-            m2l_interactions: m2l_by_target.values().map(Vec::len).sum(),
-            p2p_pairs: p2p_by_target.values().map(Vec::len).sum(),
-            multipole_kernel_launches: m2l_by_target.len(),
-        };
+        let stats = plan.stats;
+        *self.cache.buffers.lock() = Some(bufs);
         (fields, stats)
     }
 
+    /// Phase 1 over the plan's slot table: one `parallel_for_mut` launch
+    /// per level, deepest first.  `split_at_mut` at the level's begin slot
+    /// separates the already-finalized deeper levels (shared reads) from
+    /// the level being written (disjoint chunk writes), so no locks are
+    /// needed.  Leaves compute P2M straight from their SoA points
+    /// ([`Multipole::from_soa`] — no per-leaf AoS copy); interiors combine
+    /// their eight children.
     fn upward_pass(
         &self,
-        tree: &Tree,
+        plan: &GravityPlan,
         sources: &HashMap<NodeId, LeafSources>,
-        leaves: &[NodeId],
-    ) -> HashMap<NodeId, Multipole> {
-        let mut multipoles: HashMap<NodeId, Multipole> = HashMap::new();
-        for &leaf in leaves {
-            let src = &sources[&leaf];
-            let pts: Vec<([f64; 3], f64)> = (0..src.points.len())
-                .map(|c| {
-                    (
-                        [src.points.xs[c], src.points.ys[c], src.points.zs[c]],
-                        src.points.ms[c],
-                    )
-                })
-                .collect();
-            let mut mp = Multipole::from_points(&pts);
-            if mp.m == 0.0 {
-                mp = Multipole::zero(node_geometry(leaf).0);
-            }
-            multipoles.insert(leaf, mp);
+        mps: &mut Vec<Multipole>,
+        space: &ExecSpace,
+    ) {
+        if mps.len() != plan.num_nodes {
+            mps.clear();
+            mps.resize(plan.num_nodes, Multipole::zero([0.0; 3]));
         }
-        let max_level = tree.max_level();
-        for level in (0..max_level).rev() {
-            for node in tree.interior_at_level(level) {
-                let children: Vec<&Multipole> = octree::Octant::all()
-                    .map(|o| &multipoles[&node.child(o)])
-                    .collect();
-                let mut mp = Multipole::combine(&children);
-                if mp.m == 0.0 {
-                    mp = Multipole::zero(node_geometry(node).0);
-                }
-                multipoles.insert(node, mp);
+        for level in (0..=plan.max_level()).rev() {
+            let (b, e) = plan.level_ranges[level as usize];
+            if b == e {
+                continue;
             }
-        }
-        multipoles
-    }
-
-    /// Dual-tree traversal producing, per target node: its M2L source list,
-    /// and per target leaf: its P2P source-leaf list.
-    #[allow(clippy::type_complexity)]
-    fn traverse(
-        &self,
-        tree: &Tree,
-    ) -> (HashMap<NodeId, Vec<NodeId>>, HashMap<NodeId, Vec<NodeId>>) {
-        let mut m2l: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
-        let mut p2p: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
-        let theta = self.opts.theta;
-        let mut stack: Vec<(NodeId, NodeId)> = vec![(NodeId::ROOT, NodeId::ROOT)];
-        while let Some((a, b)) = stack.pop() {
-            if a == b {
-                if tree.is_leaf(a) {
-                    p2p.entry(a).or_default().push(a);
-                } else {
-                    let kids: Vec<NodeId> = octree::Octant::all().map(|o| a.child(o)).collect();
-                    for (i, &ci) in kids.iter().enumerate() {
-                        for &cj in &kids[i..] {
-                            stack.push((ci, cj));
-                        }
+            let (deeper, rest) = mps.split_at_mut(b);
+            let level_slice = &mut rest[..e - b];
+            let policy = RangePolicy::new(0, e - b).with_chunk(ChunkSpec::Auto);
+            parallel_for_mut(space, policy, level_slice, |i, out| {
+                let s = b + i;
+                let mut mp = match plan.kinds[s] {
+                    SlotKind::Leaf(li) => Multipole::from_soa(&sources[&plan.leaves[li]].points),
+                    SlotKind::Interior(kids) => {
+                        let children: Vec<&Multipole> = kids.iter().map(|&c| &deeper[c]).collect();
+                        Multipole::combine(&children)
                     }
+                };
+                if mp.m == 0.0 {
+                    mp = Multipole::zero(plan.centers[s]);
                 }
-                continue;
-            }
-            let (ca, ra) = node_geometry(a);
-            let (cb, rb) = node_geometry(b);
-            let d = ((ca[0] - cb[0]).powi(2) + (ca[1] - cb[1]).powi(2) + (ca[2] - cb[2]).powi(2))
-                .sqrt();
-            if d > 0.0 && (ra + rb) / d < theta {
-                m2l.entry(a).or_default().push(b);
-                m2l.entry(b).or_default().push(a);
-                continue;
-            }
-            let a_leaf = tree.is_leaf(a);
-            let b_leaf = tree.is_leaf(b);
-            if a_leaf && b_leaf {
-                p2p.entry(a).or_default().push(b);
-                p2p.entry(b).or_default().push(a);
-                continue;
-            }
-            // Split the larger node (higher up the tree); if tied, split
-            // whichever is interior.
-            let split_a = if a_leaf {
-                false
-            } else if b_leaf {
-                true
-            } else {
-                a.level() <= b.level()
-            };
-            let (split, keep) = if split_a { (a, b) } else { (b, a) };
-            for o in octree::Octant::all() {
-                stack.push((split.child(o), keep));
-            }
+                *out = mp;
+            });
         }
-        (m2l, p2p)
     }
 
-    /// Phase 2: run M2L for every target node, as a kernel split into
-    /// `tasks_per_multipole_kernel` HPX tasks (Figure 9).
+    /// Phase 2: M2L for every target slot with a non-empty list, split
+    /// into `tasks_per_multipole_kernel` HPX tasks (Figure 9).  Each chunk
+    /// owns a disjoint `&mut` slice of the dense accumulator buffer — the
+    /// former per-target `Mutex<LocalExpansion>` slot vector is gone.
+    /// Per-target source order comes from the plan's CSR lists, so the sum
+    /// is bit-identical for any task count.
     fn multipole_kernel(
         &self,
-        _tree: &Tree,
-        multipoles: &HashMap<NodeId, Multipole>,
-        m2l_by_target: &HashMap<NodeId, Vec<NodeId>>,
+        plan: &GravityPlan,
+        mps: &[Multipole],
+        locals: &mut Vec<LocalExpansion>,
+        acc: &mut Vec<LocalExpansion>,
         space: &ExecSpace,
-    ) -> HashMap<NodeId, LocalExpansion> {
-        let mut targets: Vec<NodeId> = m2l_by_target.keys().copied().collect();
-        targets.sort_by_key(|id| id.sfc_key());
-        let slots: Vec<Mutex<LocalExpansion>> = targets
-            .iter()
-            .map(|_| Mutex::new(LocalExpansion::zero()))
-            .collect();
+    ) {
+        locals.clear();
+        locals.resize(plan.num_nodes, LocalExpansion::zero());
+        if acc.len() != plan.m2l_targets.len() {
+            acc.clear();
+            acc.resize(plan.m2l_targets.len(), LocalExpansion::zero());
+        }
         let use_oct = self.opts.use_octupole;
-        let policy = RangePolicy::new(0, targets.len())
+        let policy = RangePolicy::new(0, plan.m2l_targets.len())
             .with_chunk(ChunkSpec::Tasks(self.opts.tasks_per_multipole_kernel));
-        parallel_for(space, policy, |t| {
-            let target = targets[t];
-            let (center, _) = node_geometry(target);
-            let mut acc = LocalExpansion::zero();
-            for src in &m2l_by_target[&target] {
-                let mp = &multipoles[src];
+        parallel_for_mut(space, policy, acc, |t, out| {
+            let target = plan.m2l_targets[t];
+            let center = plan.centers[target];
+            let mut sum = LocalExpansion::zero();
+            for &src in plan.m2l_sources_of(target) {
+                let mp = &mps[src];
                 if mp.m == 0.0 {
                     continue;
                 }
-                acc.add_assign(&mp.m2l(center, use_oct));
+                sum.add_assign(&mp.m2l(center, use_oct));
             }
-            *slots[t].lock() = acc;
+            *out = sum;
         });
-        targets
-            .into_iter()
-            .zip(slots)
-            .map(|(id, slot)| (id, slot.into_inner()))
-            .collect()
+        for (t, &slot) in plan.m2l_targets.iter().enumerate() {
+            locals[slot] = acc[t].clone();
+        }
     }
 
     /// Phase 3b: evaluate local expansions at cell centers and add the P2P
-    /// near field.
+    /// near field — one disjoint output slot per leaf, no locks.
     fn evaluate(
         &self,
-        _tree: &Tree,
+        plan: &GravityPlan,
         sources: &HashMap<NodeId, LeafSources>,
-        leaves: &[NodeId],
-        locals: &HashMap<NodeId, LocalExpansion>,
-        p2p_by_target: &HashMap<NodeId, Vec<NodeId>>,
+        locals: &[LocalExpansion],
         space: &ExecSpace,
     ) -> HashMap<NodeId, LeafField> {
-        let slots: Vec<Mutex<LeafField>> = leaves
-            .iter()
-            .map(|_| Mutex::new(LeafField::default()))
-            .collect();
+        let nleaves = plan.leaves.len();
+        // Dense per-leaf point handles: the P2P inner loop indexes leaves,
+        // not NodeId hashes.
+        let pts_by_leaf: Vec<&PointMasses> =
+            plan.leaves.iter().map(|l| &sources[l].points).collect();
+        let mut fields: Vec<LeafField> = Vec::with_capacity(nleaves);
+        fields.resize_with(nleaves, LeafField::default);
         let mode = self.opts.vector_mode;
-        let policy = RangePolicy::new(0, leaves.len()).with_chunk(ChunkSpec::Auto);
-        parallel_for(space, policy, |li| {
-            let leaf = leaves[li];
-            let pts = &sources[&leaf].points;
+        let policy = RangePolicy::new(0, nleaves).with_chunk(ChunkSpec::Auto);
+        parallel_for_mut(space, policy, &mut fields, |li, out| {
+            let pts = pts_by_leaf[li];
             let ncells = pts.len();
             let mut field = LeafField {
                 phi: self.scratch.checkout(ncells),
@@ -315,32 +368,23 @@ impl GravitySolver {
                 gy: self.scratch.checkout(ncells),
                 gz: self.scratch.checkout(ncells),
             };
-            let (center, _) = node_geometry(leaf);
-            let local = locals.get(&leaf);
-            let p2p_sources = p2p_by_target.get(&leaf);
+            let slot = plan.leaf_slots[li];
+            let center = plan.centers[slot];
+            let local = &locals[slot];
+            let p2p_srcs = plan.p2p_sources_of(li);
             for c in 0..ncells {
                 let x = [pts.xs[c], pts.ys[c], pts.zs[c]];
-                let mut phi = 0.0;
-                let mut g = [0.0; 3];
-                if let Some(local) = local {
-                    let off = [x[0] - center[0], x[1] - center[1], x[2] - center[2]];
-                    let (p, gg) = local.evaluate(off);
+                let off = [x[0] - center[0], x[1] - center[1], x[2] - center[2]];
+                let (mut phi, mut g) = local.evaluate(off);
+                for &src_leaf in p2p_srcs {
+                    let sp = pts_by_leaf[src_leaf];
+                    let (p, gg) = match mode {
+                        VectorMode::Scalar => p2p_at_w::<1>(sp, x[0], x[1], x[2]),
+                        VectorMode::Sve512 => p2p_at_w::<8>(sp, x[0], x[1], x[2]),
+                    };
                     phi += p;
                     for a in 0..3 {
                         g[a] += gg[a];
-                    }
-                }
-                if let Some(srcs) = p2p_sources {
-                    for src_leaf in srcs {
-                        let sp = &sources[src_leaf].points;
-                        let (p, gg) = match mode {
-                            VectorMode::Scalar => p2p_at_w::<1>(sp, x[0], x[1], x[2]),
-                            VectorMode::Sve512 => p2p_at_w::<8>(sp, x[0], x[1], x[2]),
-                        };
-                        phi += p;
-                        for a in 0..3 {
-                            g[a] += gg[a];
-                        }
                     }
                 }
                 field.phi[c] = phi;
@@ -348,47 +392,46 @@ impl GravitySolver {
                 field.gy[c] = g[1];
                 field.gz[c] = g[2];
             }
-            *slots[li].lock() = field;
+            *out = field;
         });
-        leaves
-            .iter()
-            .copied()
-            .zip(slots.into_iter().map(Mutex::into_inner))
-            .collect()
+        plan.leaves.iter().copied().zip(fields).collect()
     }
 }
 
-/// Phase 3a: propagate local expansions down the tree (L2L).
-fn downward_pass(
-    tree: &Tree,
-    mut locals: HashMap<NodeId, LocalExpansion>,
-) -> HashMap<NodeId, LocalExpansion> {
-    let max_level = tree.max_level();
+/// Phase 3a: propagate local expansions down the tree (L2L), in *gather*
+/// form — every slot at level L+1 adds its parent's shifted expansion, so
+/// each per-level launch writes disjoint `&mut` chunks of the child range
+/// while reading the (finalized, shallower) parent range.  One addition
+/// per child, same arithmetic as the scatter form.
+fn downward_pass(plan: &GravityPlan, locals: &mut [LocalExpansion], space: &ExecSpace) {
+    let max_level = plan.max_level();
     for level in 0..max_level {
-        for node in tree.interior_at_level(level) {
-            let Some(parent_local) = locals.get(&node).cloned() else {
-                continue;
-            };
-            let (pc, _) = node_geometry(node);
-            for o in octree::Octant::all() {
-                let child = node.child(o);
-                let (cc, _) = node_geometry(child);
-                let d = [cc[0] - pc[0], cc[1] - pc[1], cc[2] - pc[2]];
-                let shifted = parent_local.shifted(d);
-                locals
-                    .entry(child)
-                    .and_modify(|l| l.add_assign(&shifted))
-                    .or_insert(shifted);
-            }
+        let (b, e) = plan.level_ranges[level as usize + 1];
+        if b == e {
+            continue;
         }
+        // Slots ≥ e are the parent level and everything shallower — all
+        // finalized by earlier iterations; slots in [b, e) are written.
+        let (rest, shallower) = locals.split_at_mut(e);
+        let child_slice = &mut rest[b..];
+        let policy = RangePolicy::new(0, e - b).with_chunk(ChunkSpec::Auto);
+        parallel_for_mut(space, policy, child_slice, |i, out| {
+            let s = b + i;
+            let p = plan.parent_slot[s];
+            debug_assert!(p >= e, "parent must be in the shallower half");
+            let pc = plan.centers[p];
+            let cc = plan.centers[s];
+            let d = [cc[0] - pc[0], cc[1] - pc[1], cc[2] - pc[2]];
+            out.add_assign(&shallower[p - e].shifted(d));
+        });
     }
-    locals
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::gravity::direct::direct_field;
+    use crate::units::BOX_SIZE;
 
     /// Deterministic pseudo-random density on a leaf's cell centers.
     fn make_sources(tree: &Tree, n: usize) -> HashMap<NodeId, LeafSources> {
@@ -497,11 +540,100 @@ mod tests {
             let a = &f1[&leaf];
             let b = &f16[&leaf];
             for c in 0..a.phi.len() {
-                assert!((a.phi[c] - b.phi[c]).abs() < 1e-12);
-                assert!((a.gx[c] - b.gx[c]).abs() < 1e-12);
+                // Per-target summation order is fixed by the plan's CSR
+                // lists, so splitting is exactly bitwise neutral.
+                assert_eq!(a.phi[c].to_bits(), b.phi[c].to_bits());
+                assert_eq!(a.gx[c].to_bits(), b.gx[c].to_bits());
             }
         }
         rt.shutdown();
+    }
+
+    #[test]
+    fn cached_plan_solve_is_bit_identical_to_fresh_traversal() {
+        // Solve twice with one solver (second solve hits the cached plan)
+        // and once with a fresh solver (fresh traversal): all three must
+        // agree bit-for-bit, on a uniform and on an adaptive tree.
+        let mut adaptive = Tree::new_uniform(1);
+        adaptive.refine_balanced(NodeId::from_coords(1, [1, 1, 1]));
+        for tree in [Tree::new_uniform(2), adaptive] {
+            let sources = make_sources(&tree, 4);
+            let cached = GravitySolver::default();
+            let (f_first, s_first) = cached.solve(&tree, &sources, &ExecSpace::Serial);
+            assert!(!cached.last_plan_hit());
+            let (f_hit, s_hit) = cached.solve(&tree, &sources, &ExecSpace::Serial);
+            assert!(cached.last_plan_hit(), "second solve must reuse the plan");
+            assert_eq!(cached.plan_counters(), (1, 1));
+            let fresh = GravitySolver::default();
+            let (f_fresh, s_fresh) = fresh.solve(&tree, &sources, &ExecSpace::Serial);
+            assert_eq!(s_first, s_hit);
+            assert_eq!(s_first, s_fresh);
+            for leaf in tree.leaves() {
+                for (a, b) in [(&f_first, &f_hit), (&f_first, &f_fresh)] {
+                    let (fa, fb) = (&a[&leaf], &b[&leaf]);
+                    for c in 0..fa.phi.len() {
+                        assert_eq!(fa.phi[c].to_bits(), fb.phi[c].to_bits());
+                        assert_eq!(fa.gx[c].to_bits(), fb.gx[c].to_bits());
+                        assert_eq!(fa.gy[c].to_bits(), fb.gy[c].to_bits());
+                        assert_eq!(fa.gz[c].to_bits(), fb.gz[c].to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_triggers_a_plan_rebuild_matching_a_fresh_solver() {
+        let mut tree = Tree::new_uniform(1);
+        let sources = make_sources(&tree, 4);
+        let solver = GravitySolver::default();
+        solver.solve(&tree, &sources, &ExecSpace::Serial);
+        assert_eq!(solver.plan_counters(), (0, 1));
+        // Regrid: topology version bumps, the cached plan must be stale.
+        let v0 = tree.topology_version();
+        tree.refine_balanced(NodeId::from_coords(1, [0, 0, 0]));
+        assert!(tree.topology_version() > v0);
+        let sources = make_sources(&tree, 4);
+        let (f_cached, s_cached) = solver.solve(&tree, &sources, &ExecSpace::Serial);
+        assert!(!solver.last_plan_hit(), "stale plan must not be reused");
+        assert_eq!(solver.plan_counters(), (0, 2));
+        let fresh = GravitySolver::default();
+        let (f_fresh, s_fresh) = fresh.solve(&tree, &sources, &ExecSpace::Serial);
+        assert_eq!(s_cached, s_fresh);
+        for leaf in tree.leaves() {
+            let (fa, fb) = (&f_cached[&leaf], &f_fresh[&leaf]);
+            for c in 0..fa.phi.len() {
+                assert_eq!(fa.phi[c].to_bits(), fb.phi[c].to_bits());
+                assert_eq!(fa.gx[c].to_bits(), fb.gx[c].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn solver_clones_share_the_plan_cache() {
+        // The pipelined stepper moves a clone into the gravity future; the
+        // clone's solve must hit the original's cached plan (and vice
+        // versa), or the persistence would silently do nothing.
+        let tree = Tree::new_uniform(2);
+        let sources = make_sources(&tree, 2);
+        let solver = GravitySolver::default();
+        let clone = solver.clone();
+        solver.solve(&tree, &sources, &ExecSpace::Serial);
+        clone.solve(&tree, &sources, &ExecSpace::Serial);
+        assert_eq!(solver.plan_counters(), (1, 1));
+        assert_eq!(clone.plan_counters(), (1, 1));
+        assert!(clone.last_plan_hit());
+    }
+
+    #[test]
+    fn invalidate_plan_forces_a_retraversal() {
+        let tree = Tree::new_uniform(1);
+        let sources = make_sources(&tree, 2);
+        let solver = GravitySolver::default();
+        solver.solve(&tree, &sources, &ExecSpace::Serial);
+        solver.invalidate_plan();
+        solver.solve(&tree, &sources, &ExecSpace::Serial);
+        assert_eq!(solver.plan_counters(), (0, 2));
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Integration tests for the cached FMM interaction plan: caching must be
+//! a pure performance switch — a persistent solver reusing its plan
+//! produces bit-identical physics to one that re-traverses every step —
+//! and the cache must actually work: one rebuild for a whole run on an
+//! unchanged tree, an invalidation (and only one) after a regrid.
+
+use hpx_rt::SimCluster;
+use octotiger::{
+    ConservationLedger, Scenario, ScenarioKind, SimOptions, Simulation, StepStats, NF,
+};
+
+fn build(cluster: &SimCluster, pipeline: bool, cache_plan: bool) -> Simulation {
+    let sc = Scenario::build(ScenarioKind::RotatingStar, cluster, 1, 0, 4);
+    let mut opts = SimOptions::default();
+    opts.gravity = true;
+    opts.omega = sc.omega;
+    opts.pipeline = pipeline;
+    opts.cache_gravity_plan = cache_plan;
+    Simulation::new(sc.grid, opts)
+}
+
+/// Step a plan-caching sim and a traverse-every-step sim side by side and
+/// assert every field of every leaf — and the conservation ledgers — are
+/// bit-identical afterwards.
+fn assert_bit_identical(pipeline: bool, steps: usize) {
+    let cluster_a = SimCluster::new(2, 2);
+    let cluster_b = SimCluster::new(2, 2);
+    let mut cached = build(&cluster_a, pipeline, true);
+    let mut rebuilt = build(&cluster_b, pipeline, false);
+    for step in 0..steps {
+        let sa = cached.step(&cluster_a);
+        let sb = rebuilt.step(&cluster_b);
+        assert_eq!(sa.dt.to_bits(), sb.dt.to_bits(), "Δt must be bit-identical");
+        assert_eq!(sa.gravity_stats, sb.gravity_stats, "solve stats differ");
+        assert_eq!(sa.gravity_plan_hit, step > 0, "cached side must hit");
+        assert!(!sb.gravity_plan_hit, "invalidated side must never hit");
+    }
+    for leaf in cached.grid.leaves() {
+        let ga = cached.grid.grid(leaf);
+        let gb = rebuilt.grid.grid(leaf);
+        let (ga, gb) = (ga.read(), gb.read());
+        for f in 0..NF {
+            assert_eq!(ga.field(f), gb.field(f), "field {f} differs at {leaf}");
+        }
+    }
+    let la = ConservationLedger::measure(&cached.grid);
+    let lb = ConservationLedger::measure(&rebuilt.grid);
+    assert_eq!(la.mass.to_bits(), lb.mass.to_bits(), "mass ledger differs");
+    assert_eq!(
+        la.gas_energy.to_bits(),
+        lb.gas_energy.to_bits(),
+        "energy ledger differs"
+    );
+    cluster_a.shutdown();
+    cluster_b.shutdown();
+}
+
+#[test]
+fn cached_and_rebuilt_barrier_runs_are_bit_identical() {
+    assert_bit_identical(false, 4);
+}
+
+#[test]
+fn cached_and_rebuilt_pipelined_runs_are_bit_identical() {
+    assert_bit_identical(true, 4);
+}
+
+#[test]
+fn ten_step_run_rebuilds_the_plan_exactly_once() {
+    // The acceptance criterion for the subsystem: on an unchanged tree the
+    // dual-tree traversal runs once for the whole run, not once per step.
+    let cluster = SimCluster::new(2, 2);
+    let mut sim = build(&cluster, false, true);
+    let stats: Vec<StepStats> = (0..10).map(|_| sim.step(&cluster)).collect();
+    assert!(!stats[0].gravity_plan_hit, "first solve must traverse");
+    for (i, s) in stats.iter().enumerate().skip(1) {
+        assert!(s.gravity_plan_hit, "step {} re-traversed the tree", i + 1);
+    }
+    assert_eq!(
+        sim.gravity_plan_counters(),
+        (9, 1),
+        "expected 9 plan hits and exactly 1 rebuild over 10 steps"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn pipelined_run_shares_the_cache_across_step_futures() {
+    // The pipelined stepper moves a solver clone into each step's gravity
+    // future; the clones must all hit the persistent solver's cache.
+    let cluster = SimCluster::new(2, 2);
+    let mut sim = build(&cluster, true, true);
+    let stats: Vec<StepStats> = (0..5).map(|_| sim.step(&cluster)).collect();
+    assert!(!stats[0].gravity_plan_hit);
+    assert!(stats[1..].iter().all(|s| s.gravity_plan_hit));
+    assert_eq!(sim.gravity_plan_counters(), (4, 1));
+    cluster.shutdown();
+}
+
+#[test]
+fn regrid_invalidates_the_plan_exactly_once() {
+    // Refining the tree bumps its topology version; the next solve must
+    // rebuild the plan (once), and the steps after it must hit again.
+    let cluster = SimCluster::new(2, 2);
+    let mut sim = build(&cluster, false, true);
+    sim.step(&cluster);
+    sim.step(&cluster);
+    assert_eq!(sim.gravity_plan_counters(), (1, 1));
+    let leaf = sim.grid.leaves()[0];
+    sim.grid.refine_balanced(leaf);
+    let s = sim.step(&cluster);
+    assert!(!s.gravity_plan_hit, "post-regrid solve must re-traverse");
+    let s = sim.step(&cluster);
+    assert!(
+        s.gravity_plan_hit,
+        "second post-regrid solve must hit again"
+    );
+    assert_eq!(sim.gravity_plan_counters(), (2, 2));
+    cluster.shutdown();
+}
+
+#[test]
+fn global_plan_counters_track_the_run() {
+    // The global `/octotiger/gravity/plan-*` counters aggregate every
+    // solver in the process (other tests run in parallel), so only delta
+    // and monotonicity claims are exact here.
+    let before = hpx_rt::gravity_plan_counters().snapshot();
+    let cluster = SimCluster::new(2, 2);
+    let mut sim = build(&cluster, false, true);
+    for _ in 0..3 {
+        sim.step(&cluster);
+    }
+    let after = hpx_rt::gravity_plan_counters().snapshot();
+    let delta = after.since(&before);
+    assert!(delta.hits >= 2, "expected at least 2 global plan hits");
+    assert!(delta.rebuilds >= 1, "expected at least 1 global rebuild");
+    let shown = format!("{after}");
+    assert!(shown.contains("/octotiger/gravity/plan-hits"));
+    assert!(shown.contains("/octotiger/gravity/plan-rebuilds"));
+    cluster.shutdown();
+}

@@ -26,11 +26,13 @@
 //! Run everything from the CLI: `cargo run -p hpx-check -- all`.
 
 pub mod dag;
+pub mod gravity;
 pub mod model;
 pub mod pipeline;
 pub mod scan;
 
 pub use dag::{lint_pipeline, DagNode, DagSummary, FutureDag, LintFinding};
+pub use gravity::{race_model_gravity_plan, GravityRaceBug};
 pub use model::{CheckReport, ModelChecker, ScheduleFailure};
 pub use pipeline::{
     exercise_pipeline, race_model_pipeline, RaceBug, RaceModelSummary, ScheduleBug,

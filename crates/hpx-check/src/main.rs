@@ -13,8 +13,8 @@
 //! Exit status 0 when every requested analysis is clean, 1 otherwise.
 
 use hpx_check::{
-    exercise_pipeline, lint_pipeline, race_model_pipeline, scan_workspace, Allowlist, ModelChecker,
-    RaceBug, ScheduleBug,
+    exercise_pipeline, lint_pipeline, race_model_gravity_plan, race_model_pipeline, scan_workspace,
+    Allowlist, GravityRaceBug, ModelChecker, RaceBug, ScheduleBug,
 };
 use octree::{ghost_link_specs, LinkSpec, Tree};
 use std::path::PathBuf;
@@ -102,7 +102,11 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
 fn scenario_links(level: u8) -> Vec<LinkSpec> {
     // The standard scenarios (uniform base grid, optionally refined) share
     // their link classification with the runtime via `ghost_link_specs`.
-    ghost_link_specs(&Tree::new_uniform(level))
+    ghost_link_specs(&scenario_tree(level))
+}
+
+fn scenario_tree(level: u8) -> Tree {
+    Tree::new_uniform(level)
 }
 
 fn run_lint(opts: &Options) -> bool {
@@ -173,19 +177,36 @@ fn run_model(opts: &Options) -> bool {
 
 fn run_races(opts: &Options) -> bool {
     let links = scenario_links(opts.level.min(2));
-    match race_model_pipeline(&links, opts.stages, RaceBug::None) {
+    let pipeline_ok = match race_model_pipeline(&links, opts.stages, RaceBug::None) {
         Ok(summary) => {
             println!(
-                "races: clean — {} launches over {} views",
+                "races: stepper clean — {} launches over {} views",
                 summary.launches, summary.views
             );
             true
         }
         Err(report) => {
-            eprintln!("races: {report}");
+            eprintln!("races: stepper {report}");
             false
         }
-    }
+    };
+    // The plan-based FMM solver's chunked disjoint-slice launches, over
+    // the same scenario tree (16 tasks: the paper's Figure 9 setting).
+    let plan = octotiger::gravity::GravityPlan::build(&scenario_tree(opts.level.min(2)), 0.5);
+    let gravity_ok = match race_model_gravity_plan(&plan, 16, GravityRaceBug::None) {
+        Ok(summary) => {
+            println!(
+                "races: gravity plan clean — {} launches over {} views",
+                summary.launches, summary.views
+            );
+            true
+        }
+        Err(report) => {
+            eprintln!("races: gravity plan {report}");
+            false
+        }
+    };
+    pipeline_ok & gravity_ok
 }
 
 fn run_waitlint(opts: &Options) -> bool {

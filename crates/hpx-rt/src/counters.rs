@@ -272,6 +272,88 @@ impl std::fmt::Display for ScratchSnapshot {
     }
 }
 
+// ---------------------------------------------------------------------
+// Gravity interaction-plan counters
+// ---------------------------------------------------------------------
+
+/// Process-wide counters of the FMM interaction-plan cache: how often a
+/// gravity solve reused a cached dual-tree traversal (`hit`) versus having
+/// to re-traverse because the tree topology or solver options changed
+/// (`rebuild`).  Exported in HPX counter style as
+/// `/octotiger/gravity/plan-{hits,rebuilds}`.
+///
+/// Like [`ScratchCounters`] these are global: plan caches live on solver
+/// clones that share one cache per simulation, and the counter dump
+/// aggregates across all of them.  Per-solver exact counts are available
+/// from the solver itself.
+#[derive(Debug, Default)]
+pub struct GravityPlanCounters {
+    /// Solves that reused a cached plan (zero traversal work).
+    pub hits: AtomicU64,
+    /// Solves that rebuilt the plan with a fresh dual-tree traversal.
+    pub rebuilds: AtomicU64,
+}
+
+impl GravityPlanCounters {
+    /// Record a plan-cache hit.
+    pub fn note_hit(&self) {
+        Counters::bump(&self.hits);
+    }
+
+    /// Record a plan rebuild (fresh traversal).
+    pub fn note_rebuild(&self) {
+        Counters::bump(&self.rebuilds);
+    }
+
+    /// Consistent-enough snapshot.
+    pub fn snapshot(&self) -> GravityPlanSnapshot {
+        GravityPlanSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset both counters (HPX's `reset_active_counters`).
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.rebuilds.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-global [`GravityPlanCounters`] block every plan cache
+/// reports into.
+pub fn gravity_plan_counters() -> &'static GravityPlanCounters {
+    static GLOBAL: GravityPlanCounters = GravityPlanCounters {
+        hits: AtomicU64::new(0),
+        rebuilds: AtomicU64::new(0),
+    };
+    &GLOBAL
+}
+
+/// Plain-data snapshot of [`GravityPlanCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GravityPlanSnapshot {
+    pub hits: u64,
+    pub rebuilds: u64,
+}
+
+impl GravityPlanSnapshot {
+    /// Counter deltas `self - earlier` (saturating, counters are monotonic).
+    pub fn since(&self, earlier: &GravityPlanSnapshot) -> GravityPlanSnapshot {
+        GravityPlanSnapshot {
+            hits: self.hits.saturating_sub(earlier.hits),
+            rebuilds: self.rebuilds.saturating_sub(earlier.rebuilds),
+        }
+    }
+}
+
+impl std::fmt::Display for GravityPlanSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "/octotiger/gravity/plan-hits     {}", self.hits)?;
+        write!(f, "/octotiger/gravity/plan-rebuilds {}", self.rebuilds)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,5 +399,52 @@ mod tests {
         let text = format!("{}", c.snapshot());
         assert!(text.contains("/threads/count/cumulative"));
         assert!(text.contains("/parcels/bytes/sent"));
+    }
+
+    #[test]
+    fn gravity_plan_counters_count_and_display() {
+        let c = GravityPlanCounters::default();
+        c.note_rebuild();
+        c.note_hit();
+        c.note_hit();
+        let s = c.snapshot();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.rebuilds, 1);
+        let text = format!("{s}");
+        assert!(text.contains("/octotiger/gravity/plan-hits"));
+        assert!(text.contains("/octotiger/gravity/plan-rebuilds"));
+        c.reset();
+        assert_eq!(c.snapshot(), GravityPlanSnapshot::default());
+    }
+
+    #[test]
+    fn gravity_plan_snapshot_deltas_saturate() {
+        let a = GravityPlanSnapshot {
+            hits: 3,
+            rebuilds: 1,
+        };
+        let b = GravityPlanSnapshot {
+            hits: 9,
+            rebuilds: 2,
+        };
+        assert_eq!(
+            b.since(&a),
+            GravityPlanSnapshot {
+                hits: 6,
+                rebuilds: 1
+            }
+        );
+        assert_eq!(a.since(&b), GravityPlanSnapshot::default());
+    }
+
+    #[test]
+    fn global_gravity_plan_counters_are_monotonic() {
+        let g = gravity_plan_counters();
+        let before = g.snapshot();
+        g.note_hit();
+        g.note_rebuild();
+        let delta = g.snapshot().since(&before);
+        assert!(delta.hits >= 1);
+        assert!(delta.rebuilds >= 1);
     }
 }

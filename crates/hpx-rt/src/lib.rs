@@ -40,7 +40,9 @@ pub mod runtime;
 
 pub use apex::{Apex, TimerStats};
 pub use channel::{channel, Receiver, Sender};
-pub use counters::{Counters, CountersSnapshot};
+pub use counters::{
+    gravity_plan_counters, Counters, CountersSnapshot, GravityPlanCounters, GravityPlanSnapshot,
+};
 pub use future::{
     dataflow2, make_ready_future, set_blocked_wait_timeout, when_all, when_all_of, when_any,
     Future, Promise, Settled,

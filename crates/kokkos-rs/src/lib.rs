@@ -35,7 +35,8 @@ pub use hpx_kokkos::{
     launch_reduce_async, TrackedLaunch,
 };
 pub use parallel::{
-    parallel_for, parallel_for_md3, parallel_for_team, parallel_reduce, parallel_scan,
+    parallel_for, parallel_for_md3, parallel_for_mut, parallel_for_team, parallel_reduce,
+    parallel_scan,
 };
 pub use policy::{ChunkSpec, MDRangePolicy3, RangePolicy, TeamPolicy};
 pub use pool::{BufferPool, Recycled, ScratchArena};

@@ -56,6 +56,73 @@ where
     }
 }
 
+/// Execute `kernel(i, &mut data[i])` for every element, handing each HPX
+/// task a *disjoint* `&mut` chunk of `data` — the lock-free alternative to
+/// `Vec<Mutex<T>>` slot vectors for kernels whose outputs are per-index.
+///
+/// The chunk split follows the policy's [`crate::policy::ChunkSpec`]
+/// exactly like [`parallel_for`] (so the Figure 9 tasks-per-kernel knob
+/// applies), but because every task owns its slice, the kernel needs no
+/// interior mutability.  `kernel` may freely capture shared (`&`) state —
+/// e.g. the already-finalized deeper-level half of a `split_at_mut`.
+///
+/// # Panics
+/// Panics if `policy` does not cover `data` exactly
+/// (`policy.begin != 0 || policy.end != data.len()`).
+pub fn parallel_for_mut<T, F>(space: &ExecSpace, policy: RangePolicy, data: &mut [T], kernel: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    assert_eq!(policy.begin, 0, "parallel_for_mut: policy must start at 0");
+    assert_eq!(
+        policy.end,
+        data.len(),
+        "parallel_for_mut: policy/data length mismatch"
+    );
+    let serial = |data: &mut [T]| {
+        for (i, slot) in data.iter_mut().enumerate() {
+            kernel(i, slot);
+        }
+    };
+    match space {
+        ExecSpace::Serial => serial(data),
+        ExecSpace::Device(dev) => {
+            dev.record_launch(policy.len() as u64);
+            serial(data);
+        }
+        ExecSpace::Hpx(hpx) => {
+            let tasks = policy
+                .chunk
+                .resolve(policy.len(), hpx.runtime.num_workers());
+            if tasks <= 1 {
+                serial(data);
+                return;
+            }
+            // Carve `data` into the policy's chunk ranges — disjoint, so
+            // each task gets exclusive ownership of its slice.
+            let ranges = policy.split(tasks);
+            let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(ranges.len());
+            let mut rest = data;
+            for (b, e) in &ranges {
+                let (head, tail) = rest.split_at_mut(e - b);
+                parts.push((*b, head));
+                rest = tail;
+            }
+            let kernel = &kernel;
+            hpx.runtime.scope(|s| {
+                for (base, part) in parts {
+                    s.spawn(move || {
+                        for (off, slot) in part.iter_mut().enumerate() {
+                            kernel(base + off, slot);
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
 /// Execute `kernel(i, j, k)` over a 3-D index box (flattened over the
 /// slowest dimension combination for task splitting).
 pub fn parallel_for_md3<F>(space: &ExecSpace, policy: MDRangePolicy3, kernel: F)
@@ -290,6 +357,63 @@ mod tests {
         );
         assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
         rt.shutdown();
+    }
+
+    #[test]
+    fn parallel_for_mut_writes_every_slot_once() {
+        let rt = Runtime::new(4);
+        for space in [
+            ExecSpace::Serial,
+            ExecSpace::hpx(rt.clone()),
+            ExecSpace::Device(crate::space::DeviceSpec::new(DeviceKind::A100)),
+        ] {
+            let n = 257; // not a multiple of the task count
+            let mut data = vec![0u64; n];
+            parallel_for_mut(
+                &space,
+                RangePolicy::new(0, n).with_chunk(ChunkSpec::Tasks(7)),
+                &mut data,
+                |i, slot| {
+                    *slot += i as u64 + 1;
+                },
+            );
+            assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn parallel_for_mut_kernel_can_read_shared_state() {
+        // The gravity upward pass's pattern: chunks write one level while
+        // reading the already-finalized deeper levels through a `&` capture.
+        let rt = Runtime::new(4);
+        let deeper: Vec<u64> = (0..64).map(|i| i * i).collect();
+        let mut level = vec![0u64; 32];
+        parallel_for_mut(
+            &ExecSpace::hpx(rt.clone()),
+            RangePolicy::new(0, 32).with_chunk(ChunkSpec::Tasks(8)),
+            &mut level,
+            |i, slot| {
+                *slot = deeper[2 * i] + deeper[2 * i + 1];
+            },
+        );
+        for (i, &v) in level.iter().enumerate() {
+            let (a, b) = ((2 * i) as u64, (2 * i + 1) as u64);
+            assert_eq!(v, a * a + b * b);
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn parallel_for_mut_rejects_mismatched_policy() {
+        let mut data = vec![0u8; 4];
+        parallel_for_mut(
+            &ExecSpace::Serial,
+            RangePolicy::new(0, 5),
+            &mut data,
+            |_, _| {},
+        );
     }
 
     #[test]

@@ -198,6 +198,12 @@ impl DistGrid {
         f(&self.inner.tree.read())
     }
 
+    /// The tree's [`Tree::topology_version`]: unchanged between two calls
+    /// ⇒ no regrid happened ⇒ cached traversal plans are still valid.
+    pub fn topology_version(&self) -> u64 {
+        self.inner.tree.read().topology_version()
+    }
+
     /// Handle to a leaf's sub-grid.
     ///
     /// # Panics
@@ -1032,17 +1038,32 @@ mod tests {
         let cluster = SimCluster::new(2, 2);
         let dg = DistGrid::new(Tree::new_uniform(2), 4, 2, 1, &cluster);
         fill_linear(&dg);
-        dg.exchange_ghosts(&cluster, GhostConfig::default()); // warm-up
+        // Warm up until the pool covers the peak concurrent demand: task
+        // interleaving varies run to run (and with worker count), so the
+        // high-water mark can take several rounds to reach.  Steady state
+        // is reached once three consecutive rounds allocate nothing.
+        dg.exchange_ghosts(&cluster, GhostConfig::default());
         let warm = dg.scratch().stats();
         assert!(warm.misses > 0, "warm-up must populate the pool");
-        for _ in 0..3 {
+        let mut prev = warm.misses;
+        let mut stable = 0;
+        let mut rounds = 0;
+        while stable < 3 && rounds < 40 {
             dg.exchange_ghosts(&cluster, GhostConfig::default());
+            let misses = dg.scratch().stats().misses;
+            if misses == prev {
+                stable += 1;
+            } else {
+                stable = 0;
+                prev = misses;
+            }
+            rounds += 1;
         }
-        let s = dg.scratch().stats();
         assert_eq!(
-            s.misses, warm.misses,
-            "steady-state exchange must allocate nothing"
+            stable, 3,
+            "steady-state exchange must allocate nothing (misses still growing after {rounds} rounds)"
         );
+        let s = dg.scratch().stats();
         assert!(s.hits > warm.hits);
         assert_eq!(s.bytes_in_use, 0, "all payloads returned to the pool");
         cluster.shutdown();

@@ -37,6 +37,11 @@ pub enum Neighbor {
 #[derive(Debug, Clone)]
 pub struct Tree {
     nodes: HashMap<NodeId, Node>,
+    /// Bumped on every successful [`Tree::refine`]/[`Tree::derefine`], so
+    /// layers caching topology-derived structures (the gravity solver's
+    /// interaction plan, ghost link tables, …) can detect regrids with one
+    /// integer compare instead of re-walking the tree.
+    topology_version: u64,
 }
 
 impl Default for Tree {
@@ -50,7 +55,10 @@ impl Tree {
     pub fn new() -> Tree {
         let mut nodes = HashMap::new();
         nodes.insert(NodeId::ROOT, Node::Leaf);
-        Tree { nodes }
+        Tree {
+            nodes,
+            topology_version: 0,
+        }
     }
 
     /// A tree uniformly refined to `level` (all leaves at that level).
@@ -140,6 +148,13 @@ impl Tree {
         self.nodes.keys().map(|id| id.level()).max().unwrap_or(0)
     }
 
+    /// Monotonic counter of topology changes: two calls returning the same
+    /// value guarantee the node set (and hence every interaction list
+    /// derived from it) is unchanged in between.
+    pub fn topology_version(&self) -> u64 {
+        self.topology_version
+    }
+
     /// Refine a leaf into an interior node with 8 leaf children.
     /// Does **not** restore 2:1 balance — use [`Tree::refine_balanced`]
     /// when the invariant must hold afterwards.
@@ -154,6 +169,7 @@ impl Tree {
         for oct in Octant::all() {
             self.nodes.insert(id.child(oct), Node::Leaf);
         }
+        self.topology_version += 1;
     }
 
     /// Refine a leaf, recursively refining coarser neighbours first so the
@@ -217,6 +233,7 @@ impl Tree {
             self.nodes.remove(&id.child(oct));
         }
         self.nodes.insert(id, Node::Leaf);
+        self.topology_version += 1;
         true
     }
 
@@ -537,6 +554,27 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn topology_version_tracks_refine_and_derefine() {
+        let mut t = Tree::new();
+        assert_eq!(t.topology_version(), 0);
+        t.refine(NodeId::ROOT);
+        let after_refine = t.topology_version();
+        assert!(after_refine > 0);
+        // Queries never bump the version.
+        let _ = t.leaves();
+        let _ = t.max_level();
+        assert_eq!(t.topology_version(), after_refine);
+        // A refused derefinement leaves the version unchanged…
+        let mut deep = Tree::new_uniform(2);
+        let v = deep.topology_version();
+        assert!(!deep.derefine(NodeId::ROOT));
+        assert_eq!(deep.topology_version(), v);
+        // …a successful one bumps it.
+        assert!(t.derefine(NodeId::ROOT));
+        assert!(t.topology_version() > after_refine);
     }
 
     #[test]
