@@ -1,0 +1,83 @@
+//! Quick timing probe for the hydro RHS kernel: scalar (`W = 1`) vs the
+//! width-8 instantiation dispatched through the wide-ISA wrapper, on the
+//! same n = 8 leaf the `simd_kernels` bench uses.  Handy for iterating on
+//! kernel codegen without a full criterion run:
+//!
+//! ```text
+//! cargo run --release -p bench --example hydro_probe
+//! ```
+
+use octotiger::hydro::{self, kernels::KernelScratch, HydroOptions, SourceInput};
+use octotiger::state::{field, NF};
+use octree::SubGrid;
+use std::hint::black_box;
+use std::time::Instant;
+use sve_simd::VectorMode;
+
+fn state(n: usize) -> SubGrid {
+    let mut u = SubGrid::new(n, 2, NF);
+    let ext = u.ext();
+    for i in 0..ext {
+        for j in 0..ext {
+            for k in 0..ext {
+                let x = i as f64 * 0.3 + j as f64 * 0.17 + k as f64 * 0.11;
+                let rho = 1.0 + 0.2 * x.sin();
+                u.set(field::RHO, i, j, k, rho);
+                u.set(field::SX, i, j, k, 0.1 * x.cos());
+                u.set(field::EGAS, i, j, k, 1.0 + 0.1 * (2.0 * x).sin());
+                u.set(field::TAU, i, j, k, 0.9);
+                u.set(field::FRAC1, i, j, k, rho);
+            }
+        }
+    }
+    u
+}
+
+fn best_of(reps: usize, rounds: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / reps as f64);
+    }
+    best
+}
+
+fn main() {
+    let n = 8;
+    let u = state(n);
+    let src = SourceInput {
+        gravity: None,
+        omega: 0.1,
+        origin: [0.0; 3],
+        h: 0.01,
+        boundary_faces: [false; 6],
+    };
+    let mut rhs = hydro::rhs_like(&u);
+    let mut scratch = KernelScratch::ephemeral(n, 2);
+    let reps = 2000;
+    let rounds = 7;
+    let mut times = [0.0f64; 2];
+    for (slot, mode) in [VectorMode::Scalar, VectorMode::Sve512]
+        .into_iter()
+        .enumerate()
+    {
+        let opts = HydroOptions {
+            vector_mode: mode,
+            cfl: 0.4,
+        };
+        times[slot] = best_of(reps, rounds, || {
+            black_box(hydro::compute_rhs(
+                black_box(&u),
+                &mut rhs,
+                &src,
+                &opts,
+                &mut scratch,
+            ));
+        });
+        println!("{mode:?}: {:.1} ns", times[slot] * 1e9);
+    }
+    println!("speedup W8/W1: {:.2}x", times[0] / times[1]);
+}

@@ -1,0 +1,46 @@
+//! Quick codegen probe for the P2P kernel widths (not part of the bench
+//! suite; used to sanity-check vector codegen on the host).
+
+use octotiger::gravity::direct::{p2p_at_w, p2p_at_wide, PointMasses};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn best_of(reps: usize, rounds: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / reps as f64);
+    }
+    best
+}
+
+fn main() {
+    let mut pts = PointMasses::default();
+    for i in 0..1024 {
+        let f = i as f64;
+        pts.push(
+            [f.sin(), (f * 0.7).cos(), f * 1e-3],
+            1.0 + 0.1 * (f * 0.3).sin(),
+        );
+    }
+    let t1 = best_of(3000, 7, || {
+        black_box(p2p_at_w::<1>(black_box(&pts), 2.0, 3.0, 4.0));
+    });
+    let t8 = best_of(3000, 7, || {
+        black_box(p2p_at_w::<8>(black_box(&pts), 2.0, 3.0, 4.0));
+    });
+    let tw = best_of(3000, 7, || {
+        black_box(p2p_at_wide(black_box(&pts), 2.0, 3.0, 4.0));
+    });
+    println!(
+        "p2p 1024 pts: W1 {:.0}ns  W8 {:.0}ns  wide {:.0}ns  | W1/W8 {:.2}x  W1/wide {:.2}x",
+        t1 * 1e9,
+        t8 * 1e9,
+        tw * 1e9,
+        t1 / t8,
+        t1 / tw
+    );
+}

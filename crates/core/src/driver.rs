@@ -77,7 +77,9 @@ pub struct SimOptions {
 impl Default for SimOptions {
     fn default() -> Self {
         SimOptions {
-            vector_mode: VectorMode::Sve512,
+            // SVE unless overridden through OCTO_VECTOR_MODE (CI runs the
+            // suite once per backend via that switch).
+            vector_mode: VectorMode::env_default(),
             ghost: GhostConfig::default(),
             gravity: true,
             gravity_opts: GravityOptions::default(),
@@ -94,6 +96,8 @@ impl Default for SimOptions {
 /// Telemetry of one step.
 #[derive(Debug, Clone, Copy)]
 pub struct StepStats {
+    /// SIMD backend the step's kernels ran on (Figure 7 axis).
+    pub vector_mode: VectorMode,
     /// Time step used.
     pub dt: f64,
     /// Simulation time after the step.
@@ -337,10 +341,20 @@ impl Simulation {
         }
     }
 
+    /// Apex label for the active SIMD backend, so the profile table shows
+    /// scalar and SVE step time side by side (the Figure 7 comparison).
+    fn simd_timer_label(&self) -> &'static str {
+        match self.opts.vector_mode {
+            VectorMode::Scalar => "step:simd-scalar",
+            VectorMode::Sve512 => "step:simd-sve512",
+        }
+    }
+
     /// The classic stepper: a full ghost-exchange barrier before each RK
     /// stage.
     fn step_barrier(&mut self, cluster: &SimCluster) -> StepStats {
         let t0 = Instant::now();
+        let _mode_timer = self.apex.timer(self.simd_timer_label());
         let leaves = self.grid.leaves();
         let n = self.grid.n();
         let n3 = (n * n * n) as u64;
@@ -426,7 +440,13 @@ impl Simulation {
             let gf = gravity_fields.clone();
             let ws_map = ws_map.clone();
             let masks = boundary_masks.clone();
-            let stage_outflow = Arc::new(parking_lot::Mutex::new(0.0f64));
+            // Per-leaf outflow rates, folded in fixed leaf order after the
+            // join: a shared `+=` in task-completion order would make the
+            // mass ledger scheduling-dependent (float addition does not
+            // associate), breaking bit-reproducibility across runs and
+            // between vector widths.
+            let stage_outflow: Arc<parking_lot::Mutex<HashMap<NodeId, f64>>> =
+                Arc::new(parking_lot::Mutex::new(HashMap::new()));
             let stage_outflow_task = stage_outflow.clone();
             self.for_each_leaf(cluster, move |leaf| {
                 let handle = grid.grid(leaf);
@@ -465,7 +485,9 @@ impl Simulation {
                 };
                 let info =
                     hydro::compute_rhs(&ws.u_cur, &mut ws.rhs, &src, &hopts, &mut ws.scratch);
-                *stage_outflow_task.lock() += info.boundary_mass_outflow_rate;
+                stage_outflow_task
+                    .lock()
+                    .insert(leaf, info.boundary_mass_outflow_rate);
                 // Zero RHS in ghost zones so stage combines don't touch
                 // them with stale flux data (they are refreshed by the next
                 // exchange anyway, but keep them clean for diagnostics).
@@ -491,7 +513,9 @@ impl Simulation {
                     ),
                 }
             });
-            step_outflow += stage_weight[stage] * dt * *stage_outflow.lock();
+            let rates = stage_outflow.lock();
+            let stage_rate: f64 = leaves.iter().map(|l| rates[l]).sum();
+            step_outflow += stage_weight[stage] * dt * stage_rate;
             kernel_launches += 2 * leaves.len() as u64; // RHS + combine
         }
         self.mass_outflow += step_outflow;
@@ -505,6 +529,7 @@ impl Simulation {
         let (scratch_hits, scratch_misses, scratch_bytes_in_use, scratch_high_water) =
             self.scratch_telemetry();
         StepStats {
+            vector_mode: self.opts.vector_mode,
             dt,
             time: self.time,
             cells_processed: cells,
@@ -548,6 +573,7 @@ impl Simulation {
 
         let t0 = Instant::now();
         let _step_timer = self.apex.timer("step:pipelined");
+        let _mode_timer = self.apex.timer(self.simd_timer_label());
         let leaves = self.grid.leaves();
         let n = self.grid.n();
         let n3 = (n * n * n) as u64;
@@ -652,7 +678,10 @@ impl Simulation {
 
         // ---- Build all three stage graphs eagerly. ----------------------
         let overlapped = Arc::new(AtomicU64::new(0));
-        let stage_outflows: [Arc<parking_lot::Mutex<f64>>; 3] = Default::default();
+        // Per-leaf outflow rates per stage, folded in fixed leaf order at
+        // the end of the step: tasks complete in scheduler order, and a
+        // shared `+=` would make the ledger scheduling-dependent.
+        let stage_outflows: [Arc<parking_lot::Mutex<HashMap<NodeId, f64>>>; 3] = Default::default();
         let mut stage_links: Vec<(Arc<std::sync::atomic::AtomicUsize>, usize)> = Vec::new();
         let mut links_total = 0u64;
         let mut direct_ghost_links = 0u64;
@@ -733,7 +762,9 @@ impl Simulation {
                     };
                     let info =
                         hydro::compute_rhs(&ws.u_cur, &mut ws.rhs, &src, &hopts, &mut ws.scratch);
-                    *stage_outflow.lock() += info.boundary_mass_outflow_rate;
+                    stage_outflow
+                        .lock()
+                        .insert(leaf, info.boundary_mass_outflow_rate);
                     workspace::zero_ghost_runs(&mut ws.rhs, &ws.ghost_runs);
                     let mut g = handle.write();
                     match stage {
@@ -791,7 +822,9 @@ impl Simulation {
         }
         let mut step_outflow = 0.0;
         for s in 0..3 {
-            step_outflow += stage_weight[s] * dt * *stage_outflows[s].lock();
+            let rates = stage_outflows[s].lock();
+            let stage_rate: f64 = leaves.iter().map(|l| rates[l]).sum();
+            step_outflow += stage_weight[s] * dt * stage_rate;
         }
         self.mass_outflow += step_outflow;
 
@@ -802,6 +835,7 @@ impl Simulation {
         let (scratch_hits, scratch_misses, scratch_bytes_in_use, scratch_high_water) =
             self.scratch_telemetry();
         StepStats {
+            vector_mode: self.opts.vector_mode,
             dt,
             time: self.time,
             cells_processed: cells,
@@ -965,21 +999,28 @@ mod tests {
         let mut sim_b = small_sim(&cluster_b, false);
         sim_a.opts.vector_mode = VectorMode::Scalar;
         sim_b.opts.vector_mode = VectorMode::Sve512;
-        sim_a.step(&cluster_a);
-        sim_b.step(&cluster_b);
+        let sa = sim_a.step(&cluster_a);
+        let sb = sim_b.step(&cluster_b);
+        assert_eq!(sa.vector_mode, VectorMode::Scalar);
+        assert_eq!(sb.vector_mode, VectorMode::Sve512);
+        assert_eq!(sa.dt.to_bits(), sb.dt.to_bits(), "Δt must be bit-identical");
         for leaf in sim_a.grid.leaves() {
             let ga = sim_a.grid.grid(leaf);
             let gb = sim_b.grid.grid(leaf);
             let (ga, gb) = (ga.read(), gb.read());
             for f in 0..NF {
                 for (a, b) in ga.field(f).iter().zip(gb.field(f)) {
-                    assert!(
-                        (a - b).abs() <= 1e-12 * (1.0 + a.abs()),
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
                         "state diverged between widths: {a} vs {b}"
                     );
                 }
             }
         }
+        // The per-backend apex timers landed under distinct labels.
+        assert_eq!(sim_a.apex.stats("step:simd-scalar").count, 1);
+        assert_eq!(sim_b.apex.stats("step:simd-sve512").count, 1);
         cluster_a.shutdown();
         cluster_b.shutdown();
     }

@@ -42,32 +42,56 @@ impl PointMasses {
     }
 }
 
+/// The fixed stripe count of every horizontal reduction in the ported
+/// kernels.  Sums are accumulated into `STRIPES` partial accumulators by
+/// source index modulo `STRIPES` and folded in stripe order at the end —
+/// the *same* association at every vector width (stripe `s` always holds
+/// sources `s, s+8, s+16, …`), which is what makes the `W = 1` and `W = 8`
+/// instantiations bit-identical while still letting the wide build keep a
+/// full vector of partial sums in one register.
+pub const STRIPES: usize = 8;
+
+/// Fold stripe partial sums in fixed (stripe-index) order.
+#[inline(always)]
+pub fn fold_stripes(acc: &[f64; STRIPES]) -> f64 {
+    let mut s = 0.0;
+    for &a in acc {
+        s += a;
+    }
+    s
+}
+
 /// Accumulate potential and acceleration at `(x, y, z)` from all `src`
 /// points, skipping any source closer than `eps` (used to exclude the
 /// self-cell).  Width-generic: the paper's SIMD-type kernel pattern.
-#[inline]
+///
+/// The horizontal reduction is stripe-blocked (see [`STRIPES`]): lane
+/// contributions land in the stripe accumulator of their source index
+/// modulo 8, and the stripes are folded in fixed order at the end.  Both
+/// widths therefore perform the identical addition sequence per stripe —
+/// masked lanes contribute an exact `±0.0` (their weight is forced to
+/// zero), which never perturbs a stripe accumulator.
+#[inline(always)]
 pub fn p2p_at_w<const W: usize>(src: &PointMasses, x: f64, y: f64, z: f64) -> (f64, [f64; 3]) {
     let tx = Simd::<f64, W>::splat(x);
     let ty = Simd::<f64, W>::splat(y);
     let tz = Simd::<f64, W>::splat(z);
-    let mut phi = Simd::<f64, W>::splat(0.0);
-    let mut gx = Simd::<f64, W>::splat(0.0);
-    let mut gy = Simd::<f64, W>::splat(0.0);
-    let mut gz = Simd::<f64, W>::splat(0.0);
+    let mut phi = [0.0; STRIPES];
+    let mut gx = [0.0; STRIPES];
+    let mut gy = [0.0; STRIPES];
+    let mut gz = [0.0; STRIPES];
     let zero = Simd::<f64, W>::splat(0.0);
     let gconst = Simd::<f64, W>::splat(G);
     for (off, lanes) in ChunkedLanes::<W>::new(src.len()) {
-        let load = |s: &[f64]| {
-            if lanes == W {
-                Simd::<f64, W>::from_slice(&s[off..])
-            } else {
-                Simd::<f64, W>::from_slice_padded(&s[off..off + lanes], 0.0)
-            }
-        };
-        let dx = load(&src.xs) - tx;
-        let dy = load(&src.ys) - ty;
-        let dz = load(&src.zs) - tz;
-        let m = load(&src.ms);
+        // Full chunks take the unmasked load; only the final remainder
+        // chunk pays for the whilelt-style tail mask.  `load_chunk` is a
+        // named always-inline method, not a closure: a closure would stay
+        // out-of-line inside the `#[target_feature]` wide entry points and
+        // de-vectorize the whole chunk body.
+        let dx = Simd::<f64, W>::load_chunk(&src.xs, off, lanes, 0.0) - tx;
+        let dy = Simd::<f64, W>::load_chunk(&src.ys, off, lanes, 0.0) - ty;
+        let dz = Simd::<f64, W>::load_chunk(&src.zs, off, lanes, 0.0) - tz;
+        let m = Simd::<f64, W>::load_chunk(&src.ms, off, lanes, 0.0);
         let r2 = dx * dx + dy * dy + dz * dz;
         // Mask out the self-interaction (r² == 0) and padded lanes (m == 0).
         let valid = r2.simd_gt(zero);
@@ -75,22 +99,42 @@ pub fn p2p_at_w<const W: usize>(src: &PointMasses, x: f64, y: f64, z: f64) -> (f
         let rinv = Simd::splat(1.0) / r2_safe.sqrt();
         let rinv3 = rinv * rinv * rinv;
         let w = Simd::select(valid, gconst * m, zero);
-        phi -= w * rinv;
-        gx += w * dx * rinv3;
-        gy += w * dy * rinv3;
-        gz += w * dz * rinv3;
+        let dphi = w * rinv;
+        let dgx = w * dx * rinv3;
+        let dgy = w * dy * rinv3;
+        let dgz = w * dz * rinv3;
+        // W divides STRIPES and chunks advance by W, so `off + l` maps lane
+        // l onto stripe (off + l) % 8 — one vector add at W = 8.  The
+        // full-width stripe base is written as a compile-time zero: if the
+        // compiler only sees `off % STRIPES` it must assume a dynamic
+        // scatter and scalarizes the accumulate (and the whole dependent
+        // chain feeding it).
+        let s0 = if W == STRIPES { 0 } else { off % STRIPES };
+        for l in 0..lanes {
+            phi[s0 + l] += dphi[l];
+            gx[s0 + l] += dgx[l];
+            gy[s0 + l] += dgy[l];
+            gz[s0 + l] += dgz[l];
+        }
     }
     (
-        phi.reduce_sum(),
-        [gx.reduce_sum(), gy.reduce_sum(), gz.reduce_sum()],
+        -fold_stripes(&phi),
+        [fold_stripes(&gx), fold_stripes(&gy), fold_stripes(&gz)],
     )
+}
+
+sve_simd::wide_dispatch! {
+    /// [`p2p_at_w::<8>`] entered under the host's widest vector ISA — the
+    /// "SVE build" half of the Figure 7 pair (see [`sve_simd::isa`]).
+    pub fn p2p_at_wide(src: &PointMasses, x: f64, y: f64, z: f64) -> (f64, [f64; 3])
+        = p2p_at_w::<8>
 }
 
 /// Width-dispatched wrapper over [`p2p_at_w`].
 pub fn p2p_at(src: &PointMasses, at: [f64; 3], mode: VectorMode) -> (f64, [f64; 3]) {
     match mode {
         VectorMode::Scalar => p2p_at_w::<1>(src, at[0], at[1], at[2]),
-        VectorMode::Sve512 => p2p_at_w::<8>(src, at[0], at[1], at[2]),
+        VectorMode::Sve512 => p2p_at_wide(src, at[0], at[1], at[2]),
     }
 }
 
@@ -159,9 +203,11 @@ mod tests {
         let at = [5.0, -2.0, 1.0];
         let (p1, g1) = p2p_at(&pts, at, VectorMode::Scalar);
         let (p8, g8) = p2p_at(&pts, at, VectorMode::Sve512);
-        assert!((p1 - p8).abs() < 1e-12 * p1.abs());
+        // Fixed-order lane reductions make the widths bit-identical, not
+        // just close (the Figure 7 switch must be physics-neutral).
+        assert_eq!(p1.to_bits(), p8.to_bits());
         for a in 0..3 {
-            assert!((g1[a] - g8[a]).abs() < 1e-12 * (1.0 + g1[a].abs()));
+            assert_eq!(g1[a].to_bits(), g8[a].to_bits());
         }
     }
 

@@ -21,10 +21,12 @@
 //! topology version, so solves on an unchanged tree skip it entirely.
 
 pub mod direct;
+pub mod m2l_simd;
 pub mod multipole;
 pub mod plan;
 pub mod solver;
 
+pub use m2l_simd::MultipoleSoA;
 pub use multipole::{LocalExpansion, Multipole};
 pub use plan::GravityPlan;
 pub use solver::{GravityOptions, GravitySolver, LeafField, LeafSources};

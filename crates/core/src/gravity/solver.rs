@@ -23,7 +23,8 @@
 //! slices ([`kokkos_rs::parallel_for_mut`]) — no `HashMap` lookups and no
 //! `Mutex` traffic on the hot path.
 
-use super::direct::{p2p_at_w, PointMasses};
+use super::direct::{p2p_at_w, p2p_at_wide, PointMasses};
+use super::m2l_simd::{m2l_accumulate_w, m2l_accumulate_wide, MultipoleSoA};
 use super::multipole::{LocalExpansion, Multipole};
 use super::plan::{GravityPlan, SlotKind};
 use kokkos_rs::pool::{Recycled, ScratchArena};
@@ -59,7 +60,9 @@ impl Default for GravityOptions {
             theta: 0.5,
             use_octupole: true,
             tasks_per_multipole_kernel: 1,
-            vector_mode: VectorMode::Sve512,
+            // SVE unless the OCTO_VECTOR_MODE env override says otherwise
+            // (how CI runs the suite once per backend).
+            vector_mode: VectorMode::env_default(),
         }
     }
 }
@@ -110,6 +113,8 @@ struct SolveBuffers {
     locals: Vec<LocalExpansion>,
     /// Dense M2L accumulators, aligned with the plan's target list.
     m2l_acc: Vec<LocalExpansion>,
+    /// Component-major multipole lanes for the SIMD M2L kernel's gathers.
+    soa: MultipoleSoA,
 }
 
 /// The solver's plan cache: shared (`Arc`) between a solver and its clones
@@ -240,13 +245,10 @@ impl GravitySolver {
         self.upward_pass(plan, sources, &mut bufs.multipoles, space);
 
         // ---- Phase 2: the multipole (M2L) kernel. ----------------------
-        self.multipole_kernel(
-            plan,
-            &bufs.multipoles,
-            &mut bufs.locals,
-            &mut bufs.m2l_acc,
-            space,
-        );
+        // Transpose the slot table into component-major lanes once per
+        // solve; every M2L chunk then gathers straight from dense arrays.
+        bufs.soa.fill(&bufs.multipoles);
+        self.multipole_kernel(plan, &bufs.soa, &mut bufs.locals, &mut bufs.m2l_acc, space);
 
         // ---- Phase 3: top-down (L2L) + evaluation + P2P. ---------------
         downward_pass(plan, &mut bufs.locals, space);
@@ -282,7 +284,14 @@ impl GravitySolver {
             }
             let (deeper, rest) = mps.split_at_mut(b);
             let level_slice = &mut rest[..e - b];
-            let policy = RangePolicy::new(0, e - b).with_chunk(ChunkSpec::Auto);
+            // Task boundaries stay on vector-lane multiples: the slot-table
+            // kernels walk their chunk in `SVE_LANES_F64`-wide blocks, so an
+            // interior boundary inside a lane block would let two tasks'
+            // stores touch the same block (`hpx-check races` validates this
+            // carving against the plan's launch sequence).
+            let policy = RangePolicy::new(0, e - b)
+                .with_chunk(ChunkSpec::Auto)
+                .with_lanes(sve_simd::SVE_LANES_F64);
             parallel_for_mut(space, policy, level_slice, |i, out| {
                 let s = b + i;
                 let mut mp = match plan.kinds[s] {
@@ -304,12 +313,14 @@ impl GravitySolver {
     /// into `tasks_per_multipole_kernel` HPX tasks (Figure 9).  Each chunk
     /// owns a disjoint `&mut` slice of the dense accumulator buffer — the
     /// former per-target `Mutex<LocalExpansion>` slot vector is gone.
-    /// Per-target source order comes from the plan's CSR lists, so the sum
-    /// is bit-identical for any task count.
+    /// Per-target source order comes from the plan's CSR lists; the
+    /// width-generic kernel accumulates source `i` into stripe `i % 8` and
+    /// folds the stripes in one fixed order at every width, so the sum is
+    /// bit-identical for any task count *and* any vector width.
     fn multipole_kernel(
         &self,
         plan: &GravityPlan,
-        mps: &[Multipole],
+        soa: &MultipoleSoA,
         locals: &mut Vec<LocalExpansion>,
         acc: &mut Vec<LocalExpansion>,
         space: &ExecSpace,
@@ -321,18 +332,17 @@ impl GravitySolver {
             acc.resize(plan.m2l_targets.len(), LocalExpansion::zero());
         }
         let use_oct = self.opts.use_octupole;
+        let mode = self.opts.vector_mode;
         let policy = RangePolicy::new(0, plan.m2l_targets.len())
             .with_chunk(ChunkSpec::Tasks(self.opts.tasks_per_multipole_kernel));
         parallel_for_mut(space, policy, acc, |t, out| {
             let target = plan.m2l_targets[t];
             let center = plan.centers[target];
+            let srcs = plan.m2l_sources_of(target);
             let mut sum = LocalExpansion::zero();
-            for &src in plan.m2l_sources_of(target) {
-                let mp = &mps[src];
-                if mp.m == 0.0 {
-                    continue;
-                }
-                sum.add_assign(&mp.m2l(center, use_oct));
+            match mode {
+                VectorMode::Scalar => m2l_accumulate_w::<1>(soa, srcs, center, use_oct, &mut sum),
+                VectorMode::Sve512 => m2l_accumulate_wide(soa, srcs, center, use_oct, &mut sum),
             }
             *out = sum;
         });
@@ -380,7 +390,7 @@ impl GravitySolver {
                     let sp = pts_by_leaf[src_leaf];
                     let (p, gg) = match mode {
                         VectorMode::Scalar => p2p_at_w::<1>(sp, x[0], x[1], x[2]),
-                        VectorMode::Sve512 => p2p_at_w::<8>(sp, x[0], x[1], x[2]),
+                        VectorMode::Sve512 => p2p_at_wide(sp, x[0], x[1], x[2]),
                     };
                     phi += p;
                     for a in 0..3 {
@@ -414,7 +424,10 @@ fn downward_pass(plan: &GravityPlan, locals: &mut [LocalExpansion], space: &Exec
         // finalized by earlier iterations; slots in [b, e) are written.
         let (rest, shallower) = locals.split_at_mut(e);
         let child_slice = &mut rest[b..];
-        let policy = RangePolicy::new(0, e - b).with_chunk(ChunkSpec::Auto);
+        // Lane-aligned carving, same invariant as the upward pass.
+        let policy = RangePolicy::new(0, e - b)
+            .with_chunk(ChunkSpec::Auto)
+            .with_lanes(sve_simd::SVE_LANES_F64);
         parallel_for_mut(space, policy, child_slice, |i, out| {
             let s = b + i;
             let p = plan.parent_slot[s];
@@ -547,6 +560,35 @@ mod tests {
             }
         }
         rt.shutdown();
+    }
+
+    #[test]
+    fn scalar_and_sve_solves_are_bit_identical() {
+        // Figure 7's switch is performance-only: the width-generic M2L and
+        // P2P kernels fold lanes in source order, so the two backends must
+        // agree to the last bit on uniform and adaptive trees.
+        let mut adaptive = Tree::new_uniform(1);
+        adaptive.refine_balanced(NodeId::from_coords(1, [0, 1, 0]));
+        for tree in [Tree::new_uniform(2), adaptive] {
+            let sources = make_sources(&tree, 3);
+            let mut opts = GravityOptions::default();
+            opts.vector_mode = VectorMode::Scalar;
+            let (f_scalar, s_scalar) =
+                GravitySolver::new(opts).solve(&tree, &sources, &ExecSpace::Serial);
+            opts.vector_mode = VectorMode::Sve512;
+            let (f_sve, s_sve) =
+                GravitySolver::new(opts).solve(&tree, &sources, &ExecSpace::Serial);
+            assert_eq!(s_scalar, s_sve);
+            for leaf in tree.leaves() {
+                let (fa, fb) = (&f_scalar[&leaf], &f_sve[&leaf]);
+                for c in 0..fa.phi.len() {
+                    assert_eq!(fa.phi[c].to_bits(), fb.phi[c].to_bits());
+                    assert_eq!(fa.gx[c].to_bits(), fb.gx[c].to_bits());
+                    assert_eq!(fa.gy[c].to_bits(), fb.gy[c].to_bits());
+                    assert_eq!(fa.gz[c].to_bits(), fb.gz[c].to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::state::{field, DUAL_ENERGY_SWITCH, NF};
 use crate::units::{GAMMA, P_FLOOR, RHO_FLOOR};
 use kokkos_rs::pool::{Recycled, ScratchArena};
 use octree::SubGrid;
-use sve_simd::{ChunkedLanes, Simd};
+use sve_simd::{ChunkedLanes, Mask, Simd};
 
 /// Number of primitive-variable arrays the kernels recover.
 const NPRIM: usize = 8;
@@ -91,6 +91,7 @@ fn prim_slices(prim: &[f64], len: usize) -> PrimSlices<'_> {
 /// Recover primitives over the whole ghosted block into the flat `prim`
 /// scratch (vectorized; the dual-energy `τ^γ` branch is a per-lane `powf`).
 /// Layout: `NPRIM` consecutive blocks of `ext³` in [`prim_slices`] order.
+#[inline(always)]
 fn primitives_w<const W: usize>(u: &SubGrid, prim: &mut [f64]) {
     let len = u.ext().pow(3);
     debug_assert_eq!(prim.len(), NPRIM * len);
@@ -119,53 +120,63 @@ fn primitives_w<const W: usize>(u: &SubGrid, prim: &mut [f64]) {
     let switch = Simd::<f64, W>::splat(DUAL_ENERGY_SWITCH);
 
     for (off, lanes) in ChunkedLanes::<W>::new(len) {
-        let load = |src: &[f64]| {
-            if lanes == W {
-                Simd::<f64, W>::from_slice(&src[off..])
-            } else {
-                Simd::<f64, W>::from_slice_padded(&src[off..], 0.0)
-            }
-        };
-        let store = |v: Simd<f64, W>, dst: &mut [f64]| {
-            if lanes == W {
-                v.write_to_slice(&mut dst[off..]);
-            } else {
-                v.write_to_slice_partial(&mut dst[off..]);
-            }
-        };
-        let rho = load(rho_c).simd_max(floor_rho);
+        // Direct `load_lanes`/`store_lanes` calls, not closures: a closure
+        // cannot be `inline(always)` and stays out-of-line inside the
+        // `#[target_feature]` wide entry points, scalarizing the chunk.
+        let rho = load_lanes::<W>(rho_c, off, lanes).simd_max(floor_rho);
         let inv_rho = Simd::splat(1.0) / rho;
-        let vx = load(sx) * inv_rho;
-        let vy = load(sy) * inv_rho;
-        let vz = load(sz) * inv_rho;
-        let e_tot = load(egas);
+        let vx = load_lanes::<W>(sx, off, lanes) * inv_rho;
+        let vy = load_lanes::<W>(sy, off, lanes) * inv_rho;
+        let vz = load_lanes::<W>(sz, off, lanes) * inv_rho;
+        let e_tot = load_lanes::<W>(egas, off, lanes);
         let kinetic = half * rho * (vx * vx + vy * vy + vz * vz);
         let e_direct = e_tot - kinetic;
-        let tau = load(tau_c);
+        let tau = load_lanes::<W>(tau_c, off, lanes);
         // Dual-energy switch: trust E−K unless it is a tiny fraction of E.
         let use_direct = e_direct.simd_gt(switch * e_tot.abs());
-        let e_entropy = tau.simd_max(Simd::splat(0.0)).map(|t| t.powf(GAMMA));
-        let e = Simd::select(use_direct, e_direct, e_entropy);
+        // The entropy fallback is a per-lane libm `powf` — by far the most
+        // expensive op in this kernel.  Skip it when every lane trusts E−K
+        // (the common case); the select picks `e_direct` on those lanes
+        // anyway, so the guard cannot change any stored bit at any width.
+        let e = if use_direct.all() {
+            e_direct
+        } else {
+            let e_entropy = tau.simd_max(Simd::splat(0.0)).map(|t| t.powf(GAMMA));
+            Simd::select(use_direct, e_direct, e_entropy)
+        };
         let p = (gamma_m1 * e).simd_max(floor_p);
-        store(rho, out_rho);
-        store(vx, out_vx);
-        store(vy, out_vy);
-        store(vz, out_vz);
-        store(p, out_p);
-        store(tau, out_tau);
-        store(load(f1_c), out_f1);
-        store(load(f2_c), out_f2);
+        store_lanes::<W>(rho, out_rho, off, lanes);
+        store_lanes::<W>(vx, out_vx, off, lanes);
+        store_lanes::<W>(vy, out_vy, off, lanes);
+        store_lanes::<W>(vz, out_vz, off, lanes);
+        store_lanes::<W>(p, out_p, off, lanes);
+        store_lanes::<W>(tau, out_tau, off, lanes);
+        store_lanes::<W>(load_lanes::<W>(f1_c, off, lanes), out_f1, off, lanes);
+        store_lanes::<W>(load_lanes::<W>(f2_c, off, lanes), out_f2, off, lanes);
     }
 }
 
 /// Load `W` lanes (contiguous along k) from `src` at flat position `base`,
-/// `lanes` of them valid.
+/// `lanes` of them valid.  Remainder chunks load under a `whilelt`-style
+/// tail mask ([`Mask::first_n`]); padded lanes read as zero and never touch
+/// memory past the valid range.
 #[inline(always)]
 fn load_lanes<const W: usize>(src: &[f64], base: usize, lanes: usize) -> Simd<f64, W> {
     if lanes == W {
         Simd::from_slice(&src[base..])
     } else {
-        Simd::from_slice_padded(&src[base..base + lanes], 0.0)
+        Simd::load_select(&src[base..base + lanes], Mask::first_n(lanes), 0.0)
+    }
+}
+
+/// Store the first `lanes` lanes of `v` at flat position `base`, the
+/// masked-store counterpart of [`load_lanes`].
+#[inline(always)]
+fn store_lanes<const W: usize>(v: Simd<f64, W>, dst: &mut [f64], base: usize, lanes: usize) {
+    if lanes == W {
+        v.write_to_slice(&mut dst[base..]);
+    } else {
+        v.store_select(&mut dst[base..base + lanes], Mask::first_n(lanes));
     }
 }
 
@@ -188,6 +199,7 @@ fn recon_field<const W: usize>(
 /// Compute `L(u)` (flux divergence + sources) into `rhs` using the pooled
 /// `scratch` buffers; returns the leaf's maximum wave speed and its
 /// boundary mass-outflow rate.
+#[inline(always)]
 pub fn compute_rhs_w<const W: usize>(
     u: &SubGrid,
     rhs: &mut SubGrid,
@@ -212,12 +224,18 @@ pub fn compute_rhs_w<const W: usize>(
     let h = src.h;
 
     // Flux arrays, one flat recycled buffer: block `axis*NF + field` holds
-    // flux[cell m] = flux through interface m−1/2 along that axis.  Zeroed
-    // up front so recycled storage can never leak a previous launch's
-    // interface values into this one.
+    // flux[cell m] = flux through interface m−1/2 along that axis.  Not
+    // zeroed: every position the divergence and outflow loops read (axis
+    // coordinate in [g, g+n], transverse coordinates interior) is written
+    // by the interface sweep below, so recycled storage cannot leak a
+    // previous launch's values — `reused_scratch_is_bit_identical_to_fresh`
+    // locks this invariant down.
     let flux = &mut scratch.flux[..];
-    flux.fill(0.0);
-    let mut max_speed = 0.0f64;
+    // Vector max accumulator for the signal speed: `f64::max` is
+    // order-insensitive (speeds are strictly positive, no ±0 ties), so the
+    // per-lane maxima can stay in a register and fold once at the end
+    // without breaking cross-width bit-equality of dt.
+    let mut vmax = Simd::<f64, W>::splat(0.0);
 
     for axis in 0..3 {
         let stride = strides[axis];
@@ -264,35 +282,42 @@ pub fn compute_rhs_w<const W: usize>(
                         f2: f2_r,
                     };
                     let (f, speed) = hll_flux(axis, &left, &right);
-                    max_speed = max_speed.max(speed.reduce_max());
+                    // Only valid lanes join the max: padded tail lanes hold
+                    // floor-state speeds that W = 1 never sees, so mask
+                    // them to 0.0 (below every real signal speed).
+                    let sp = if lanes == W {
+                        speed
+                    } else {
+                        Simd::select(Mask::first_n(lanes), speed, Simd::splat(0.0))
+                    };
+                    vmax = vmax.simd_max(sp);
                     for (fi, fv) in f.into_iter().enumerate() {
                         let dst = &mut flux[(axis * NF + fi) * ext3..];
-                        if lanes == W {
-                            fv.write_to_slice(&mut dst[base..]);
-                        } else {
-                            fv.write_to_slice_partial(&mut dst[base..base + lanes]);
-                        }
+                        store_lanes::<W>(fv, dst, base, lanes);
                     }
                 }
             }
         }
     }
 
-    // Flux divergence into the RHS interior.
-    let inv_h = 1.0 / h;
+    // Flux divergence into the RHS interior, vectorized along k.  The ops
+    // are purely elementwise in the same per-element order at every width,
+    // so W = 1 and W = 8 stay bit-identical by construction.
+    let vinv_h = Simd::<f64, W>::splat(1.0 / h);
     for f in 0..NF {
         let dst = rhs.field_mut(f);
         for i in g..g + n {
             for j in g..g + n {
                 let row = (i * ext + j) * ext;
-                for k in g..g + n {
-                    let c = row + k;
-                    let mut div = 0.0;
+                for (koff, lanes) in ChunkedLanes::<W>::new(n) {
+                    let c = row + g + koff;
+                    let mut div = Simd::<f64, W>::splat(0.0);
                     for axis in 0..3 {
                         let fl = &flux[(axis * NF + f) * ext3..];
-                        div += fl[c + strides[axis]] - fl[c];
+                        div += load_lanes::<W>(fl, c + strides[axis], lanes)
+                            - load_lanes::<W>(fl, c, lanes);
                     }
-                    dst[c] = -div * inv_h;
+                    store_lanes::<W>(-(div * vinv_h), dst, c, lanes);
                 }
             }
         }
@@ -305,7 +330,6 @@ pub fn compute_rhs_w<const W: usize>(
     // leaf's boundary faces (positive = outflow).
     let area = h * h;
     let mut outflow = 0.0;
-    let rho_flux = |axis: usize| &flux[(axis * NF + field::RHO) * ext3..];
     for (face, &is_boundary) in src.boundary_faces.iter().enumerate() {
         if !is_boundary {
             continue;
@@ -313,7 +337,7 @@ pub fn compute_rhs_w<const W: usize>(
         let axis = face / 2;
         let positive_side = face % 2 == 1;
         let m = if positive_side { g + n } else { g };
-        let fl = rho_flux(axis);
+        let fl = &flux[(axis * NF + field::RHO) * ext3..];
         let mut face_flux = 0.0;
         // Sum over the transverse interior plane at interface coord `m`.
         for a in g..g + n {
@@ -331,12 +355,13 @@ pub fn compute_rhs_w<const W: usize>(
     }
 
     super::RhsInfo {
-        max_signal_speed: max_speed,
+        max_signal_speed: vmax.reduce_max(),
         boundary_mass_outflow_rate: outflow,
     }
 }
 
 /// Maximum `|v| + c_s` over the interior.
+#[inline(always)]
 pub fn max_signal_speed_w<const W: usize>(u: &SubGrid) -> f64 {
     let n = u.n();
     let g = u.ghost();
@@ -346,7 +371,7 @@ pub fn max_signal_speed_w<const W: usize>(u: &SubGrid) -> f64 {
     let sy = u.field(field::SY);
     let sz = u.field(field::SZ);
     let egas = u.field(field::EGAS);
-    let mut max_speed = 0.0f64;
+    let mut vmax = Simd::<f64, W>::splat(0.0);
     let floor_rho = Simd::<f64, W>::splat(RHO_FLOOR);
     let half = Simd::<f64, W>::splat(0.5);
     for i in g..g + n {
@@ -365,15 +390,18 @@ pub fn max_signal_speed_w<const W: usize>(u: &SubGrid) -> f64 {
                 let p = (Simd::splat(GAMMA - 1.0) * e).simd_max(Simd::splat(P_FLOOR));
                 let cs = (Simd::splat(GAMMA) * p / rho).sqrt();
                 let sig = v2.sqrt() + cs;
-                // Only the valid lanes participate in the max.
-                let arr = sig.to_array();
-                for &s in arr.iter().take(lanes) {
-                    max_speed = max_speed.max(s);
-                }
+                // Only the valid lanes participate in the max; padded tail
+                // lanes are masked to 0.0, below every real signal speed.
+                let sp = if lanes == W {
+                    sig
+                } else {
+                    Simd::select(Mask::first_n(lanes), sig, Simd::splat(0.0))
+                };
+                vmax = vmax.simd_max(sp);
             }
         }
     }
-    max_speed
+    vmax.reduce_max()
 }
 
 #[cfg(test)]
@@ -453,6 +481,60 @@ mod tests {
         };
         let mut scratch = KernelScratch::ephemeral(4, 1);
         compute_rhs_w::<1>(&u, &mut rhs, &src, &mut scratch);
+    }
+
+    /// NaN-poisoned scratch must give bit-identical results to zeroed
+    /// scratch: every flux/prim position the kernel reads is written by it
+    /// first (the invariant that lets `compute_rhs_w` skip zeroing the
+    /// recycled flux buffer).  NaN poisons are the strongest canary — any
+    /// uncovered read contaminates everything downstream.
+    #[test]
+    fn poisoned_scratch_is_bit_identical_to_zeroed() {
+        let n = 4;
+        let mut u = SubGrid::new(n, 2, NF);
+        for i in 0..u.ext() {
+            for j in 0..u.ext() {
+                for k in 0..u.ext() {
+                    let p0 = Primitive {
+                        rho: 1.0 + 0.02 * ((i * 5 + j * 2 + k) % 7) as f64,
+                        vx: 0.2,
+                        vy: -0.1,
+                        vz: 0.15,
+                        p: 0.8,
+                    };
+                    let (c, tau) = from_primitive(&p0);
+                    u.set(field::RHO, i, j, k, c.rho);
+                    u.set(field::SX, i, j, k, c.sx);
+                    u.set(field::SY, i, j, k, c.sy);
+                    u.set(field::SZ, i, j, k, c.sz);
+                    u.set(field::EGAS, i, j, k, c.egas);
+                    u.set(field::TAU, i, j, k, tau);
+                }
+            }
+        }
+        let src = SourceInput {
+            gravity: None,
+            omega: 0.2,
+            origin: [0.0; 3],
+            h: 0.25,
+            boundary_faces: [true; 6],
+        };
+        let mut rhs_zero = SubGrid::new(n, 2, NF);
+        let mut zeroed = KernelScratch::ephemeral(n, 2);
+        let info_zero = compute_rhs_w::<8>(&u, &mut rhs_zero, &src, &mut zeroed);
+
+        let mut rhs_nan = SubGrid::new(n, 2, NF);
+        let mut poisoned = KernelScratch::ephemeral(n, 2);
+        poisoned.prim.fill(f64::NAN);
+        poisoned.flux.fill(f64::NAN);
+        let info_nan = compute_rhs_w::<8>(&u, &mut rhs_nan, &src, &mut poisoned);
+
+        assert_eq!(rhs_zero, rhs_nan);
+        assert_eq!(info_zero.max_signal_speed, info_nan.max_signal_speed);
+        assert_eq!(
+            info_zero.boundary_mass_outflow_rate,
+            info_nan.boundary_mass_outflow_rate
+        );
     }
 
     /// The same scratch reused across calls must give bit-identical results

@@ -13,22 +13,43 @@
 //! blocks; they are vectorized with `sve_simd` like every other kernel.
 
 use octree::SubGrid;
-use sve_simd::{zip_map_simd, Simd, VectorMode};
+use sve_simd::{Simd, VectorMode};
 
 /// `u_new = u + dt * rhs` over all fields (stage 1), ghosts included
 /// (ghost values are refreshed by the next exchange anyway).
 pub fn stage_euler(u: &SubGrid, rhs: &SubGrid, dt: f64, out: &mut SubGrid, mode: VectorMode) {
     match mode {
         VectorMode::Scalar => stage_euler_w::<1>(u, rhs, dt, out),
-        VectorMode::Sve512 => stage_euler_w::<8>(u, rhs, dt, out),
+        VectorMode::Sve512 => stage_euler_wide(u, rhs, dt, out),
     }
 }
 
+sve_simd::wide_dispatch! {
+    /// [`stage_euler_w::<8>`] under the host's widest vector ISA.
+    fn stage_euler_wide(u: &SubGrid, rhs: &SubGrid, dt: f64, out: &mut SubGrid)
+        = stage_euler_w::<8>
+}
+
+#[inline(always)]
 fn stage_euler_w<const W: usize>(u: &SubGrid, rhs: &SubGrid, dt: f64, out: &mut SubGrid) {
+    // Explicit chunk loop rather than `zip_map_simd` + closure: the closure
+    // cannot be `inline(always)` and would stay out-of-line inside the
+    // `#[target_feature]` wide entry point, de-vectorizing the axpy.
+    let len = u.ext().pow(3);
+    let vdt = Simd::<f64, W>::splat(dt);
     for f in 0..u.nfields() {
-        zip_map_simd::<f64, W>(u.field(f), rhs.field(f), out.field_mut(f), |uu, rr| {
-            rr.mul_add(Simd::splat(dt), uu)
-        });
+        let uu = u.field(f);
+        let rr = rhs.field(f);
+        let dst = out.field_mut(f);
+        for (off, lanes) in sve_simd::ChunkedLanes::<W>::new(len) {
+            let v = Simd::<f64, W>::load_chunk(rr, off, lanes, 0.0)
+                .mul_add(vdt, Simd::<f64, W>::load_chunk(uu, off, lanes, 0.0));
+            if lanes == W {
+                v.write_to_slice(&mut dst[off..]);
+            } else {
+                v.write_to_slice_partial(&mut dst[off..off + lanes]);
+            }
+        }
     }
 }
 
@@ -43,8 +64,21 @@ pub fn stage_two(
 ) {
     match mode {
         VectorMode::Scalar => stage_combine_w::<1>(u0, u1, rhs1, dt, out, 0.75, 0.25),
-        VectorMode::Sve512 => stage_combine_w::<8>(u0, u1, rhs1, dt, out, 0.75, 0.25),
+        VectorMode::Sve512 => stage_combine_wide(u0, u1, rhs1, dt, out, 0.75, 0.25),
     }
+}
+
+sve_simd::wide_dispatch! {
+    /// [`stage_combine_w::<8>`] under the host's widest vector ISA.
+    fn stage_combine_wide(
+        u0: &SubGrid,
+        us: &SubGrid,
+        rhs: &SubGrid,
+        dt: f64,
+        out: &mut SubGrid,
+        a: f64,
+        b: f64
+    ) = stage_combine_w::<8>
 }
 
 /// `u_new = 1/3 u0 + 2/3 (u2 + dt rhs2)` (stage 3).
@@ -58,10 +92,11 @@ pub fn stage_three(
 ) {
     match mode {
         VectorMode::Scalar => stage_combine_w::<1>(u0, u2, rhs2, dt, out, 1.0 / 3.0, 2.0 / 3.0),
-        VectorMode::Sve512 => stage_combine_w::<8>(u0, u2, rhs2, dt, out, 1.0 / 3.0, 2.0 / 3.0),
+        VectorMode::Sve512 => stage_combine_wide(u0, u2, rhs2, dt, out, 1.0 / 3.0, 2.0 / 3.0),
     }
 }
 
+#[inline(always)]
 fn stage_combine_w<const W: usize>(
     u0: &SubGrid,
     us: &SubGrid,
@@ -81,14 +116,11 @@ fn stage_combine_w<const W: usize>(
         let vb = Simd::<f64, W>::splat(b);
         let vdt = Simd::<f64, W>::splat(dt);
         for (off, lanes) in sve_simd::ChunkedLanes::<W>::new(len) {
-            let load = |src: &[f64]| {
-                if lanes == W {
-                    Simd::<f64, W>::from_slice(&src[off..])
-                } else {
-                    Simd::<f64, W>::from_slice_padded(&src[off..off + lanes], 0.0)
-                }
-            };
-            let v = va * load(f0) + vb * load(fs).mul_add(Simd::splat(1.0), vdt * load(fr));
+            let v = va * Simd::<f64, W>::load_chunk(f0, off, lanes, 0.0)
+                + vb * Simd::<f64, W>::load_chunk(fs, off, lanes, 0.0).mul_add(
+                    Simd::splat(1.0),
+                    vdt * Simd::<f64, W>::load_chunk(fr, off, lanes, 0.0),
+                );
             if lanes == W {
                 v.write_to_slice(&mut dst[off..]);
             } else {

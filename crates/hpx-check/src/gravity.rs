@@ -20,8 +20,9 @@
 //! planted bugs remove one ingredient each and must surface as the
 //! corresponding race class.
 
-use kokkos_rs::{LaunchToken, RaceDetector, RaceReport, View, ViewAccess};
+use kokkos_rs::{LaunchToken, RaceDetector, RaceReport, RangePolicy, View, ViewAccess};
 use octotiger::gravity::plan::{GravityPlan, SlotKind};
+use sve_simd::SVE_LANES_F64;
 
 pub use crate::pipeline::RaceModelSummary;
 
@@ -39,17 +40,34 @@ pub enum GravityRaceBug {
     /// so an M2M combine reads child multipoles that are still being
     /// written (write-read race).
     SkipLevelBarrier,
+    /// Task boundaries are carved without the vector-lane alignment the
+    /// solver's `RangePolicy::with_lanes` enforces: two adjacent chunks of
+    /// one slot-table kernel then share a lane block, and their full-width
+    /// vector stores collide (write-write race on the shared block).
+    SplitsVectorLane,
 }
 
-/// Split `[b, e)` into at most `chunks` contiguous non-empty parts, the
-/// same arithmetic as `RangePolicy::split`.
-fn split_range(b: usize, e: usize, chunks: usize) -> Vec<(usize, usize)> {
-    let len = e - b;
-    let n = chunks.max(1).min(len.max(1));
-    (0..n)
-        .map(|i| (b + i * len / n, b + (i + 1) * len / n))
-        .filter(|(lo, hi)| lo < hi)
-        .collect()
+/// Carve `[b, e)` into at most `chunks` tasks the way the solver does —
+/// [`RangePolicy::split`] with lane-aligned boundaries — or, under the
+/// [`GravityRaceBug::SplitsVectorLane`] bug, without the alignment.
+fn carve(b: usize, e: usize, chunks: usize, bug: GravityRaceBug) -> Vec<(usize, usize)> {
+    let policy = RangePolicy::new(b, e);
+    let policy = if bug == GravityRaceBug::SplitsVectorLane {
+        policy
+    } else {
+        policy.with_lanes(SVE_LANES_F64)
+    };
+    policy.split(chunks)
+}
+
+/// Expand a chunk's write range `[lo, hi)` to whole vector-lane blocks
+/// within the kernel's own range `[b, e)` — the footprint of a kernel that
+/// walks its chunk with `W`-wide vector stores on the padded slot table.
+fn lane_blocks(b: usize, e: usize, lo: usize, hi: usize) -> (usize, usize) {
+    let w = SVE_LANES_F64;
+    let wlo = b + (lo - b) / w * w;
+    let whi = (b + (hi - b).div_ceil(w) * w).min(e);
+    (wlo, whi)
 }
 
 /// Replay the plan-based solver's launch sequence through a
@@ -97,7 +115,7 @@ pub fn race_model_gravity_plan(
             prev.clone()
         };
         let mut tokens = Vec::new();
-        for (ci, &(lo, hi)) in split_range(b, e, chunks).iter().enumerate() {
+        for (ci, &(lo, hi)) in carve(b, e, chunks, bug).iter().enumerate() {
             // Planted overlap: the deepest level's first chunk also writes
             // the first slot of the second chunk's range.
             let hi_w = if bug == GravityRaceBug::OverlapChunks && level == deepest && ci == 0 {
@@ -105,8 +123,12 @@ pub fn race_model_gravity_plan(
             } else {
                 hi
             };
+            // The kernel's vector stores cover whole lane blocks of the
+            // padded slot table, not just `[lo, hi)` — the footprint that
+            // makes unaligned carving a write-write race.
+            let (wlo, whi) = lane_blocks(b, e, lo, hi_w);
             let mut accesses: Vec<ViewAccess> =
-                (lo..hi_w).map(|s| ViewAccess::write(&mp[s])).collect();
+                (wlo..whi).map(|s| ViewAccess::write(&mp[s])).collect();
             for s in lo..hi {
                 if let SlotKind::Interior(kids) = plan.kinds[s] {
                     for c in kids {
@@ -124,7 +146,11 @@ pub fn race_model_gravity_plan(
     // its own dense accumulator slice; then a serial scatter. ------------
     let mut m2l_tokens = Vec::new();
     let mut acc_views = Vec::new();
-    for (ci, &(lo, hi)) in split_range(0, plan.m2l_targets.len(), chunks)
+    // M2L targets and leaf evaluation are not slot-table vector loops —
+    // the solver carves them without lane alignment (per-target gathers,
+    // per-leaf fields), so the model does too.
+    for (ci, &(lo, hi)) in RangePolicy::new(0, plan.m2l_targets.len())
+        .split(chunks)
         .iter()
         .enumerate()
     {
@@ -154,9 +180,11 @@ pub fn race_model_gravity_plan(
             continue;
         }
         let mut tokens = Vec::new();
-        for (ci, &(lo, hi)) in split_range(b, e, chunks).iter().enumerate() {
+        for (ci, &(lo, hi)) in carve(b, e, chunks, bug).iter().enumerate() {
+            // Same lane-block store footprint as the upward pass.
+            let (wlo, whi) = lane_blocks(b, e, lo, hi);
             let mut accesses: Vec<ViewAccess> =
-                (lo..hi).map(|s| ViewAccess::write(&local[s])).collect();
+                (wlo..whi).map(|s| ViewAccess::write(&local[s])).collect();
             for s in lo..hi {
                 accesses.push(ViewAccess::read(&local[plan.parent_slot[s]]));
             }
@@ -170,7 +198,11 @@ pub fn race_model_gravity_plan(
     }
 
     // ---- Evaluation: disjoint per-leaf field writes. -------------------
-    for (ci, &(lo, hi)) in split_range(0, plan.leaves.len(), chunks).iter().enumerate() {
+    for (ci, &(lo, hi)) in RangePolicy::new(0, plan.leaves.len())
+        .split(chunks)
+        .iter()
+        .enumerate()
+    {
         let field = view(format!("fields(chunk {ci})"));
         let mut accesses = vec![ViewAccess::write(&field)];
         for li in lo..hi {
@@ -215,12 +247,52 @@ mod tests {
 
     #[test]
     fn overlapping_chunks_are_a_write_write_race() {
-        let report = race_model_gravity_plan(&plan(1), 4, GravityRaceBug::OverlapChunks)
+        // plan(2): the deepest level has 64 slots, so 4 tasks carve into
+        // lane-aligned 16-slot chunks and the planted one-slot overlap
+        // between chunks 0 and 1 survives the alignment.
+        let report = race_model_gravity_plan(&plan(2), 4, GravityRaceBug::OverlapChunks)
             .expect_err("must race");
         assert_eq!(report.conflict, "write-write");
         assert!(report.prior_site.starts_with("upward("), "{report}");
         assert!(report.site.starts_with("upward("), "{report}");
         assert!(report.view_label.starts_with("mp("), "{report}");
+    }
+
+    #[test]
+    fn splitting_a_vector_lane_is_a_write_write_race() {
+        // 16 tasks over the deepest level's 64 slots carve into size-4
+        // chunks whose boundaries sit mid lane-block (lane = 8): adjacent
+        // chunks' full-width vector stores cover the same block.
+        let report = race_model_gravity_plan(&plan(2), 16, GravityRaceBug::SplitsVectorLane)
+            .expect_err("must race");
+        assert_eq!(report.conflict, "write-write");
+        assert!(report.prior_site.starts_with("upward("), "{report}");
+        assert!(report.site.starts_with("upward("), "{report}");
+        assert!(report.view_label.starts_with("mp("), "{report}");
+    }
+
+    #[test]
+    fn lane_aligned_carving_has_no_partial_blocks() {
+        // The faithful carve at every chunk count the solver uses keeps
+        // each sub-range's interior boundaries on lane multiples, so the
+        // block-expanded write sets stay pairwise disjoint.
+        for chunks in [2, 3, 4, 8, 16, 64] {
+            let p = plan(2);
+            for level in 0..=p.max_level() as usize {
+                let (b, e) = p.level_ranges[level];
+                if b == e {
+                    continue;
+                }
+                let parts = carve(b, e, chunks, GravityRaceBug::None);
+                let mut prev_end = b;
+                for &(lo, hi) in &parts {
+                    let (wlo, whi) = lane_blocks(b, e, lo, hi);
+                    assert!(wlo >= prev_end, "lane block overlaps previous chunk");
+                    prev_end = whi;
+                }
+                assert_eq!(prev_end, e);
+            }
+        }
     }
 
     #[test]

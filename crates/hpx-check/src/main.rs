@@ -206,7 +206,25 @@ fn run_races(opts: &Options) -> bool {
             false
         }
     };
-    pipeline_ok & gravity_ok
+    // Prove the lane-aligned carving is load-bearing: the same launch
+    // sequence with unaligned task boundaries must collide inside a
+    // vector-lane block of the slot table.
+    let lanes_ok = match race_model_gravity_plan(&plan, 16, GravityRaceBug::SplitsVectorLane) {
+        Ok(_) => {
+            eprintln!(
+                "races: lane-split carving did NOT race — the alignment check lost its witness"
+            );
+            false
+        }
+        Err(report) => {
+            println!(
+                "races: unaligned carving races as expected ({} on {})",
+                report.conflict, report.view_label
+            );
+            true
+        }
+    };
+    pipeline_ok & gravity_ok & lanes_ok
 }
 
 fn run_waitlint(opts: &Options) -> bool {

@@ -49,6 +49,16 @@ pub struct RangePolicy {
     pub begin: usize,
     pub end: usize,
     pub chunk: ChunkSpec,
+    /// Vector-lane alignment of task boundaries (1 = unconstrained).
+    ///
+    /// A kernel that walks its sub-range with `W`-lane vector stores
+    /// (`ChunkedLanes` + a masked tail) covers whole lane blocks per
+    /// store: a task boundary in the middle of a block would make two
+    /// tasks' masked stores touch the same block.  Setting `lane = W`
+    /// rounds every interior [`split`](Self::split) boundary down to a
+    /// multiple of `W` from `begin`, so task carving can never split a
+    /// vector lane — the invariant `hpx-check races` validates.
+    pub lane: usize,
 }
 
 impl RangePolicy {
@@ -59,12 +69,21 @@ impl RangePolicy {
             begin,
             end,
             chunk: ChunkSpec::SingleTask,
+            lane: 1,
         }
     }
 
     /// Replace the chunk specification (builder style).
     pub fn with_chunk(mut self, chunk: ChunkSpec) -> Self {
         self.chunk = chunk;
+        self
+    }
+
+    /// Require task boundaries aligned to `lane` indices from `begin`
+    /// (builder style; see the [`lane`](Self::lane) field).
+    pub fn with_lanes(mut self, lane: usize) -> Self {
+        assert!(lane >= 1, "lane alignment must be >= 1");
+        self.lane = lane;
         self
     }
 
@@ -80,6 +99,11 @@ impl RangePolicy {
 
     /// Split into `tasks` contiguous sub-ranges of near-equal length.
     /// Returns fewer (possibly zero) ranges if the policy is short/empty.
+    ///
+    /// With a [`lane`](Self::lane) alignment > 1, every interior boundary
+    /// is rounded down to a multiple of `lane` from `begin` (the first and
+    /// last boundaries stay at `begin`/`end`); sub-ranges emptied by the
+    /// rounding are dropped, so short ranges may yield fewer tasks.
     pub fn split(&self, tasks: usize) -> Vec<(usize, usize)> {
         let len = self.len();
         if len == 0 || tasks == 0 {
@@ -88,14 +112,23 @@ impl RangePolicy {
         let tasks = tasks.min(len);
         let base = len / tasks;
         let extra = len % tasks;
-        let mut out = Vec::with_capacity(tasks);
+        let mut out: Vec<(usize, usize)> = Vec::with_capacity(tasks);
         let mut start = self.begin;
+        let mut cursor = self.begin;
         for t in 0..tasks {
             let sz = base + usize::from(t < extra);
-            out.push((start, start + sz));
-            start += sz;
+            cursor += sz;
+            let mut bound = cursor;
+            if self.lane > 1 && t + 1 < tasks {
+                bound = self.begin + (bound - self.begin) / self.lane * self.lane;
+            }
+            if bound > start {
+                out.push((start, bound));
+                start = bound;
+            }
         }
-        debug_assert_eq!(start, self.end);
+        debug_assert_eq!(cursor, self.end);
+        debug_assert_eq!(out.last().map(|&(_, e)| e), Some(self.end));
         out
     }
 }
@@ -157,6 +190,7 @@ impl MDRangePolicy3 {
             begin: 0,
             end: self.len(),
             chunk: self.chunk,
+            lane: 1,
         }
     }
 
@@ -253,6 +287,58 @@ mod tests {
     #[should_panic(expected = "begin <= end")]
     fn backwards_range_panics() {
         RangePolicy::new(5, 4);
+    }
+
+    #[test]
+    fn lane_split_aligns_interior_boundaries() {
+        // 64 slots over 16 tasks would naively carve at multiples of 4;
+        // lane = 8 must round every interior boundary to a multiple of 8.
+        let p = RangePolicy::new(0, 64).with_lanes(8);
+        let parts = p.split(16);
+        assert_eq!(parts.first().unwrap().0, 0);
+        assert_eq!(parts.last().unwrap().1, 64);
+        let mut prev = 0;
+        for &(b, e) in &parts {
+            assert_eq!(b, prev);
+            assert!(e > b);
+            if e != 64 {
+                assert_eq!(e % 8, 0, "interior boundary {e} splits a lane block");
+            }
+            prev = e;
+        }
+        // Rounding merges the half-lane tasks: 8 blocks of 8 remain.
+        assert_eq!(parts.len(), 8);
+        assert!(parts.iter().all(|&(b, e)| e - b == 8));
+    }
+
+    #[test]
+    fn lane_split_alignment_is_relative_to_begin() {
+        // begin = 5, lane = 4: boundaries sit at 5 + 4k, not absolute 4k,
+        // matching a kernel that strides lane blocks from its own start.
+        let p = RangePolicy::new(5, 26).with_lanes(4);
+        let parts = p.split(3);
+        assert_eq!(parts.first().unwrap().0, 5);
+        assert_eq!(parts.last().unwrap().1, 26);
+        for &(_, e) in &parts {
+            if e != 26 {
+                assert_eq!((e - 5) % 4, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_split_shorter_than_one_block_collapses() {
+        // Range shorter than a lane block: all interior boundaries round
+        // down to begin and are dropped; one task covers everything.
+        let p = RangePolicy::new(0, 5).with_lanes(8);
+        assert_eq!(p.split(4), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn lane_one_matches_unaligned_split() {
+        let a = RangePolicy::new(10, 110).split(7);
+        let b = RangePolicy::new(10, 110).with_lanes(1).split(7);
+        assert_eq!(a, b);
     }
 
     #[test]

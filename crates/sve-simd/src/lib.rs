@@ -29,11 +29,13 @@
 //! operators returning [`Mask`]s, `select`, and horizontal reductions.
 
 pub mod backend;
+pub mod isa;
 pub mod mask;
 pub mod simd;
 pub mod slice;
 
 pub use backend::{VectorMode, SVE_LANES_F32, SVE_LANES_F64, SVE_VECTOR_BITS};
+pub use isa::{wide_isa, WideIsa};
 pub use mask::Mask;
 pub use simd::{Simd, SimdElement};
 pub use slice::{for_each_simd, map_simd, zip_map_simd, ChunkedLanes};

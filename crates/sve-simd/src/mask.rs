@@ -75,18 +75,22 @@ impl<const W: usize> Mask<W> {
     }
 
     /// Index of the first set lane, if any (SVE `brka`-style scan).
-    #[inline]
+    #[inline(always)]
     pub fn first_set(self) -> Option<usize> {
         self.0.iter().position(|&b| b)
     }
 
     /// A mask with the first `n` lanes set — SVE's `whilelt` predicate,
     /// which the paper's kernels use for loop tails.
-    #[inline]
+    #[inline(always)]
     pub fn first_n(n: usize) -> Self {
+        // Fixed trip count with a per-lane compare, never a dynamic-length
+        // prefix loop: the latter lowers to a variable-size `memset` — a
+        // library call (with `vzeroupper`) in the middle of every masked
+        // loop tail.  Per-lane `setcc` keeps the whole mask in registers.
         let mut m = [false; W];
-        for lane in m.iter_mut().take(n.min(W)) {
-            *lane = true;
+        for (lane, b) in m.iter_mut().enumerate() {
+            *b = lane < n;
         }
         Mask(m)
     }
@@ -165,6 +169,51 @@ mod tests {
         );
         assert_eq!(Mask::<4>::first_n(10).count_set(), 4);
         assert_eq!(Mask::<4>::first_n(0).count_set(), 0);
+    }
+
+    #[test]
+    fn all_false_and_all_true_edge_cases() {
+        let none = Mask::<8>::splat(false);
+        assert!(none.none());
+        assert!(!none.any());
+        assert!(!none.all());
+        assert_eq!(none.count_set(), 0);
+        assert_eq!(none.first_set(), None);
+
+        let all = Mask::<8>::splat(true);
+        assert!(all.all());
+        assert!(all.any());
+        assert!(!all.none());
+        assert_eq!(all.count_set(), 8);
+        assert_eq!(all.first_set(), Some(0));
+
+        // first_n at the extremes reproduces both.
+        assert_eq!(Mask::<8>::first_n(0), none);
+        assert_eq!(Mask::<8>::first_n(8), all);
+        assert_eq!(Mask::<8>::first_n(usize::MAX), all);
+
+        // Negation swaps them.
+        assert_eq!(!none, all);
+        assert_eq!(!all, none);
+    }
+
+    #[test]
+    fn first_n_every_remainder_length() {
+        for n in 1..=7usize {
+            let m = Mask::<8>::first_n(n);
+            assert_eq!(m.count_set(), n);
+            assert_eq!(m.first_set(), Some(0));
+            for l in 0..8 {
+                assert_eq!(m.test(l), l < n, "lane {l} at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn width_one_masks() {
+        assert!(Mask::<1>::first_n(1).all());
+        assert!(Mask::<1>::first_n(0).none());
+        assert_eq!(Mask::<1>::splat(true).count_set(), 1);
     }
 
     #[test]

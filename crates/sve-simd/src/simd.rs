@@ -164,7 +164,7 @@ impl<T: SimdElement, const W: usize> Simd<T, W> {
     /// The paper's kernels handle sub-grid edges whose extent is not a
     /// multiple of the vector width with masked/partial loads; this is the
     /// equivalent.
-    #[inline]
+    #[inline(always)]
     pub fn from_slice_padded(slice: &[T], fill: T) -> Self {
         let mut out = [fill; W];
         let n = W.min(slice.len());
@@ -173,7 +173,7 @@ impl<T: SimdElement, const W: usize> Simd<T, W> {
     }
 
     /// Store `min(W, slice.len())` lanes.
-    #[inline]
+    #[inline(always)]
     pub fn write_to_slice_partial(self, slice: &mut [T]) {
         let n = W.min(slice.len());
         slice[..n].copy_from_slice(&self.0[..n]);
@@ -183,7 +183,7 @@ impl<T: SimdElement, const W: usize> Simd<T, W> {
     ///
     /// # Panics
     /// Panics if any index is out of bounds.
-    #[inline]
+    #[inline(always)]
     pub fn gather(src: &[T], idx: &[usize; W]) -> Self {
         let mut out = [T::ZERO; W];
         for l in 0..W {
@@ -197,10 +197,84 @@ impl<T: SimdElement, const W: usize> Simd<T, W> {
     /// # Panics
     /// Panics if any index is out of bounds.  Duplicate indices write in
     /// lane order (the last lane wins), matching `std::experimental::simd`.
-    #[inline]
+    #[inline(always)]
     pub fn scatter(self, dst: &mut [T], idx: &[usize; W]) {
         for l in 0..W {
             dst[idx[l]] = self.0[l];
+        }
+    }
+
+    /// Gather up to `W` lanes from `src` at positions `idx`, padding the
+    /// tail lanes with `fill` when `idx.len() < W`.
+    ///
+    /// This is the predicated SVE gather: the FMM kernels walk flat source
+    /// index lists whose length is rarely a multiple of the width, so the
+    /// final chunk gathers through a shortened index slice.
+    ///
+    /// # Panics
+    /// Panics if any index within `idx` is out of bounds for `src`.
+    #[inline(always)]
+    pub fn gather_or(src: &[T], idx: &[usize], fill: T) -> Self {
+        let mut out = [fill; W];
+        let n = W.min(idx.len());
+        for l in 0..n {
+            out[l] = src[idx[l]];
+        }
+        Simd(out)
+    }
+
+    /// Masked load: lane `l` is `slice[l]` where `mask[l]` is set, `fill`
+    /// elsewhere.  Inactive lanes never touch memory, so `slice` only needs
+    /// to cover the active lanes (SVE `ld1` under a predicate).
+    ///
+    /// # Panics
+    /// Panics if an active lane indexes past `slice.len()`.
+    #[inline(always)]
+    pub fn load_select(slice: &[T], mask: Mask<W>, fill: T) -> Self {
+        let mut out = [fill; W];
+        for l in 0..W {
+            if mask.test(l) {
+                out[l] = slice[l];
+            }
+        }
+        Simd(out)
+    }
+
+    /// Masked store: write lane `l` to `slice[l]` only where `mask[l]` is
+    /// set.  Inactive lanes leave memory untouched (SVE `st1` under a
+    /// predicate).
+    ///
+    /// # Panics
+    /// Panics if an active lane indexes past `slice.len()`.
+    #[inline(always)]
+    pub fn store_select(self, slice: &mut [T], mask: Mask<W>) {
+        for l in 0..W {
+            if mask.test(l) {
+                slice[l] = self.0[l];
+            }
+        }
+    }
+
+    /// Load the chunk of `s` at `off` with `lanes` active lanes: full
+    /// chunks (`lanes == W`) take the unmasked contiguous load, the final
+    /// remainder chunk pays the whilelt-style masked load with `fill` in
+    /// the inactive lanes.
+    ///
+    /// This is the canonical `ChunkedLanes` loop body load.  It is a named
+    /// `#[inline(always)]` method rather than a per-kernel closure on
+    /// purpose: closures cannot carry `inline(always)`, and LLVM refuses to
+    /// inline a plain-feature closure into a `#[target_feature]` caller
+    /// (see [`crate::isa`]), which would leave an out-of-line scalar load
+    /// in the middle of every vectorized chunk.
+    ///
+    /// # Panics
+    /// Panics if `off + lanes > s.len()` or `lanes > W`.
+    #[inline(always)]
+    pub fn load_chunk(s: &[T], off: usize, lanes: usize, fill: T) -> Self {
+        if lanes == W {
+            Self::from_slice(&s[off..])
+        } else {
+            Self::load_select(&s[off..off + lanes], Mask::first_n(lanes), fill)
         }
     }
 
@@ -582,5 +656,94 @@ mod tests {
         let vs = [V::splat(1.0), V::splat(2.0), V::splat(3.0)];
         let s: V = vs.into_iter().sum();
         assert_eq!(s.to_array(), [6.0; 8]);
+    }
+
+    #[test]
+    fn gather_or_pads_short_index_lists() {
+        let src: Vec<f64> = (0..20).map(|i| i as f64 * 10.0).collect();
+        // Every remainder length 1..=7 pads the tail with the fill value.
+        for n in 1..=7usize {
+            let idx: Vec<usize> = (0..n).map(|i| 2 * i + 1).collect();
+            let v = Simd::<f64, 8>::gather_or(&src, &idx, -5.0);
+            for l in 0..8 {
+                if l < n {
+                    assert_eq!(v[l], src[idx[l]], "lane {l} of {n}");
+                } else {
+                    assert_eq!(v[l], -5.0, "pad lane {l} of {n}");
+                }
+            }
+        }
+        // A full-width index list ignores the fill entirely.
+        let idx: Vec<usize> = (0..8).collect();
+        let v = Simd::<f64, 8>::gather_or(&src, &idx, f64::NAN);
+        assert_eq!(v.to_array(), [0., 10., 20., 30., 40., 50., 60., 70.]);
+        // Longer-than-W index lists use only the first W entries.
+        let idx: Vec<usize> = (0..12).collect();
+        let v = Simd::<f64, 8>::gather_or(&src, &idx, f64::NAN);
+        assert_eq!(v[7], 70.0);
+    }
+
+    #[test]
+    fn load_select_every_remainder_length() {
+        let data: Vec<f64> = (0..8).map(|i| (i + 1) as f64).collect();
+        for n in 1..=7usize {
+            let m = Mask::<8>::first_n(n);
+            // Slice exactly n long: inactive lanes must not read past it.
+            let v = Simd::<f64, 8>::load_select(&data[..n], m, 0.25);
+            for l in 0..8 {
+                if l < n {
+                    assert_eq!(v[l], data[l], "active lane {l} at n={n}");
+                } else {
+                    assert_eq!(v[l], 0.25, "fill lane {l} at n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn store_select_every_remainder_length() {
+        let v = Simd::<f64, 8>::from_array([1., 2., 3., 4., 5., 6., 7., 8.]);
+        for n in 1..=7usize {
+            let m = Mask::<8>::first_n(n);
+            // Buffer exactly n long: inactive lanes must not write past it.
+            let mut out = vec![-9.0; n];
+            v.store_select(&mut out, m);
+            for (l, &x) in out.iter().enumerate() {
+                assert_eq!(x, (l + 1) as f64, "lane {l} at n={n}");
+            }
+        }
+        // Inactive lanes leave existing contents untouched.
+        let mut buf = [0.0; 8];
+        v.store_select(&mut buf, Mask::<8>::first_n(3));
+        assert_eq!(buf, [1., 2., 3., 0., 0., 0., 0., 0.]);
+    }
+
+    #[test]
+    fn load_store_select_all_true_and_all_false() {
+        let data = [7.0; 8];
+        let none = Simd::<f64, 8>::load_select(&data, Mask::splat(false), 1.5);
+        assert_eq!(none.to_array(), [1.5; 8]);
+        let all = Simd::<f64, 8>::load_select(&data, Mask::splat(true), 1.5);
+        assert_eq!(all.to_array(), [7.0; 8]);
+
+        let mut out = [2.0; 8];
+        all.store_select(&mut out, Mask::splat(false));
+        assert_eq!(out, [2.0; 8]);
+        all.store_select(&mut out, Mask::splat(true));
+        assert_eq!(out, [7.0; 8]);
+
+        // All-false masks never touch memory, so even an empty slice is fine.
+        let empty: [f64; 0] = [];
+        let v = Simd::<f64, 8>::load_select(&empty, Mask::splat(false), 3.0);
+        assert_eq!(v.to_array(), [3.0; 8]);
+    }
+
+    #[test]
+    fn load_select_width_one() {
+        let data = [42.0];
+        let v = Simd::<f64, 1>::load_select(&data, Mask::<1>::first_n(1), 0.0);
+        assert_eq!(v[0], 42.0);
+        let w = Simd::<f64, 1>::load_select(&[], Mask::<1>::first_n(0), -1.0);
+        assert_eq!(w[0], -1.0);
     }
 }

@@ -48,6 +48,7 @@ impl<const W: usize> ExactSizeIterator for ChunkedLanes<W> {}
 ///
 /// The tail (when `W ∤ data.len()`) is processed with a padded load and a
 /// partial store, mirroring SVE's predicated loop tails.
+#[inline(always)]
 pub fn for_each_simd<T: SimdElement, const W: usize>(
     data: &mut [T],
     mut kernel: impl FnMut(Simd<T, W>) -> Simd<T, W>,
@@ -68,6 +69,7 @@ pub fn for_each_simd<T: SimdElement, const W: usize>(
 ///
 /// # Panics
 /// Panics if `src.len() != dst.len()`.
+#[inline(always)]
 pub fn map_simd<T: SimdElement, const W: usize>(
     src: &[T],
     dst: &mut [T],
@@ -89,6 +91,7 @@ pub fn map_simd<T: SimdElement, const W: usize>(
 ///
 /// # Panics
 /// Panics if the three slices disagree in length.
+#[inline(always)]
 pub fn zip_map_simd<T: SimdElement, const W: usize>(
     a: &[T],
     b: &[T],

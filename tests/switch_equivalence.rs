@@ -54,9 +54,12 @@ fn assert_states_close(a: &[Vec<f64>], b: &[Vec<f64>], tol: f64, what: &str) {
 
 #[test]
 fn sve_and_scalar_give_identical_physics() {
+    // Bit-identical, not merely close: every ported kernel reduces through
+    // the same stripe-blocked partial sums at every width (see DESIGN.md),
+    // so the width is invisible.
     let sve = run(1, 2, 2, |o| o.vector_mode = VectorMode::Sve512);
     let scalar = run(1, 2, 2, |o| o.vector_mode = VectorMode::Scalar);
-    assert_states_close(&sve, &scalar, 1e-11, "SVE vs scalar");
+    assert_states_close(&sve, &scalar, 0.0, "SVE vs scalar");
 }
 
 #[test]
