@@ -72,6 +72,15 @@ pub struct SimOptions {
     /// bit-identical (see `tests/gravity_plan.rs`), only traversal work
     /// changes.
     pub cache_gravity_plan: bool,
+    /// Simulated localities to shard the gravity octree over (clamped to
+    /// the cluster's locality count).  `1` — the reference configuration —
+    /// runs the plain shared-memory solve; `> 1` partitions the leaves
+    /// with [`octree::partition_morton`], runs each shard's kernels on its
+    /// own locality's runtime, and moves every cross-locality interaction
+    /// as a typed parcel (metered under `/octotiger/parcels/*`).  Physics
+    /// is bit-identical either way (see `tests/distributed_equivalence.rs`).
+    /// Defaults from `OCTO_LOCALITIES` (CI's distribution axis).
+    pub localities: usize,
 }
 
 impl Default for SimOptions {
@@ -89,6 +98,11 @@ impl Default for SimOptions {
             watchdog_ms: None,
             recycle_scratch: true,
             cache_gravity_plan: true,
+            localities: std::env::var("OCTO_LOCALITIES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(1),
         }
     }
 }
@@ -364,8 +378,9 @@ impl Simulation {
         // ---- Gravity (once per step; reused across RK stages). ---------
         let gravity_fields: Option<Arc<HashMap<NodeId, LeafField>>> = if self.opts.gravity {
             let _t = self.apex.timer("gravity:solve");
-            let sources = self.leaf_sources();
+            let sources = Arc::new(self.leaf_sources());
             let solver = &self.gravity_solver;
+            let nloc = self.opts.localities.min(cluster.num_localities()).max(1);
             let space = ExecSpace::hpx(cluster.locality(0).runtime().clone());
             // Plan acquisition (cache hit: no traversal) and the dense
             // kernels are timed separately, so the apex report shows what
@@ -376,7 +391,20 @@ impl Simulation {
             };
             let (fields, stats) = {
                 let _k = self.apex.timer("gravity:kernels");
-                solver.solve_with_plan(&plan, &sources, &space)
+                if nloc > 1 {
+                    // Shard the solve: the halo plan caches alongside the
+                    // interaction plan, keyed on the same topology version.
+                    let dist = {
+                        let owner = self.grid.with_tree(|t| octree::partition_morton(t, nloc));
+                        solver.dist_plan_for(&plan, &owner, nloc)
+                    };
+                    let rts: Vec<hpx_rt::Runtime> = (0..nloc)
+                        .map(|i| cluster.locality(i).runtime().clone())
+                        .collect();
+                    solver.solve_distributed(&plan, &dist, &sources, &rts)
+                } else {
+                    solver.solve_with_plan(&plan, &sources, &space)
+                }
             };
             kernel_launches += stats.multipole_kernel_launches as u64 + leaves.len() as u64;
             self.last_gravity_stats = Some(stats);
@@ -588,11 +616,15 @@ impl Simulation {
             crate::gravity::solver::SolveStats,
         );
         let gravity_fut: Option<Future<GravityResult>> = if self.opts.gravity {
-            let sources = self.leaf_sources();
+            let sources = Arc::new(self.leaf_sources());
             // The clone shares the persistent solver's plan cache, so the
             // solve inside the future still hits the cached plan.
             let solver = self.gravity_solver.clone();
             let apex = self.apex.clone();
+            let nloc = self.opts.localities.min(cluster.num_localities()).max(1);
+            let rts: Vec<hpx_rt::Runtime> = (0..nloc)
+                .map(|i| cluster.locality(i).runtime().clone())
+                .collect();
             let space = ExecSpace::hpx(rt0.clone());
             let grid = self.grid.clone();
             Some(rt0.async_call(move || {
@@ -603,7 +635,19 @@ impl Simulation {
                 };
                 let (fields, stats) = {
                     let _k = apex.timer("gravity:kernels");
-                    solver.solve_with_plan(&plan, &sources, &space)
+                    if nloc > 1 {
+                        // The distributed solve treats a cross-locality
+                        // ghost link exactly like a local one: the whole
+                        // sharded pipeline still runs inside this future,
+                        // overlapping the stage-0 ghost fill.
+                        let dist = {
+                            let owner = grid.with_tree(|t| octree::partition_morton(t, nloc));
+                            solver.dist_plan_for(&plan, &owner, nloc)
+                        };
+                        solver.solve_distributed(&plan, &dist, &sources, &rts)
+                    } else {
+                        solver.solve_with_plan(&plan, &sources, &space)
+                    }
                 };
                 (Arc::new(fields), stats)
             }))

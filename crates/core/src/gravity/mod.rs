@@ -21,11 +21,13 @@
 //! topology version, so solves on an unchanged tree skip it entirely.
 
 pub mod direct;
+pub mod dist;
 pub mod m2l_simd;
 pub mod multipole;
 pub mod plan;
 pub mod solver;
 
+pub use dist::{DistPlan, Exchange};
 pub use m2l_simd::MultipoleSoA;
 pub use multipole::{LocalExpansion, Multipole};
 pub use plan::GravityPlan;

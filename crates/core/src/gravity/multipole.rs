@@ -272,6 +272,51 @@ impl Multipole {
     }
 }
 
+impl Multipole {
+    /// `f64` words in the flat parcel encoding: mass, COM, quadrupole,
+    /// octupole.
+    pub const FLAT_LEN: usize = 1 + 3 + 9 + 27;
+
+    /// Append the flat parcel encoding to `out` — exact bit copies, so a
+    /// multipole shipped to another locality contributes identically to
+    /// one read from local memory (the distributed-equivalence invariant).
+    pub fn write_flat(&self, out: &mut Vec<f64>) {
+        out.push(self.m);
+        out.extend_from_slice(&self.com);
+        for row in &self.quad {
+            out.extend_from_slice(row);
+        }
+        for plane in &self.oct {
+            for row in plane {
+                out.extend_from_slice(row);
+            }
+        }
+    }
+
+    /// Decode the first [`Multipole::FLAT_LEN`] words of `buf`.
+    pub fn read_flat(buf: &[f64]) -> Multipole {
+        let mut it = buf.iter().copied();
+        let mut next = || it.next().expect("flat multipole truncated");
+        let m = next();
+        let com = [next(), next(), next()];
+        let mut quad = [[0.0; 3]; 3];
+        for row in &mut quad {
+            for v in row {
+                *v = next();
+            }
+        }
+        let mut oct = [[[0.0; 3]; 3]; 3];
+        for plane in &mut oct {
+            for row in plane {
+                for v in row {
+                    *v = next();
+                }
+            }
+        }
+        Multipole { m, com, quad, oct }
+    }
+}
+
 /// Taylor expansion of the far-field potential about a node center:
 /// `φ(x) = L0 + L1·x + ½ xᵀL2 x + (1/6) L3 ⋮ xxx`.
 #[derive(Debug, Clone, PartialEq)]
@@ -347,6 +392,46 @@ impl LocalExpansion {
         out
     }
 
+    /// `f64` words in the flat parcel encoding: L0, L1, L2, L3.
+    pub const FLAT_LEN: usize = 1 + 3 + 9 + 27;
+
+    /// Append the flat parcel encoding to `out` (exact bit copies).
+    pub fn write_flat(&self, out: &mut Vec<f64>) {
+        out.push(self.l0);
+        out.extend_from_slice(&self.l1);
+        for row in &self.l2 {
+            out.extend_from_slice(row);
+        }
+        for plane in &self.l3 {
+            for row in plane {
+                out.extend_from_slice(row);
+            }
+        }
+    }
+
+    /// Decode the first [`LocalExpansion::FLAT_LEN`] words of `buf`.
+    pub fn read_flat(buf: &[f64]) -> LocalExpansion {
+        let mut it = buf.iter().copied();
+        let mut next = || it.next().expect("flat local expansion truncated");
+        let l0 = next();
+        let l1 = [next(), next(), next()];
+        let mut l2 = [[0.0; 3]; 3];
+        for row in &mut l2 {
+            for v in row {
+                *v = next();
+            }
+        }
+        let mut l3 = [[[0.0; 3]; 3]; 3];
+        for plane in &mut l3 {
+            for row in plane {
+                for v in row {
+                    *v = next();
+                }
+            }
+        }
+        LocalExpansion { l0, l1, l2, l3 }
+    }
+
     /// Evaluate potential and gravitational acceleration at offset `x` from
     /// the expansion center.
     pub fn evaluate(&self, x: V3) -> (f64, V3) {
@@ -371,6 +456,49 @@ impl LocalExpansion {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn flat_encodings_round_trip_bit_exactly() {
+        let mp = Multipole::from_points(&[
+            ([0.1, -0.4, 0.9], 2.5),
+            ([-0.7, 0.3, 0.2], 1.25),
+            ([0.5, 0.5, -0.5], 0.75),
+        ]);
+        let mut wire = Vec::new();
+        mp.write_flat(&mut wire);
+        assert_eq!(wire.len(), Multipole::FLAT_LEN);
+        let back = Multipole::read_flat(&wire);
+        assert_eq!(back.m.to_bits(), mp.m.to_bits());
+        assert_eq!(back.com, mp.com);
+        assert_eq!(back.quad, mp.quad);
+        assert_eq!(back.oct, mp.oct);
+
+        let le = mp.m2l([1.5, -2.0, 0.5], true);
+        let mut wire = Vec::new();
+        le.write_flat(&mut wire);
+        assert_eq!(wire.len(), LocalExpansion::FLAT_LEN);
+        let back = LocalExpansion::read_flat(&wire);
+        assert_eq!(back.l0.to_bits(), le.l0.to_bits());
+        assert_eq!(back.l1, le.l1);
+        assert_eq!(back.l2, le.l2);
+        assert_eq!(back.l3, le.l3);
+    }
+
+    #[test]
+    fn flat_encodings_concatenate() {
+        // Parcels carry one payload per (from, to) pair with many
+        // expansions back to back; decoding walks fixed-size windows.
+        let a = Multipole::from_points(&[([0.0, 0.0, 1.0], 1.0)]);
+        let b = Multipole::from_points(&[([1.0, 0.0, 0.0], 3.0), ([0.0, 2.0, 0.0], 4.0)]);
+        let mut wire = Vec::new();
+        a.write_flat(&mut wire);
+        b.write_flat(&mut wire);
+        assert_eq!(wire.len(), 2 * Multipole::FLAT_LEN);
+        let a2 = Multipole::read_flat(&wire[..Multipole::FLAT_LEN]);
+        let b2 = Multipole::read_flat(&wire[Multipole::FLAT_LEN..]);
+        assert_eq!(a2.m, a.m);
+        assert_eq!(b2.com, b.com);
+    }
 
     fn direct_phi_g(points: &[(V3, f64)], at: V3) -> (f64, V3) {
         let mut phi = 0.0;

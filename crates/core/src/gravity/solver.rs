@@ -24,9 +24,11 @@
 //! `Mutex` traffic on the hot path.
 
 use super::direct::{p2p_at_w, p2p_at_wide, PointMasses};
+use super::dist::DistPlan;
 use super::m2l_simd::{m2l_accumulate_w, m2l_accumulate_wide, MultipoleSoA};
 use super::multipole::{LocalExpansion, Multipole};
 use super::plan::{GravityPlan, SlotKind};
+use hpx_rt::LocalityId;
 use kokkos_rs::pool::{Recycled, ScratchArena};
 use kokkos_rs::{parallel_for_mut, ChunkSpec, ExecSpace, RangePolicy};
 use octree::{NodeId, Tree};
@@ -126,6 +128,12 @@ struct PlanCache {
     hits: AtomicU64,
     rebuilds: AtomicU64,
     last_hit: AtomicBool,
+    /// Cached halo plan of the distributed solve, keyed (like the
+    /// interaction plan itself) on `topology_version`, θ, and the
+    /// locality count — a regrid invalidates both plans together.
+    dist: Mutex<Option<Arc<DistPlan>>>,
+    dist_hits: AtomicU64,
+    dist_rebuilds: AtomicU64,
 }
 
 /// The FMM solver.
@@ -213,6 +221,47 @@ impl GravitySolver {
             self.cache.hits.load(Ordering::Relaxed),
             self.cache.rebuilds.load(Ordering::Relaxed),
         )
+    }
+
+    /// The halo plan sharding `plan` over `num_localities`: cached when
+    /// still valid (same `topology_version`, node count, θ, and locality
+    /// count), else rebuilt from `owner`.
+    ///
+    /// `owner` must be a deterministic function of (tree topology,
+    /// locality count) — the driver derives it from
+    /// [`octree::partition_morton`] — since it is *not* part of the cache
+    /// key; only the quantities above are.
+    pub fn dist_plan_for(
+        &self,
+        plan: &GravityPlan,
+        owner: &HashMap<NodeId, LocalityId>,
+        num_localities: usize,
+    ) -> Arc<DistPlan> {
+        let mut guard = self.cache.dist.lock();
+        if let Some(dist) = guard.as_ref() {
+            if dist.is_valid_for(plan, num_localities) {
+                self.cache.dist_hits.fetch_add(1, Ordering::Relaxed);
+                return dist.clone();
+            }
+        }
+        let dist = Arc::new(DistPlan::build(plan, owner, num_localities));
+        self.cache.dist_rebuilds.fetch_add(1, Ordering::Relaxed);
+        *guard = Some(dist.clone());
+        dist
+    }
+
+    /// Per-solver (halo-plan-hit, halo-plan-rebuild) counts.
+    pub fn dist_plan_counters(&self) -> (u64, u64) {
+        (
+            self.cache.dist_hits.load(Ordering::Relaxed),
+            self.cache.dist_rebuilds.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The arena the per-leaf output fields (and parcel payloads of the
+    /// distributed solve) are checked out of.
+    pub(crate) fn scratch_arena(&self) -> &ScratchArena {
+        &self.scratch
     }
 
     /// Solve for the gravitational field of `sources` on `tree`, running

@@ -19,6 +19,10 @@
 //! * **View race detector** ([`kokkos_rs::RaceDetector`], modeled over the
 //!   stepper in [`pipeline`]) — happens-before shadow tracking of declared
 //!   view accesses at launch boundaries, aborting with both launch sites.
+//! * **Distributed-solve models** ([`dist`]) — the multi-locality gravity
+//!   phase graph under the model checker (a lost parcel must stall with
+//!   the link named) and the regrid/halo-plan sequence under the race
+//!   detector (a stale halo plan must surface as a write-read race).
 //! * **Kernel-body wait lint** ([`scan`]) — a source scan forbidding
 //!   blocking `.wait()`/`.get()` inside kernel argument regions, with an
 //!   allowlist file.
@@ -26,12 +30,14 @@
 //! Run everything from the CLI: `cargo run -p hpx-check -- all`.
 
 pub mod dag;
+pub mod dist;
 pub mod gravity;
 pub mod model;
 pub mod pipeline;
 pub mod scan;
 
 pub use dag::{lint_pipeline, DagNode, DagSummary, FutureDag, LintFinding};
+pub use dist::{exercise_dist_solve, race_model_dist_regrid, DistRaceBug, DistScheduleBug};
 pub use gravity::{race_model_gravity_plan, GravityRaceBug};
 pub use model::{CheckReport, ModelChecker, ScheduleFailure};
 pub use pipeline::{

@@ -13,8 +13,9 @@
 //! Exit status 0 when every requested analysis is clean, 1 otherwise.
 
 use hpx_check::{
-    exercise_pipeline, lint_pipeline, race_model_gravity_plan, race_model_pipeline, scan_workspace,
-    Allowlist, GravityRaceBug, ModelChecker, RaceBug, ScheduleBug,
+    exercise_dist_solve, exercise_pipeline, lint_pipeline, race_model_dist_regrid,
+    race_model_gravity_plan, race_model_pipeline, scan_workspace, Allowlist, DistRaceBug,
+    DistScheduleBug, GravityRaceBug, ModelChecker, RaceBug, ScheduleBug,
 };
 use octree::{ghost_link_specs, LinkSpec, Tree};
 use std::path::PathBuf;
@@ -224,7 +225,114 @@ fn run_races(opts: &Options) -> bool {
             true
         }
     };
-    pipeline_ok & gravity_ok & lanes_ok
+    pipeline_ok & gravity_ok & lanes_ok & run_dist_models(opts)
+}
+
+/// The distributed-solve models: the multi-locality phase graph must drain
+/// under every explored schedule, a planted lost parcel must stall naming
+/// its link, the faithful regrid/rebuild sequence must be race-free, and a
+/// planted stale halo plan must surface as a write-read race naming both
+/// the regrid and the consuming halo pack.
+fn run_dist_models(opts: &Options) -> bool {
+    const NLOC: usize = 4;
+    let solver = octotiger::gravity::GravitySolver::default();
+    let dist_for = |tree: &Tree| {
+        let plan = solver.plan_for(tree);
+        let owner = octree::partition_morton(tree, NLOC);
+        solver.dist_plan_for(&plan, &owner, NLOC)
+    };
+    let tree = scenario_tree(opts.level.clamp(1, 2));
+    let dist = dist_for(&tree);
+    let refined = {
+        let mut t = Tree::new_uniform(opts.level.clamp(1, 2));
+        let first = t.leaves()[0];
+        t.refine_balanced(first);
+        t
+    };
+    let dist_refined = dist_for(&refined);
+
+    let checker = ModelChecker::new()
+        .schedules(opts.schedules)
+        .base_seed(opts.seed);
+    let report = checker.explore(|rt| exercise_dist_solve(rt, &dist, DistScheduleBug::None));
+    let clean_ok = if report.is_clean() {
+        println!(
+            "races: distributed solve clean over {NLOC} localities ({} parcels/solve) — {report}",
+            dist.parcels_per_solve()
+        );
+        true
+    } else {
+        eprintln!("races: distributed solve {report}");
+        false
+    };
+
+    // The planted stall panics inside the checker's catch_unwind by
+    // design; silence the default hook so the expected failure does not
+    // spray backtraces over the report.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = checker
+        .schedules(opts.schedules.min(4))
+        .explore(|rt| exercise_dist_solve(rt, &dist, DistScheduleBug::LostParcel));
+    std::panic::set_hook(hook);
+    let lost_ok = match report.failures.first() {
+        Some(failure) if failure.report.contains("undelivered parcel link(s)") => {
+            println!(
+                "races: lost parcel stalls as expected (seed {} names the link)",
+                failure.seed
+            );
+            true
+        }
+        Some(failure) => {
+            eprintln!(
+                "races: lost parcel stalled without naming its link: {}",
+                failure.report
+            );
+            false
+        }
+        None => {
+            eprintln!("races: lost parcel did NOT stall — the stall probe lost its witness");
+            false
+        }
+    };
+
+    let regrid_ok = match race_model_dist_regrid(&dist, &dist_refined, DistRaceBug::None) {
+        Ok(summary) => {
+            println!(
+                "races: regrid halo-plan rebuild clean — {} launches over {} views",
+                summary.launches, summary.views
+            );
+            true
+        }
+        Err(report) => {
+            eprintln!("races: regrid halo-plan rebuild {report}");
+            false
+        }
+    };
+    let stale_ok = match race_model_dist_regrid(&dist, &dist_refined, DistRaceBug::StaleHalo) {
+        Ok(_) => {
+            eprintln!(
+                "races: stale halo plan did NOT race — the invalidation check lost its witness"
+            );
+            false
+        }
+        Err(report)
+            if report.conflict == "write-read"
+                && report.prior_site.starts_with("regrid(")
+                && report.site.contains("halo-pack(step2") =>
+        {
+            println!(
+                "races: stale halo plan races as expected ({} on {}: {} vs {})",
+                report.conflict, report.view_label, report.prior_site, report.site
+            );
+            true
+        }
+        Err(report) => {
+            eprintln!("races: stale halo plan raced but named the wrong sites: {report}");
+            false
+        }
+    };
+    clean_ok & lost_ok & regrid_ok & stale_ok
 }
 
 fn run_waitlint(opts: &Options) -> bool {

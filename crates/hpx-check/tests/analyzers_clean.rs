@@ -3,10 +3,10 @@
 //! link set that run wires.
 
 use hpx_check::{
-    exercise_pipeline, lint_pipeline, race_model_pipeline, scan_source, ModelChecker, RaceBug,
-    ScheduleBug,
+    exercise_dist_solve, exercise_pipeline, lint_pipeline, race_model_pipeline, scan_source,
+    DistScheduleBug, ModelChecker, RaceBug, ScheduleBug,
 };
-use hpx_rt::SimCluster;
+use hpx_rt::{parcel_counters, SimCluster};
 use octotiger::{Scenario, ScenarioKind, SimOptions, Simulation};
 
 #[test]
@@ -43,6 +43,46 @@ fn pipelined_run_passes_all_analyzers() {
         assert!(stats.dt > 0.0 && stats.dt.is_finite());
         assert_eq!(stats.ghost_links_resolved, stats.ghost_links_total);
     }
+    cluster.shutdown();
+}
+
+#[test]
+fn distributed_run_passes_the_dist_analyzers() {
+    // A four-locality sharded run: the exact halo plan that run solves
+    // with must drain under the schedule explorer, and the run itself
+    // must both step and communicate.
+    let cluster = SimCluster::new(4, 2);
+    let scenario = Scenario::build(ScenarioKind::RotatingStar, &cluster, 2, 0, 4);
+    let mut opts = SimOptions::default();
+    opts.omega = scenario.omega;
+    opts.gravity = true;
+    opts.localities = 4;
+    let mut sim = Simulation::new(scenario.grid, opts);
+
+    // Analyzer: the model checker over the run's own distribution plan.
+    let solver = octotiger::gravity::GravitySolver::default();
+    let dist = sim.grid.with_tree(|tree| {
+        let plan = solver.plan_for(tree);
+        let owner = octree::partition_morton(tree, 4);
+        solver.dist_plan_for(&plan, &owner, 4)
+    });
+    assert!(dist.parcels_per_solve() > 0, "4 localities must exchange");
+    let report = ModelChecker::new()
+        .schedules(4)
+        .explore(|rt| exercise_dist_solve(rt, &dist, DistScheduleBug::None));
+    assert!(report.is_clean(), "dist model failures: {report}");
+
+    // And the run: three distributed steps with real parcel traffic.
+    let before = parcel_counters().snapshot();
+    for _ in 0..3 {
+        let stats = sim.step(&cluster);
+        assert!(stats.dt > 0.0 && stats.dt.is_finite());
+    }
+    let delta = parcel_counters().snapshot().since(&before);
+    assert!(
+        delta.gravity_count() > 0,
+        "the distributed gravity path must move parcels"
+    );
     cluster.shutdown();
 }
 

@@ -3,11 +3,28 @@
 //! acceptance criteria).
 
 use hpx_check::{
-    exercise_pipeline, race_model_pipeline, DagNode, FutureDag, LintFinding, ModelChecker, RaceBug,
-    ScheduleBug,
+    exercise_dist_solve, exercise_pipeline, race_model_dist_regrid, race_model_pipeline, DagNode,
+    DistRaceBug, DistScheduleBug, FutureDag, LintFinding, ModelChecker, RaceBug, ScheduleBug,
 };
 use kokkos_rs::{RaceDetector, View, ViewAccess};
-use octree::{ghost_link_specs, Tree};
+use octotiger::gravity::{DistPlan, GravitySolver};
+use octree::{ghost_link_specs, partition_morton, Tree};
+use std::sync::Arc;
+
+/// The step-1 and (refined) step-2 halo plans the distributed models run
+/// over: four localities sharding the uniform level-2 scenario tree.
+fn dist_plans() -> (Arc<DistPlan>, Arc<DistPlan>) {
+    let solver = GravitySolver::default();
+    let dist_for = |tree: &Tree| {
+        let plan = solver.plan_for(tree);
+        solver.dist_plan_for(&plan, &partition_morton(tree, 4), 4)
+    };
+    let tree = Tree::new_uniform(2);
+    let mut refined = Tree::new_uniform(2);
+    let first = refined.leaves()[0];
+    refined.refine_balanced(first);
+    (dist_for(&tree), dist_for(&refined))
+}
 
 /// Planted bug #1: a cyclic ghost link.  A miswired exchange that makes a
 /// link's unpack wait on the *same stage's* combine (instead of the
@@ -144,4 +161,71 @@ fn race_model_catches_aliased_recycled_workspace() {
     assert!(report.prior_site.starts_with("combine("), "{report}");
     assert!(report.site.starts_with("combine("), "{report}");
     race_model_pipeline(&links, 3, RaceBug::None).expect("per-leaf workspaces are race-free");
+}
+
+/// Planted bug #5: a lost parcel.  One M2L halo parcel's promise is leaked
+/// un-resolved, so the receiving locality's multipole kernel can never
+/// run: the model checker must report the stall, the report must name the
+/// dropped link (not just "something deadlocked"), and the seed must
+/// replay to the same stall.
+#[test]
+fn model_checker_reports_lost_parcel_naming_the_link() {
+    let (dist, _) = dist_plans();
+    assert!(
+        !dist.m2l_halo.is_empty(),
+        "four localities on the level-2 tree must exchange M2L halos"
+    );
+    let checker = ModelChecker::new().schedules(4);
+
+    let report = checker.explore(|rt| exercise_dist_solve(rt, &dist, DistScheduleBug::LostParcel));
+    assert_eq!(report.failures.len(), 4, "every schedule must stall");
+    let failure = &report.failures[0];
+    let lost = &dist.m2l_halo[0];
+    assert!(
+        failure.report.contains("undelivered parcel link(s)"),
+        "stall must be attributed to parcel delivery: {}",
+        failure.report
+    );
+    assert!(
+        failure
+            .report
+            .contains(&format!("m2l halo {} -> {}", lost.from, lost.to)),
+        "stall must name the dropped link: {}",
+        failure.report
+    );
+    assert!(
+        failure.report.contains("deterministic schedule stalled"),
+        "the runtime's stall diagnosis must be preserved: {}",
+        failure.report
+    );
+
+    let replayed = checker
+        .replay(failure.seed, |rt| {
+            exercise_dist_solve(rt, &dist, DistScheduleBug::LostParcel)
+        })
+        .expect("the seed must reproduce the stall");
+    assert_eq!(replayed.report, failure.report);
+
+    // The faithful wiring drains clean under the same seeds.
+    let clean = checker.explore(|rt| exercise_dist_solve(rt, &dist, DistScheduleBug::None));
+    assert!(clean.is_clean(), "unexpected failures: {clean}");
+}
+
+/// Planted bug #6: a stale halo plan.  The regrid bumps the topology
+/// version and repartitions (rewriting the halo plan's backing storage);
+/// skipping the keyed rebuild leaves step 2's halo packs reading the plan
+/// unordered against that rewrite.  The race detector must flag the
+/// write-read naming both the regrid and the consuming pack — while the
+/// faithful rebuild sequence stays clean.
+#[test]
+fn race_model_catches_stale_halo_plan_after_regrid() {
+    let (dist1, dist2) = dist_plans();
+    let report =
+        race_model_dist_regrid(&dist1, &dist2, DistRaceBug::StaleHalo).expect_err("must race");
+    assert_eq!(report.conflict, "write-read");
+    assert!(report.view_label.starts_with("halo-plan("), "{report}");
+    assert!(report.prior_site.starts_with("regrid("), "{report}");
+    assert!(report.site.contains("halo-pack(step2"), "{report}");
+    race_model_dist_regrid(&dist1, &dist2, DistRaceBug::None)
+        .expect("the rebuild-gated sequence is race-free");
 }

@@ -6,6 +6,30 @@
 //! unbounded typed channel where `receive()` returns a [`Future`] that is
 //! fulfilled by a matching `send()` — in either arrival order.  It mirrors
 //! `hpx::lcos::local::channel`.
+//!
+//! # Multi-receiver semantics (work queue, not broadcast)
+//!
+//! Both halves are `Clone`.  Cloned receivers — e.g. the same parcel link
+//! drained from several simulated localities — share one FIFO and one
+//! wakeup queue: **each sent value is delivered to exactly one `receive()`
+//! future**, matched in the order the receives were issued, never
+//! duplicated and never dropped.  Two localities draining one link
+//! therefore observe *disjoint* parcels whose union is everything sent
+//! (see `cloned_receivers_drain_disjoint_values`).  For broadcast
+//! semantics, use one channel per consumer.
+//!
+//! Ordering is only defined per channel: values are received in send
+//! order, and waiting receive futures are fulfilled in receive-call order,
+//! regardless of which clone issued them.
+//!
+//! # Close semantics
+//!
+//! `close()` is a final marker: every *waiting* receive future and every
+//! receive issued after the close observes abandonment ("channel closed")
+//! once the queue is empty — values sent before the close remain
+//! receivable (drain-then-fail).  Sending after `close()` is a caller bug
+//! and panics immediately rather than silently queueing a value that the
+//! closed channel may never hand out.
 
 use crate::future::{Future, Promise};
 use parking_lot::Mutex;
@@ -25,11 +49,16 @@ struct Shared<T> {
 }
 
 /// Sending half of an HPX-style channel.
+///
+/// Clones share the channel: any clone may send, any clone may close.
 pub struct Sender<T> {
     shared: Arc<Shared<T>>,
 }
 
 /// Receiving half of an HPX-style channel.
+///
+/// Clones are co-consumers of one work queue: each value goes to exactly
+/// one `receive()` future across all clones (see the module docs).
 pub struct Receiver<T> {
     shared: Arc<Shared<T>>,
 }
@@ -68,11 +97,19 @@ pub fn channel<T: Send + 'static>() -> (Sender<T>, Receiver<T>) {
 }
 
 impl<T: Send + 'static> Sender<T> {
-    /// Deliver one value.  If a receiver is already waiting, its future is
-    /// fulfilled immediately; otherwise the value is queued.
+    /// Deliver one value to exactly one receiver.  If a receive future is
+    /// already waiting (from any receiver clone), the oldest is fulfilled
+    /// immediately; otherwise the value is queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel has been closed: a post-close send is a
+    /// protocol violation (the value could be stranded forever), so it
+    /// fails loudly at the send site instead.
     pub fn send(&self, value: T) {
         let waiter = {
             let mut st = self.shared.state.lock();
+            assert!(!st.senders_closed, "send on closed channel");
             match st.waiting_receivers.pop_front() {
                 Some(p) => Some((p, value)),
                 None => {
@@ -102,7 +139,10 @@ impl<T: Send + 'static> Sender<T> {
 }
 
 impl<T: Send + 'static> Receiver<T> {
-    /// Obtain a future for the next value (FIFO among receive calls).
+    /// Obtain a future for the next value (FIFO among receive calls,
+    /// across *all* receiver clones — each value is claimed by exactly one
+    /// such future).  After a close, queued values still drain in order;
+    /// once the queue is empty the future observes abandonment.
     pub fn receive(&self) -> Future<T> {
         let mut st = self.shared.state.lock();
         if let Some(v) = st.ready_values.pop_front() {
@@ -201,5 +241,82 @@ mod tests {
         tx.send(1);
         tx2.send(2);
         assert_eq!(rx.receive().get() + rx.receive().get(), 3);
+    }
+
+    /// Distribution regression: one ghost link drained from two
+    /// localities.  The receiver clones are co-consumers of one FIFO —
+    /// each parcel is delivered to exactly one of them, none are
+    /// duplicated or lost, and together they observe everything sent.
+    #[test]
+    fn cloned_receivers_drain_disjoint_values() {
+        let (tx, rx_a) = channel::<u32>();
+        let rx_b = rx_a.clone();
+
+        // Each simulated locality posts its receive before the parcels
+        // arrive, interleaved so both clones hold waiting futures.
+        let futs_a: Vec<_> = (0..4).map(|_| rx_a.receive()).collect();
+        let futs_b: Vec<_> = (0..4).map(|_| rx_b.receive()).collect();
+        let sender = std::thread::spawn(move || {
+            for v in 0..8 {
+                tx.send(v);
+            }
+        });
+        sender.join().unwrap();
+
+        let mut seen: Vec<u32> = futs_a.into_iter().chain(futs_b).map(|f| f.get()).collect();
+        seen.sort_unstable();
+        // Disjoint delivery: the union is exactly the 8 parcels, each once.
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    /// The FIFO also stays disjoint when clones poll queued values instead
+    /// of pre-posting futures (the lockstep halo-exchange pattern).
+    #[test]
+    fn cloned_receivers_split_a_queued_backlog() {
+        let (tx, rx_a) = channel::<u32>();
+        let rx_b = rx_a.clone();
+        for v in 0..6 {
+            tx.send(v);
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..6 {
+            if i % 2 == 0 {
+                a.push(rx_a.receive().get());
+            } else {
+                b.push(rx_b.receive().get());
+            }
+        }
+        assert_eq!(a, vec![0, 2, 4]);
+        assert_eq!(b, vec![1, 3, 5]);
+        assert_eq!(rx_a.queued(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "send on closed channel")]
+    fn send_after_close_panics() {
+        let (tx, _rx) = channel::<i32>();
+        tx.close();
+        tx.send(1);
+    }
+
+    /// Close is drain-then-fail: values sent before the close remain
+    /// receivable, in order; only then do receives observe abandonment.
+    #[test]
+    fn close_drains_queued_values_first() {
+        let (tx, rx) = channel::<i32>();
+        tx.send(41);
+        tx.send(42);
+        tx.close();
+        assert_eq!(rx.receive().get(), 41);
+        assert_eq!(rx.receive().get(), 42);
+        let f = rx.receive();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f.get()))
+            .expect_err("post-drain receive must observe the close");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap());
+        assert!(msg.contains("channel closed"), "{msg}");
     }
 }

@@ -354,6 +354,252 @@ impl std::fmt::Display for GravityPlanSnapshot {
     }
 }
 
+// ---------------------------------------------------------------------
+// Distributed parcel-traffic counters
+// ---------------------------------------------------------------------
+
+/// The kind of cross-locality traffic a parcel carries.
+///
+/// Every class maps to one leg of the distributed stepper: ghost-zone
+/// pack/unpack payloads, the FMM halo traffic of the gravity solve
+/// (multipole up-pass, M2L flat-source gathers, local-expansion down-pass,
+/// P2P point-mass contributions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParcelClass {
+    /// Ghost-zone payloads (`ghost_pack` actions).
+    Ghost,
+    /// Multipole moments sent child-owner → parent-owner in the up-pass.
+    MultipoleUp,
+    /// Multipole moments gathered for remote M2L source slots.
+    M2l,
+    /// Local expansions sent parent-owner → child-owner in the down-pass.
+    MultipoleDown,
+    /// Point masses for remote P2P source leaves.
+    P2p,
+}
+
+impl ParcelClass {
+    /// Stable counter-path segment for this class.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParcelClass::Ghost => "ghost",
+            ParcelClass::MultipoleUp => "multipole-up",
+            ParcelClass::M2l => "m2l",
+            ParcelClass::MultipoleDown => "multipole-down",
+            ParcelClass::P2p => "p2p",
+        }
+    }
+}
+
+/// Process-wide counters of the distributed stepper's typed parcel
+/// traffic, exported in HPX counter style as
+/// `/octotiger/parcels/{class}/{count,bytes}` per [`ParcelClass`].
+///
+/// Like [`ScratchCounters`] these are global: every parcel transport in
+/// the process reports into one block, so "the N=1 reference path sends
+/// zero parcels" is a single-snapshot assertion.  Per-locality raw parcel
+/// counts remain on each locality's [`Counters`].
+#[derive(Debug, Default)]
+pub struct ParcelCounters {
+    /// Ghost-zone parcels / payload bytes.
+    pub ghost_count: AtomicU64,
+    pub ghost_bytes: AtomicU64,
+    /// Up-pass multipole parcels / bytes.
+    pub multipole_up_count: AtomicU64,
+    pub multipole_up_bytes: AtomicU64,
+    /// M2L halo-gather parcels / bytes.
+    pub m2l_count: AtomicU64,
+    pub m2l_bytes: AtomicU64,
+    /// Down-pass local-expansion parcels / bytes.
+    pub multipole_down_count: AtomicU64,
+    pub multipole_down_bytes: AtomicU64,
+    /// P2P point-mass parcels / bytes.
+    pub p2p_count: AtomicU64,
+    pub p2p_bytes: AtomicU64,
+}
+
+impl ParcelCounters {
+    /// Record one parcel of `class` carrying `bytes` payload bytes.
+    pub fn note_send(&self, class: ParcelClass, bytes: u64) {
+        let (count, total) = match class {
+            ParcelClass::Ghost => (&self.ghost_count, &self.ghost_bytes),
+            ParcelClass::MultipoleUp => (&self.multipole_up_count, &self.multipole_up_bytes),
+            ParcelClass::M2l => (&self.m2l_count, &self.m2l_bytes),
+            ParcelClass::MultipoleDown => (&self.multipole_down_count, &self.multipole_down_bytes),
+            ParcelClass::P2p => (&self.p2p_count, &self.p2p_bytes),
+        };
+        Counters::bump(count);
+        Counters::add(total, bytes);
+    }
+
+    /// Consistent-enough snapshot.
+    pub fn snapshot(&self) -> ParcelSnapshot {
+        ParcelSnapshot {
+            ghost_count: self.ghost_count.load(Ordering::Relaxed),
+            ghost_bytes: self.ghost_bytes.load(Ordering::Relaxed),
+            multipole_up_count: self.multipole_up_count.load(Ordering::Relaxed),
+            multipole_up_bytes: self.multipole_up_bytes.load(Ordering::Relaxed),
+            m2l_count: self.m2l_count.load(Ordering::Relaxed),
+            m2l_bytes: self.m2l_bytes.load(Ordering::Relaxed),
+            multipole_down_count: self.multipole_down_count.load(Ordering::Relaxed),
+            multipole_down_bytes: self.multipole_down_bytes.load(Ordering::Relaxed),
+            p2p_count: self.p2p_count.load(Ordering::Relaxed),
+            p2p_bytes: self.p2p_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter (HPX's `reset_active_counters`).
+    pub fn reset(&self) {
+        self.ghost_count.store(0, Ordering::Relaxed);
+        self.ghost_bytes.store(0, Ordering::Relaxed);
+        self.multipole_up_count.store(0, Ordering::Relaxed);
+        self.multipole_up_bytes.store(0, Ordering::Relaxed);
+        self.m2l_count.store(0, Ordering::Relaxed);
+        self.m2l_bytes.store(0, Ordering::Relaxed);
+        self.multipole_down_count.store(0, Ordering::Relaxed);
+        self.multipole_down_bytes.store(0, Ordering::Relaxed);
+        self.p2p_count.store(0, Ordering::Relaxed);
+        self.p2p_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-global [`ParcelCounters`] block every parcel transport
+/// reports into.
+pub fn parcel_counters() -> &'static ParcelCounters {
+    static GLOBAL: ParcelCounters = ParcelCounters {
+        ghost_count: AtomicU64::new(0),
+        ghost_bytes: AtomicU64::new(0),
+        multipole_up_count: AtomicU64::new(0),
+        multipole_up_bytes: AtomicU64::new(0),
+        m2l_count: AtomicU64::new(0),
+        m2l_bytes: AtomicU64::new(0),
+        multipole_down_count: AtomicU64::new(0),
+        multipole_down_bytes: AtomicU64::new(0),
+        p2p_count: AtomicU64::new(0),
+        p2p_bytes: AtomicU64::new(0),
+    };
+    &GLOBAL
+}
+
+/// Plain-data snapshot of [`ParcelCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParcelSnapshot {
+    pub ghost_count: u64,
+    pub ghost_bytes: u64,
+    pub multipole_up_count: u64,
+    pub multipole_up_bytes: u64,
+    pub m2l_count: u64,
+    pub m2l_bytes: u64,
+    pub multipole_down_count: u64,
+    pub multipole_down_bytes: u64,
+    pub p2p_count: u64,
+    pub p2p_bytes: u64,
+}
+
+impl ParcelSnapshot {
+    /// Counter deltas `self - earlier` (saturating, counters are monotonic).
+    pub fn since(&self, earlier: &ParcelSnapshot) -> ParcelSnapshot {
+        ParcelSnapshot {
+            ghost_count: self.ghost_count.saturating_sub(earlier.ghost_count),
+            ghost_bytes: self.ghost_bytes.saturating_sub(earlier.ghost_bytes),
+            multipole_up_count: self
+                .multipole_up_count
+                .saturating_sub(earlier.multipole_up_count),
+            multipole_up_bytes: self
+                .multipole_up_bytes
+                .saturating_sub(earlier.multipole_up_bytes),
+            m2l_count: self.m2l_count.saturating_sub(earlier.m2l_count),
+            m2l_bytes: self.m2l_bytes.saturating_sub(earlier.m2l_bytes),
+            multipole_down_count: self
+                .multipole_down_count
+                .saturating_sub(earlier.multipole_down_count),
+            multipole_down_bytes: self
+                .multipole_down_bytes
+                .saturating_sub(earlier.multipole_down_bytes),
+            p2p_count: self.p2p_count.saturating_sub(earlier.p2p_count),
+            p2p_bytes: self.p2p_bytes.saturating_sub(earlier.p2p_bytes),
+        }
+    }
+
+    /// Total parcels across every class.
+    pub fn total_count(&self) -> u64 {
+        self.ghost_count
+            + self.multipole_up_count
+            + self.m2l_count
+            + self.multipole_down_count
+            + self.p2p_count
+    }
+
+    /// Total payload bytes across every class.
+    pub fn total_bytes(&self) -> u64 {
+        self.ghost_bytes
+            + self.multipole_up_bytes
+            + self.m2l_bytes
+            + self.multipole_down_bytes
+            + self.p2p_bytes
+    }
+
+    /// Parcels of the gravity halo classes only (everything but ghosts).
+    pub fn gravity_count(&self) -> u64 {
+        self.multipole_up_count + self.m2l_count + self.multipole_down_count + self.p2p_count
+    }
+}
+
+impl std::fmt::Display for ParcelSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "/octotiger/parcels/ghost/count           {}",
+            self.ghost_count
+        )?;
+        writeln!(
+            f,
+            "/octotiger/parcels/ghost/bytes           {}",
+            self.ghost_bytes
+        )?;
+        writeln!(
+            f,
+            "/octotiger/parcels/multipole-up/count    {}",
+            self.multipole_up_count
+        )?;
+        writeln!(
+            f,
+            "/octotiger/parcels/multipole-up/bytes    {}",
+            self.multipole_up_bytes
+        )?;
+        writeln!(
+            f,
+            "/octotiger/parcels/m2l/count             {}",
+            self.m2l_count
+        )?;
+        writeln!(
+            f,
+            "/octotiger/parcels/m2l/bytes             {}",
+            self.m2l_bytes
+        )?;
+        writeln!(
+            f,
+            "/octotiger/parcels/multipole-down/count  {}",
+            self.multipole_down_count
+        )?;
+        writeln!(
+            f,
+            "/octotiger/parcels/multipole-down/bytes  {}",
+            self.multipole_down_bytes
+        )?;
+        writeln!(
+            f,
+            "/octotiger/parcels/p2p/count             {}",
+            self.p2p_count
+        )?;
+        write!(
+            f,
+            "/octotiger/parcels/p2p/bytes             {}",
+            self.p2p_bytes
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,6 +681,71 @@ mod tests {
             }
         );
         assert_eq!(a.since(&b), GravityPlanSnapshot::default());
+    }
+
+    #[test]
+    fn parcel_counters_count_per_class_and_display() {
+        let c = ParcelCounters::default();
+        c.note_send(ParcelClass::Ghost, 128);
+        c.note_send(ParcelClass::Ghost, 64);
+        c.note_send(ParcelClass::M2l, 320);
+        c.note_send(ParcelClass::MultipoleUp, 320);
+        c.note_send(ParcelClass::MultipoleDown, 320);
+        c.note_send(ParcelClass::P2p, 96);
+        let s = c.snapshot();
+        assert_eq!((s.ghost_count, s.ghost_bytes), (2, 192));
+        assert_eq!((s.m2l_count, s.m2l_bytes), (1, 320));
+        assert_eq!((s.multipole_up_count, s.multipole_up_bytes), (1, 320));
+        assert_eq!((s.multipole_down_count, s.multipole_down_bytes), (1, 320));
+        assert_eq!((s.p2p_count, s.p2p_bytes), (1, 96));
+        assert_eq!(s.total_count(), 6);
+        assert_eq!(s.total_bytes(), 192 + 320 * 3 + 96);
+        assert_eq!(s.gravity_count(), 4);
+        let text = format!("{s}");
+        for class in [
+            ParcelClass::Ghost,
+            ParcelClass::MultipoleUp,
+            ParcelClass::M2l,
+            ParcelClass::MultipoleDown,
+            ParcelClass::P2p,
+        ] {
+            assert!(text.contains(&format!("/octotiger/parcels/{}/count", class.name())));
+            assert!(text.contains(&format!("/octotiger/parcels/{}/bytes", class.name())));
+        }
+        c.reset();
+        assert_eq!(c.snapshot(), ParcelSnapshot::default());
+    }
+
+    #[test]
+    fn parcel_snapshot_deltas_saturate() {
+        let a = ParcelSnapshot {
+            ghost_count: 4,
+            ghost_bytes: 100,
+            ..Default::default()
+        };
+        let b = ParcelSnapshot {
+            ghost_count: 9,
+            ghost_bytes: 260,
+            m2l_count: 1,
+            m2l_bytes: 40,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!((d.ghost_count, d.ghost_bytes), (5, 160));
+        assert_eq!((d.m2l_count, d.m2l_bytes), (1, 40));
+        assert_eq!(a.since(&b), ParcelSnapshot::default());
+    }
+
+    #[test]
+    fn global_parcel_counters_are_monotonic() {
+        let g = parcel_counters();
+        let before = g.snapshot();
+        g.note_send(ParcelClass::Ghost, 8);
+        g.note_send(ParcelClass::P2p, 24);
+        let delta = g.snapshot().since(&before);
+        assert!(delta.ghost_count >= 1);
+        assert!(delta.ghost_bytes >= 8);
+        assert!(delta.p2p_count >= 1);
     }
 
     #[test]

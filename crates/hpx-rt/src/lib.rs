@@ -35,19 +35,22 @@ pub mod channel;
 pub mod counters;
 pub mod future;
 pub mod locality;
+pub mod parcel;
 pub mod pjm;
 pub mod runtime;
 
 pub use apex::{Apex, TimerStats};
 pub use channel::{channel, Receiver, Sender};
 pub use counters::{
-    gravity_plan_counters, Counters, CountersSnapshot, GravityPlanCounters, GravityPlanSnapshot,
+    gravity_plan_counters, parcel_counters, Counters, CountersSnapshot, GravityPlanCounters,
+    GravityPlanSnapshot, ParcelClass, ParcelCounters, ParcelSnapshot,
 };
 pub use future::{
     dataflow2, make_ready_future, set_blocked_wait_timeout, when_all, when_all_of, when_any,
     Future, Promise, Settled,
 };
 pub use locality::{ActionRegistry, Locality, LocalityId, Parcel, SimCluster};
+pub use parcel::{ParcelTransport, TypedParcel};
 pub use pjm::JobSpec;
 pub use runtime::{Runtime, Scope};
 

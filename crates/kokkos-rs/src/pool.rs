@@ -122,6 +122,41 @@ impl<T> BufferPool<T> {
     fn pop_bucket(&self, bucket: usize) -> Option<Vec<T>> {
         self.inner.free.lock().get_mut(&bucket)?.pop()
     }
+
+    /// Top up the `bucket` free list so at least `count` buffers are ready
+    /// to check out, allocating (and counting as misses) only the
+    /// shortfall.
+    ///
+    /// A caller that knows its peak concurrent demand — e.g. the ghost
+    /// exchange, which checks out exactly one payload per link — can
+    /// prewarm before fanning work out to concurrent tasks, making the
+    /// steady state allocation-free *by construction*: once the pool holds
+    /// `count` buffers the call is a no-op and every checkout hits,
+    /// regardless of how checkouts and returns interleave across threads.
+    /// Without it, the population the warm-up round happens to reach
+    /// depends on scheduling, and a later round with more overlap still
+    /// allocates.
+    pub fn prewarm(&self, bucket: usize, count: usize) {
+        let shortfall = {
+            let mut free = self.inner.free.lock();
+            let list = free.entry(bucket).or_default();
+            let shortfall = count.saturating_sub(list.len());
+            for _ in 0..shortfall {
+                list.push(Vec::with_capacity(bucket));
+            }
+            shortfall
+        };
+        if shortfall > 0 {
+            self.inner
+                .stats
+                .misses
+                .fetch_add(shortfall as u64, Ordering::Relaxed);
+            let g = scratch_counters();
+            for _ in 0..shortfall {
+                g.note_miss();
+            }
+        }
+    }
 }
 
 impl<T: Clone + Default> BufferPool<T> {
@@ -323,6 +358,25 @@ mod tests {
         let b = pool.checkout_empty(10);
         assert!(b.is_empty() && b.capacity() >= 10);
         assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn prewarm_tops_up_only_the_shortfall() {
+        let pool = BufferPool::<f64>::new();
+        drop(pool.checkout(16)); // one buffer already in the free list
+        pool.prewarm(16, 3);
+        assert_eq!(pool.free_buffers(), 3);
+        // The two fresh buffers are counted as allocations (misses).
+        assert_eq!(pool.stats().misses, 1 + 2);
+        // Once populated, prewarm is a no-op and checkouts all hit.
+        pool.prewarm(16, 3);
+        assert_eq!(pool.free_buffers(), 3);
+        let a = pool.checkout(16);
+        let b = pool.checkout_empty(16);
+        let c = pool.checkout(16);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (3, 3));
+        drop((a, b, c));
     }
 
     #[test]

@@ -20,17 +20,23 @@
 //!   invariants, refinement driven by a criterion callback.
 //! * [`ghost`] — distributed ghost-layer exchange over `hpx-rt` localities,
 //!   with the communication-optimization fast path.
-//! * [`partition`] — Morton-order space-filling-curve partitioning of
-//!   leaves over localities.
+//! * [`partition`] — Morton-order space-filling-curve and recursive
+//!   coordinate-bisection partitioning of leaves over localities.
+//! * [`shard`] — per-locality subtree views (owned leaves + remote-leaf
+//!   stubs) over a partition, the distributed stepper's ownership map.
 
 pub mod ghost;
 pub mod index;
 pub mod partition;
+pub mod shard;
 pub mod subgrid;
 pub mod tree;
 
 pub use ghost::{ghost_link_specs, DistGrid, GhostConfig, LinkSpec, PipelinedExchange};
 pub use index::{Dir, NodeId, Octant, MAX_LEVEL};
-pub use partition::{partition_morton, PartitionStats};
+pub use partition::{
+    partition_morton, partition_rcb, partition_rcb_with_cuts, PartitionStats, RcbCut,
+};
+pub use shard::{Shard, ShardMap};
 pub use subgrid::SubGrid;
 pub use tree::{Neighbor, Tree};

@@ -1,4 +1,5 @@
-//! Space-filling-curve partitioning of leaves over localities.
+//! Space-filling-curve and coordinate-bisection partitioning of leaves
+//! over localities.
 //!
 //! Octo-Tiger distributes sub-grids over HPX localities along a Morton
 //! curve; contiguous curve segments give compact partitions whose surface
@@ -7,6 +8,12 @@
 //! cross localities — are exactly what decides whether the Section VII-B
 //! communication optimization pays off (Figure 8: big win at 1–4 localities
 //! where most links are local, break-even at 8, slightly negative beyond).
+//!
+//! [`partition_rcb`] is the recursive-coordinate-bisection alternative:
+//! leaves are recursively split along the widest spatial axis, with every
+//! cut placed on a lane-aligned [`kokkos_rs::RangePolicy::split`] boundary
+//! so the
+//! per-locality leaf runs feed whole SIMD lane blocks downstream.
 
 use crate::index::Dir;
 use crate::tree::{Neighbor, Tree};
@@ -39,6 +46,143 @@ pub fn partition_morton(tree: &Tree, num_localities: usize) -> HashMap<NodeId, L
         idx += size;
     }
     out
+}
+
+/// One bisection cut recorded by [`partition_rcb_with_cuts`].
+///
+/// Indices are positions in the recursion's working order (each subrange
+/// re-sorted along its own widest axis).  The invariant property tests
+/// pin: `cut - begin` is always a multiple of `lane` — the exact rounding
+/// [`kokkos_rs::RangePolicy::split`] applies to interior task boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RcbCut {
+    /// First index of the bisected subrange.
+    pub begin: usize,
+    /// One past the last index of the subrange.
+    pub end: usize,
+    /// The split position (`begin <= cut <= end`).
+    pub cut: usize,
+    /// Spatial axis the subrange was sorted along (0 = x, 1 = y, 2 = z).
+    pub axis: usize,
+    /// Lane alignment the cut respects.
+    pub lane: usize,
+}
+
+/// The boundary `RangePolicy::new(0, len).with_lanes(lane).split(parts)`
+/// places after the first `pl` proportional chunks: the proportional
+/// cursor rounded down to a lane multiple.
+fn lane_cut(len: usize, parts: usize, pl: usize, lane: usize) -> usize {
+    let base = len / parts;
+    let extra = len % parts;
+    let cursor = pl * base + pl.min(extra);
+    (cursor / lane) * lane
+}
+
+fn rcb_recurse(
+    items: &mut [(NodeId, [f64; 3])],
+    parts: usize,
+    first_id: usize,
+    offset: usize,
+    lane: usize,
+    out: &mut HashMap<NodeId, LocalityId>,
+    cuts: &mut Vec<RcbCut>,
+) {
+    if parts <= 1 || items.len() <= 1 {
+        for (leaf, _) in items.iter() {
+            out.insert(*leaf, LocalityId(first_id));
+        }
+        return;
+    }
+    // Widest spatial extent of the subrange's leaf centers picks the axis.
+    let axis = (0..3)
+        .max_by(|&a, &b| {
+            let spread = |ax: usize| {
+                let lo = items
+                    .iter()
+                    .map(|(_, c)| c[ax])
+                    .fold(f64::INFINITY, f64::min);
+                let hi = items
+                    .iter()
+                    .map(|(_, c)| c[ax])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                hi - lo
+            };
+            spread(a).total_cmp(&spread(b))
+        })
+        .unwrap_or(0);
+    // Deterministic order: coordinate along the axis, SFC key as tiebreak.
+    items.sort_by(|(na, ca), (nb, cb)| {
+        ca[axis]
+            .total_cmp(&cb[axis])
+            .then_with(|| na.sfc_key().cmp(&nb.sfc_key()))
+    });
+    let pl = parts - parts / 2;
+    let pr = parts / 2;
+    let cut = lane_cut(items.len(), parts, pl, lane);
+    cuts.push(RcbCut {
+        begin: offset,
+        end: offset + items.len(),
+        cut: offset + cut,
+        axis,
+        lane,
+    });
+    let (left, right) = items.split_at_mut(cut);
+    rcb_recurse(left, pl, first_id, offset, lane, out, cuts);
+    rcb_recurse(right, pr, first_id + pl, offset + cut, lane, out, cuts);
+}
+
+/// Assign the tree's leaves to `num_localities` localities by recursive
+/// coordinate bisection: split along the widest axis at a lane-aligned
+/// [`kokkos_rs::RangePolicy::split`] boundary, recurse on both halves with
+/// the
+/// locality budget split proportionally.
+///
+/// Compared to [`partition_morton`] this trades SFC contiguity for
+/// spatially compact boxes; both keep every leaf owned by exactly one
+/// locality.  `lane` is the SIMD lane count downstream kernels carve on
+/// (`sve_simd::SVE_LANES_F64` in production); `lane == 1` disables
+/// alignment.
+///
+/// # Panics
+/// Panics if `num_localities == 0` or `lane == 0`.
+pub fn partition_rcb(
+    tree: &Tree,
+    num_localities: usize,
+    lane: usize,
+) -> HashMap<NodeId, LocalityId> {
+    partition_rcb_with_cuts(tree, num_localities, lane).0
+}
+
+/// [`partition_rcb`], also returning the recorded bisection cuts so tests
+/// can verify every cut sits on a lane-aligned `RangePolicy::split`
+/// boundary.
+pub fn partition_rcb_with_cuts(
+    tree: &Tree,
+    num_localities: usize,
+    lane: usize,
+) -> (HashMap<NodeId, LocalityId>, Vec<RcbCut>) {
+    assert!(num_localities > 0, "need at least one locality");
+    assert!(lane > 0, "lane alignment must be >= 1");
+    let leaves = tree.leaves();
+    let mut items: Vec<(NodeId, [f64; 3])> = leaves
+        .iter()
+        .map(|&leaf| {
+            let (corner, size) = leaf.cube();
+            (
+                leaf,
+                [
+                    corner[0] + 0.5 * size,
+                    corner[1] + 0.5 * size,
+                    corner[2] + 0.5 * size,
+                ],
+            )
+        })
+        .collect();
+    let mut out = HashMap::with_capacity(items.len());
+    let mut cuts = Vec::new();
+    let parts = num_localities.min(items.len().max(1));
+    rcb_recurse(&mut items, parts, 0, 0, lane, &mut out, &mut cuts);
+    (out, cuts)
 }
 
 /// Locality-boundary statistics of a partition.
@@ -117,6 +261,7 @@ pub fn partition_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kokkos_rs::RangePolicy;
 
     #[test]
     fn partition_is_total_and_balanced() {
@@ -191,6 +336,77 @@ mod tests {
             );
             prev_fraction = f;
         }
+    }
+
+    #[test]
+    fn lane_cut_matches_range_policy_split_boundaries() {
+        // The bisection cut must be exactly the boundary RangePolicy::split
+        // places after the first `pl` proportional chunks.
+        for (len, parts, lane) in [
+            (64, 7, 8),
+            (64, 4, 8),
+            (512, 16, 8),
+            (33, 3, 8),
+            (100, 5, 4),
+        ] {
+            let chunks = RangePolicy::new(0, len).with_lanes(lane).split(parts);
+            let pl = parts - parts / 2;
+            if let Some(&(_, bound)) = chunks.get(pl - 1) {
+                if bound < len {
+                    assert_eq!(
+                        lane_cut(len, parts, pl, lane),
+                        bound,
+                        "len={len} parts={parts} lane={lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rcb_is_total_and_lane_aligned() {
+        let tree = Tree::new_uniform(2); // 64 leaves
+        for parts in [1usize, 2, 3, 4, 7] {
+            let (owner, cuts) = partition_rcb_with_cuts(&tree, parts, 8);
+            assert_eq!(owner.len(), 64, "{parts} parts");
+            let mut counts = vec![0usize; parts];
+            for loc in owner.values() {
+                counts[loc.0] += 1;
+            }
+            assert_eq!(counts.iter().sum::<usize>(), 64);
+            for c in &cuts {
+                assert_eq!(
+                    (c.cut - c.begin) % c.lane,
+                    0,
+                    "unaligned cut {c:?} at {parts} parts"
+                );
+            }
+            // 64 = 8 lanes × 8 blocks: every locality count is whole blocks.
+            for (p, &c) in counts.iter().enumerate() {
+                assert_eq!(c % 8, 0, "locality {p} got {c} leaves at {parts} parts");
+            }
+        }
+    }
+
+    #[test]
+    fn rcb_covers_adaptive_trees() {
+        let mut tree = Tree::new_uniform(1);
+        tree.refine_balanced(NodeId::from_coords(1, [1, 0, 1]));
+        let owner = partition_rcb(&tree, 3, 8);
+        assert_eq!(owner.len(), tree.num_leaves());
+        let stats = partition_stats(&tree, &owner, 3);
+        assert_eq!(
+            stats.leaves_per_locality.iter().sum::<usize>(),
+            tree.num_leaves()
+        );
+    }
+
+    #[test]
+    fn rcb_single_locality_owns_everything() {
+        let tree = Tree::new_uniform(2);
+        let (owner, cuts) = partition_rcb_with_cuts(&tree, 1, 8);
+        assert!(owner.values().all(|&l| l == LocalityId(0)));
+        assert!(cuts.is_empty());
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Per-locality subtree views over a partitioned octree.
+//!
+//! Once leaves are assigned to localities ([`crate::partition`]), each
+//! locality sees the tree through a [`Shard`]: the leaves it owns (in SFC
+//! order, the order every fixed-fold summation uses) plus *remote-leaf
+//! stubs* — the halo of leaves owned elsewhere whose data its ghost links
+//! read.  A stub carries no sub-grid storage; its payloads arrive as
+//! parcels.  The distributed gravity solver derives its own (wider) halo
+//! from the interaction plan; this module is the ghost-exchange view and
+//! the bookkeeping the distributed models in `hpx-check` exercise.
+
+use crate::ghost::ghost_link_specs;
+use crate::tree::Tree;
+use crate::NodeId;
+use hpx_rt::LocalityId;
+use std::collections::{HashMap, HashSet};
+
+/// One locality's view of the partitioned tree.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// Which locality this view belongs to.
+    pub locality: LocalityId,
+    /// Leaves owned by this locality, in SFC order.
+    pub owned: Vec<NodeId>,
+    /// Remote-leaf stubs: leaves owned elsewhere that this locality's
+    /// ghost links read, in SFC order, deduplicated.
+    pub halo: Vec<NodeId>,
+    owned_set: HashSet<NodeId>,
+    halo_set: HashSet<NodeId>,
+}
+
+impl Shard {
+    /// Does this locality own `leaf`?
+    pub fn owns(&self, leaf: NodeId) -> bool {
+        self.owned_set.contains(&leaf)
+    }
+
+    /// Is `leaf` a remote stub in this view (read via parcels, not owned)?
+    pub fn is_remote_stub(&self, leaf: NodeId) -> bool {
+        self.halo_set.contains(&leaf)
+    }
+}
+
+/// The full set of per-locality shards for one partition.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    shards: Vec<Shard>,
+    remote_links: usize,
+}
+
+impl ShardMap {
+    /// Build per-locality views from a partition over `num_localities`.
+    ///
+    /// The halo of locality `p` is every ghost-link source leaf owned by a
+    /// different locality than the link's destination leaf — exactly the
+    /// links `DistGrid` routes as parcels instead of direct access.
+    pub fn build(
+        tree: &Tree,
+        owner: &HashMap<NodeId, LocalityId>,
+        num_localities: usize,
+    ) -> ShardMap {
+        let mut owned: Vec<Vec<NodeId>> = vec![Vec::new(); num_localities];
+        for leaf in tree.leaves() {
+            owned[owner[&leaf].0].push(leaf);
+        }
+        let mut halo_sets: Vec<HashSet<NodeId>> = vec![HashSet::new(); num_localities];
+        let mut remote_links = 0usize;
+        for link in ghost_link_specs(tree) {
+            let me = owner[&link.leaf];
+            let mut crossed = false;
+            for src in &link.sources {
+                if owner[src] != me {
+                    crossed = true;
+                    halo_sets[me.0].insert(*src);
+                }
+            }
+            remote_links += usize::from(crossed);
+        }
+        let shards = owned
+            .into_iter()
+            .zip(halo_sets)
+            .enumerate()
+            .map(|(p, (owned, halo_set))| {
+                let mut halo: Vec<NodeId> = halo_set.iter().copied().collect();
+                halo.sort_by_key(|l| l.sfc_key());
+                Shard {
+                    locality: LocalityId(p),
+                    owned_set: owned.iter().copied().collect(),
+                    owned,
+                    halo,
+                    halo_set,
+                }
+            })
+            .collect();
+        ShardMap {
+            shards,
+            remote_links,
+        }
+    }
+
+    /// The shard of locality `loc`.
+    pub fn shard(&self, loc: LocalityId) -> &Shard {
+        &self.shards[loc.0]
+    }
+
+    /// All shards, locality 0 first.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Number of localities in the partition.
+    pub fn num_localities(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Ghost links with at least one cross-locality source (each becomes a
+    /// parcel round-trip in the distributed exchange).
+    pub fn remote_links(&self) -> usize {
+        self.remote_links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition_morton;
+
+    #[test]
+    fn single_locality_has_no_stubs() {
+        let tree = Tree::new_uniform(2);
+        let owner = partition_morton(&tree, 1);
+        let map = ShardMap::build(&tree, &owner, 1);
+        assert_eq!(map.num_localities(), 1);
+        assert_eq!(map.remote_links(), 0);
+        let shard = map.shard(LocalityId(0));
+        assert_eq!(shard.owned.len(), 64);
+        assert!(shard.halo.is_empty());
+    }
+
+    #[test]
+    fn shards_cover_leaves_disjointly() {
+        let tree = Tree::new_uniform(2);
+        let owner = partition_morton(&tree, 4);
+        let map = ShardMap::build(&tree, &owner, 4);
+        let mut seen = HashSet::new();
+        for shard in map.shards() {
+            for &leaf in &shard.owned {
+                assert!(seen.insert(leaf), "{leaf:?} owned twice");
+            }
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn stubs_are_remote_and_cover_cross_links() {
+        let tree = Tree::new_uniform(2);
+        let owner = partition_morton(&tree, 4);
+        let map = ShardMap::build(&tree, &owner, 4);
+        assert!(map.remote_links() > 0);
+        for shard in map.shards() {
+            assert!(!shard.halo.is_empty(), "{:?} has no halo", shard.locality);
+            for &stub in &shard.halo {
+                assert!(!shard.owns(stub), "halo leaf owned locally");
+                assert!(shard.is_remote_stub(stub));
+                assert_ne!(owner[&stub], shard.locality);
+            }
+        }
+        // Every cross-locality link source appears as a stub of the
+        // destination's shard.
+        for link in ghost_link_specs(&tree) {
+            let me = owner[&link.leaf];
+            for src in &link.sources {
+                if owner[src] != me {
+                    assert!(map.shard(me).is_remote_stub(*src));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refined_tree_stubs_follow_the_partition() {
+        let mut tree = Tree::new_uniform(1);
+        let first = tree.leaves()[0];
+        tree.refine_balanced(first);
+        let owner = partition_morton(&tree, 2);
+        let map = ShardMap::build(&tree, &owner, 2);
+        let total: usize = map.shards().iter().map(|s| s.owned.len()).sum();
+        assert_eq!(total, tree.num_leaves());
+        assert!(map.remote_links() > 0);
+    }
+}
