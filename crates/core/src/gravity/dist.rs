@@ -68,7 +68,7 @@ pub struct Exchange {
 /// same `topology_version` — a regrid invalidates both together
 /// (`hpx-check`'s planted `StaleHalo` bug demonstrates what skipping that
 /// invalidation costs).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DistPlan {
     /// `topology_version` of the plan this halo plan shards.
     pub topology_version: u64,
@@ -104,6 +104,38 @@ pub struct DistPlan {
     /// P2P halo exchanges: source leaves' point masses shipped to the
     /// owners of near-field neighbours.
     pub p2p_halo: Vec<Exchange>,
+}
+
+/// One barrier of the phase-lockstep distributed solve, in the order
+/// [`GravitySolver::solve_distributed`] runs them.  Returned by
+/// [`DistPlan::phase_schedule`] so verifiers (and future transports) can
+/// walk the frozen communication schedule without re-deriving the solver's
+/// control flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// After computing tree level `.0`: child multipoles up to the parent
+    /// slot's owner (`up[level]`).
+    Up(usize),
+    /// Far-field source multipoles to the owners of the targets reading
+    /// them (`m2l_halo`).
+    M2lHalo,
+    /// Before computing tree level `.0`: parent local expansions down to
+    /// the child slots' owners (`down[level]`).
+    Down(usize),
+    /// Near-field source leaves' point masses to the owners of their
+    /// neighbours (`p2p_halo`).
+    P2pHalo,
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Phase::Up(level) => write!(f, "up[level {level}]"),
+            Phase::M2lHalo => write!(f, "m2l-halo"),
+            Phase::Down(level) => write!(f, "down[level {level}]"),
+            Phase::P2pHalo => write!(f, "p2p-halo"),
+        }
+    }
 }
 
 /// Turn a `(from, to) → indices` map into a deterministic exchange list:
@@ -217,6 +249,26 @@ impl DistPlan {
             && self.num_nodes == plan.num_nodes
             && self.theta == plan.theta
             && self.num_localities == num_localities
+    }
+
+    /// The frozen communication schedule, in the exact barrier order
+    /// [`GravitySolver::solve_distributed`] runs: `up[deepest]` … `up[1]`,
+    /// the M2L halo, `down[1]` … `down[deepest]`, the P2P halo.  `up[0]`
+    /// and `down[0]` (the root level) never exchange and are not part of
+    /// the schedule — [`super::verify::verify_dist_plan`] checks they are
+    /// empty.
+    pub fn phase_schedule(&self) -> Vec<(Phase, &[Exchange])> {
+        let nlev = self.up.len();
+        let mut schedule: Vec<(Phase, &[Exchange])> = Vec::with_capacity(2 * nlev);
+        for level in (1..nlev).rev() {
+            schedule.push((Phase::Up(level), &self.up[level]));
+        }
+        schedule.push((Phase::M2lHalo, &self.m2l_halo));
+        for level in 1..nlev {
+            schedule.push((Phase::Down(level), &self.down[level]));
+        }
+        schedule.push((Phase::P2pHalo, &self.p2p_halo));
+        schedule
     }
 
     /// Total parcels one solve moves (every exchange is one parcel).
@@ -381,8 +433,12 @@ impl GravitySolver {
                                 Multipole::from_soa(&sources[&plan.leaves[li]].points)
                             }
                             SlotKind::Interior(kids) => {
-                                let children: Vec<&Multipole> =
-                                    kids.iter().map(|&c| &b.multipoles[c]).collect();
+                                // Fixed-size gather: no per-slot heap
+                                // allocation inside the kernel body (the
+                                // zero-alloc steady state hpx-check's
+                                // allocation lint guards).
+                                let children: [&Multipole; 8] =
+                                    std::array::from_fn(|c| &b.multipoles[kids[c]]);
                                 Multipole::combine(&children)
                             }
                         };

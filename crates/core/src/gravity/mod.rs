@@ -26,9 +26,11 @@ pub mod m2l_simd;
 pub mod multipole;
 pub mod plan;
 pub mod solver;
+pub mod verify;
 
-pub use dist::{DistPlan, Exchange};
+pub use dist::{DistPlan, Exchange, Phase};
 pub use m2l_simd::MultipoleSoA;
 pub use multipole::{LocalExpansion, Multipole};
 pub use plan::GravityPlan;
 pub use solver::{GravityOptions, GravitySolver, LeafField, LeafSources};
+pub use verify::{verify_dist_plan, verify_gravity_plan, PlanViolation, ProtocolViolation};

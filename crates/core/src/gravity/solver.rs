@@ -193,6 +193,21 @@ impl GravitySolver {
             }
         }
         let plan = Arc::new(GravityPlan::build(tree, self.opts.theta));
+        // Every rebuild is statically verified in debug builds, so the
+        // whole test suite exercises the plan verifier for free.
+        #[cfg(debug_assertions)]
+        {
+            let violations = super::verify::verify_gravity_plan(&plan);
+            debug_assert!(
+                violations.is_empty(),
+                "rebuilt gravity plan failed static verification:\n{}",
+                violations
+                    .iter()
+                    .map(|v| format!("  {v}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
         self.cache.rebuilds.fetch_add(1, Ordering::Relaxed);
         self.cache.last_hit.store(false, Ordering::Relaxed);
         hpx_rt::gravity_plan_counters().note_rebuild();
@@ -245,6 +260,22 @@ impl GravitySolver {
             }
         }
         let dist = Arc::new(DistPlan::build(plan, owner, num_localities));
+        // Every rebuilt halo plan is protocol-verified in debug builds —
+        // `tests/distributed_equivalence.rs` runs this on all its
+        // N/tree/stepper combinations without any extra test code.
+        #[cfg(debug_assertions)]
+        {
+            let violations = super::verify::verify_dist_plan(plan, &dist);
+            debug_assert!(
+                violations.is_empty(),
+                "rebuilt halo plan failed protocol verification:\n{}",
+                violations
+                    .iter()
+                    .map(|v| format!("  {v}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
         self.cache.dist_rebuilds.fetch_add(1, Ordering::Relaxed);
         *guard = Some(dist.clone());
         dist
@@ -346,7 +377,10 @@ impl GravitySolver {
                 let mut mp = match plan.kinds[s] {
                     SlotKind::Leaf(li) => Multipole::from_soa(&sources[&plan.leaves[li]].points),
                     SlotKind::Interior(kids) => {
-                        let children: Vec<&Multipole> = kids.iter().map(|&c| &deeper[c]).collect();
+                        // Fixed-size gather: no per-slot heap allocation
+                        // inside the kernel body (the zero-alloc steady
+                        // state hpx-check's allocation lint guards).
+                        let children: [&Multipole; 8] = std::array::from_fn(|c| &deeper[kids[c]]);
                         Multipole::combine(&children)
                     }
                 };

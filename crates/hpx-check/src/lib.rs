@@ -23,9 +23,15 @@
 //!   phase graph under the model checker (a lost parcel must stall with
 //!   the link named) and the regrid/halo-plan sequence under the race
 //!   detector (a stale halo plan must surface as a write-read race).
-//! * **Kernel-body wait lint** ([`scan`]) — a source scan forbidding
-//!   blocking `.wait()`/`.get()` inside kernel argument regions, with an
-//!   allowlist file.
+//! * **Kernel-body source lints** ([`scan`]) — source scans forbidding
+//!   blocking `.wait()`/`.get()`, heap allocation, and shared
+//!   floating-point accumulators inside kernel argument regions, with a
+//!   shared allowlist file (whose own staleness is checked).
+//! * **Static plan verifier** ([`verify`]) — drives
+//!   `core::gravity::verify`'s provers over real and seeded-mutated
+//!   frozen plans: deadlock-freedom, exact send/receive matching and halo
+//!   completeness of every `DistPlan`, structural invariants of every
+//!   `GravityPlan`, with planted-bug regressions.
 //!
 //! Run everything from the CLI: `cargo run -p hpx-check -- all`.
 
@@ -35,6 +41,7 @@ pub mod gravity;
 pub mod model;
 pub mod pipeline;
 pub mod scan;
+pub mod verify;
 
 pub use dag::{lint_pipeline, DagNode, DagSummary, FutureDag, LintFinding};
 pub use dist::{exercise_dist_solve, race_model_dist_regrid, DistRaceBug, DistScheduleBug};
@@ -43,4 +50,12 @@ pub use model::{CheckReport, ModelChecker, ScheduleFailure};
 pub use pipeline::{
     exercise_pipeline, race_model_pipeline, RaceBug, RaceModelSummary, ScheduleBug,
 };
-pub use scan::{scan_source, scan_workspace, Allowlist, WaitLintFinding};
+pub use scan::{
+    scan_source, scan_source_allocs, scan_source_fp, scan_workspace, scan_workspace_invariants,
+    Allowlist, SourceFinding, WaitLintFinding,
+};
+pub use verify::{
+    mutate_dist, mutate_plan, mutation_sweep, scenario_trees, verify_real_plans,
+    violations_for_mutation, DistMutationKind, MissedMutation, PlanMutationKind, DIST_MUTATIONS,
+    LOCALITY_COUNTS, MUTATION_LOCALITY_COUNTS, PLAN_MUTATIONS,
+};

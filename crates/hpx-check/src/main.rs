@@ -8,14 +8,16 @@
 //! cargo run -p hpx-check -- model --replay 17   # re-run one interleaving
 //! cargo run -p hpx-check -- races --level 1
 //! cargo run -p hpx-check -- waitlint --root . --allow hpx-check.allow
+//! cargo run -p hpx-check -- verify --strict --bench-out BENCH_check.json
 //! ```
 //!
 //! Exit status 0 when every requested analysis is clean, 1 otherwise.
 
 use hpx_check::{
-    exercise_dist_solve, exercise_pipeline, lint_pipeline, race_model_dist_regrid,
-    race_model_gravity_plan, race_model_pipeline, scan_workspace, Allowlist, DistRaceBug,
-    DistScheduleBug, GravityRaceBug, ModelChecker, RaceBug, ScheduleBug,
+    exercise_dist_solve, exercise_pipeline, lint_pipeline, mutation_sweep, race_model_dist_regrid,
+    race_model_gravity_plan, race_model_pipeline, scan_workspace, scan_workspace_invariants,
+    verify_real_plans, Allowlist, DistRaceBug, DistScheduleBug, GravityRaceBug, ModelChecker,
+    RaceBug, ScheduleBug,
 };
 use octree::{ghost_link_specs, LinkSpec, Tree};
 use std::path::PathBuf;
@@ -29,6 +31,8 @@ struct Options {
     replay: Option<u64>,
     root: PathBuf,
     allow: Option<PathBuf>,
+    strict: bool,
+    bench_out: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -41,13 +45,15 @@ impl Default for Options {
             replay: None,
             root: PathBuf::from("."),
             allow: None,
+            strict: false,
+            bench_out: None,
         }
     }
 }
 
-const USAGE: &str = "usage: hpx-check <all|lint|model|races|waitlint> \
+const USAGE: &str = "usage: hpx-check <all|lint|model|races|waitlint|verify> \
     [--level N] [--stages N] [--schedules N] [--seed N] [--replay SEED] \
-    [--root DIR] [--allow FILE]";
+    [--root DIR] [--allow FILE] [--strict] [--bench-out FILE]";
 
 fn parse_args(args: &[String]) -> Result<(String, Options), String> {
     let mut cmd = None;
@@ -91,6 +97,8 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
             }
             "--root" => opts.root = PathBuf::from(value("--root")?),
             "--allow" => opts.allow = Some(PathBuf::from(value("--allow")?)),
+            "--strict" => opts.strict = true,
+            "--bench-out" => opts.bench_out = Some(PathBuf::from(value("--bench-out")?)),
             other if cmd.is_none() && !other.starts_with('-') => cmd = Some(other.to_owned()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
@@ -354,6 +362,132 @@ fn run_waitlint(opts: &Options) -> bool {
     }
 }
 
+/// The static plan verifier plus the production-invariant source lints:
+/// real plans must verify silently, every seeded mutation must be caught,
+/// kernel bodies must be allocation-free and accumulator-safe, and the
+/// allowlist must not have rotted (a warning, or a failure with
+/// `--strict`).  With `--bench-out`, per-check finding counts and the
+/// wall clock land in a `BENCH_simd.json`-shaped file.
+fn run_verify(opts: &Options) -> bool {
+    let t0 = std::time::Instant::now();
+    let mut clean = true;
+    let mut counts: Vec<(&str, usize)> = Vec::new();
+
+    // 1. Real plans (uniform + refined, every locality count) verify
+    //    silently: interaction-plan invariants, partition totality, and
+    //    the halo-plan protocol.
+    let findings = verify_real_plans(opts.level);
+    counts.push(("plan-protocol", findings.len()));
+    if findings.is_empty() {
+        println!(
+            "verify: real plans clean — uniform + refined at level {}, N ∈ {{1, 2, 4, 7}}",
+            opts.level
+        );
+    } else {
+        clean = false;
+        eprintln!("verify: {} finding(s) on real plans:", findings.len());
+        for f in findings.iter().take(20) {
+            eprintln!("  {f}");
+        }
+        if findings.len() > 20 {
+            eprintln!("  … {} more", findings.len() - 20);
+        }
+    }
+
+    // 2. The seeded mutation sweep: every planted protocol and invariant
+    //    mutation must produce at least one report.
+    match mutation_sweep(opts.level, opts.seed) {
+        Ok(checked) => {
+            counts.push(("mutations-missed", 0));
+            println!(
+                "verify: all {checked} seeded mutations caught (seed {})",
+                opts.seed
+            );
+        }
+        Err(missed) => {
+            clean = false;
+            counts.push(("mutations-missed", missed.len()));
+            eprintln!(
+                "verify: {} mutation(s) NOT caught (seed {}):",
+                missed.len(),
+                opts.seed
+            );
+            for m in &missed {
+                eprintln!("  {m}");
+            }
+        }
+    }
+
+    // 3. Source lints guarding the zero-alloc and FP-determinism steady
+    //    state, plus the raw sites for the allowlist rot check.
+    let allow_path = opts
+        .allow
+        .clone()
+        .unwrap_or_else(|| opts.root.join("hpx-check.allow"));
+    let allow = Allowlist::load(&allow_path);
+    let (lint_findings, raw_sites) = scan_workspace_invariants(&opts.root, &allow);
+    let alloc = lint_findings.iter().filter(|f| f.lint == "alloc").count();
+    let fp = lint_findings.len() - alloc;
+    counts.push(("alloc-lint", alloc));
+    counts.push(("fp-lint", fp));
+    if lint_findings.is_empty() {
+        println!("verify: kernel bodies allocation-free, no shared float accumulators");
+    } else {
+        clean = false;
+        eprintln!("verify: {} source lint finding(s):", lint_findings.len());
+        for f in &lint_findings {
+            eprintln!("  {f}");
+        }
+    }
+
+    // 4. Allowlist staleness: entries matching no raw finding have rotted.
+    let stale = allow.stale_entries(&raw_sites);
+    counts.push(("stale-allow", stale.len()));
+    if stale.is_empty() {
+        println!("verify: allowlist fresh ({})", allow_path.display());
+    } else {
+        for entry in &stale {
+            eprintln!(
+                "verify: {} allowlist entry `{entry}` matches no finding — remove or refresh it",
+                if opts.strict {
+                    "stale"
+                } else {
+                    "warning: stale"
+                }
+            );
+        }
+        if opts.strict {
+            clean = false;
+        }
+    }
+
+    // 5. Analysis-cost trend line for re-anchors, same shape as
+    //    BENCH_simd.json.
+    if let Some(path) = &opts.bench_out {
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mut points = String::new();
+        for (i, (check, n)) in counts.iter().enumerate() {
+            points.push_str(&format!(
+                "    {{\n      \"figure\": \"verify-findings\",\n      \"series\": \"{check}\",\n      \"x\": {i},\n      \"y\": {n},\n      \"unit\": \"findings\"\n    }},\n"
+            ));
+        }
+        points.push_str(&format!(
+            "    {{\n      \"figure\": \"verify-cost\",\n      \"series\": \"wall-clock\",\n      \"x\": 0,\n      \"y\": {wall_ms},\n      \"unit\": \"ms\"\n    }}\n"
+        ));
+        let json = format!(
+            "{{\n  \"id\": \"verify-static\",\n  \"title\": \"Static plan verification: per-check finding counts and wall-clock cost\",\n  \"points\": [\n{points}  ]\n}}\n"
+        );
+        match std::fs::write(path, json) {
+            Ok(()) => println!("verify: wrote {} ({wall_ms:.0} ms)", path.display()),
+            Err(e) => {
+                clean = false;
+                eprintln!("verify: cannot write {}: {e}", path.display());
+            }
+        }
+    }
+    clean
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, opts) = match parse_args(&args) {
@@ -368,13 +502,15 @@ fn main() -> ExitCode {
         "model" => run_model(&opts),
         "races" => run_races(&opts),
         "waitlint" => run_waitlint(&opts),
+        "verify" => run_verify(&opts),
         "all" => {
             // `&` not `&&`: run every analysis even after a failure.
             let lint = run_lint(&opts);
             let model = run_model(&opts);
             let races = run_races(&opts);
             let wait = run_waitlint(&opts);
-            lint & model & races & wait
+            let verify = run_verify(&opts);
+            lint & model & races & wait & verify
         }
         other => {
             eprintln!("unknown command `{other}`\n{USAGE}");

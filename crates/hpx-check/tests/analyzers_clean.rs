@@ -4,7 +4,8 @@
 
 use hpx_check::{
     exercise_dist_solve, exercise_pipeline, lint_pipeline, race_model_pipeline, scan_source,
-    DistScheduleBug, ModelChecker, RaceBug, ScheduleBug,
+    scan_workspace_invariants, verify_real_plans, Allowlist, DistScheduleBug, ModelChecker,
+    RaceBug, ScheduleBug,
 };
 use hpx_rt::{parcel_counters, SimCluster};
 use octotiger::{Scenario, ScenarioKind, SimOptions, Simulation};
@@ -111,4 +112,41 @@ fn stepper_sources_pass_the_wait_lint() {
                 .join("\n")
         );
     }
+}
+
+#[test]
+fn real_plans_and_workspace_pass_the_static_verifier() {
+    // The static half of the acceptance run: every real plan (uniform +
+    // refined trees, N ∈ {1, 2, 4, 7}) must verify silently…
+    let findings = verify_real_plans(2);
+    assert!(
+        findings.is_empty(),
+        "real plans must verify clean:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    // …and the workspace sources must hold the zero-alloc and
+    // FP-determinism invariants under the checked-in allowlist, with no
+    // stale entries rotting in it.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let allow = Allowlist::load(&root.join("hpx-check.allow"));
+    let (lint_findings, raw_sites) = scan_workspace_invariants(&root, &allow);
+    assert!(
+        lint_findings.is_empty(),
+        "production kernels must stay allocation-free and accumulator-safe:\n{}",
+        lint_findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let stale = allow.stale_entries(&raw_sites);
+    assert!(stale.is_empty(), "stale allowlist entries: {stale:?}");
 }

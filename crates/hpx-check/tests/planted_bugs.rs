@@ -3,11 +3,15 @@
 //! acceptance criteria).
 
 use hpx_check::{
-    exercise_dist_solve, exercise_pipeline, race_model_dist_regrid, race_model_pipeline, DagNode,
-    DistRaceBug, DistScheduleBug, FutureDag, LintFinding, ModelChecker, RaceBug, ScheduleBug,
+    exercise_dist_solve, exercise_pipeline, mutate_plan, mutation_sweep, race_model_dist_regrid,
+    race_model_pipeline, scan_source_allocs, scan_source_fp, DagNode, DistRaceBug, DistScheduleBug,
+    FutureDag, LintFinding, ModelChecker, PlanMutationKind, RaceBug, ScheduleBug,
 };
 use kokkos_rs::{RaceDetector, View, ViewAccess};
-use octotiger::gravity::{DistPlan, GravitySolver};
+use octotiger::gravity::{
+    verify_dist_plan, verify_gravity_plan, DistPlan, Exchange, GravityPlan, GravitySolver,
+    PlanViolation, ProtocolViolation,
+};
 use octree::{ghost_link_specs, partition_morton, Tree};
 use std::sync::Arc;
 
@@ -228,4 +232,247 @@ fn race_model_catches_stale_halo_plan_after_regrid() {
     assert!(report.site.contains("halo-pack(step2"), "{report}");
     race_model_dist_regrid(&dist1, &dist2, DistRaceBug::None)
         .expect("the rebuild-gated sequence is race-free");
+}
+
+/// The uniform level-2 plan sharded over four localities — the standard
+/// shape the static-verifier plants run against.
+fn static_plan_and_dist() -> (GravityPlan, DistPlan) {
+    let tree = Tree::new_uniform(2);
+    let plan = GravityPlan::build(&tree, 0.5);
+    let owner = partition_morton(&tree, 4);
+    let dist = DistPlan::build(&plan, &owner, 4);
+    (plan, dist)
+}
+
+/// Planted bug #7: a dropped exchange.  Removing one frozen M2L halo lane
+/// is the *static* form of the lost parcel: the receiver's demand set is
+/// no longer supplied, and the verifier must report it as a deadlock
+/// naming the starved phase and the exact `from→to` link — with no
+/// runtime, no schedules, no transport.
+#[test]
+fn static_verifier_reports_dropped_exchange_as_deadlock_naming_phase_and_link() {
+    let (plan, dist) = static_plan_and_dist();
+    assert!(
+        verify_dist_plan(&plan, &dist).is_empty(),
+        "baseline must be clean"
+    );
+
+    let mut mutated = dist.clone();
+    let dropped = mutated.m2l_halo.remove(0);
+    let violations = verify_dist_plan(&plan, &mutated);
+    assert!(!violations.is_empty(), "the dropped lane must be caught");
+
+    let starved: Vec<_> = violations
+        .iter()
+        .filter_map(|v| match v {
+            ProtocolViolation::StarvedReceive { from, to, slot, .. } => Some((*from, *to, *slot)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        starved.len(),
+        dropped.slots.len(),
+        "every slot of the dropped lane starves exactly once: {violations:?}"
+    );
+    for &(from, to, slot) in &starved {
+        assert_eq!((from, to), (dropped.from, dropped.to));
+        assert!(dropped.slots.contains(&slot));
+    }
+    // The rendered report is a deadlock diagnosis naming phase and link.
+    let text = violations
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("deadlock"), "{text}");
+    assert!(text.contains("m2l-halo"), "{text}");
+    assert!(
+        text.contains(&format!("{}→{}", dropped.from, dropped.to)),
+        "{text}"
+    );
+}
+
+/// Planted bug #8: overlapping ownership.  A second locality claims an
+/// already-owned slot in its owned lists *and* ships it — the verifier
+/// must report both the overlap itself and the double receive it causes
+/// at the downstream locality.
+#[test]
+fn static_verifier_reports_ownership_overlap_as_double_receive() {
+    let (plan, dist) = static_plan_and_dist();
+    let genuine = dist.m2l_halo[0].clone();
+    let slot = genuine.slots[0];
+    let claimer = (0..dist.num_localities)
+        .find(|&l| l != genuine.from && l != genuine.to)
+        .expect("four localities leave a third party");
+
+    let mut mutated = dist.clone();
+    let level = plan.nodes[slot].level() as usize;
+    let owned = &mut mutated.owned_by_level[claimer][level];
+    owned.insert(owned.partition_point(|&s| s < slot), slot);
+    mutated.m2l_halo.push(Exchange {
+        from: claimer,
+        to: genuine.to,
+        slots: vec![slot],
+    });
+
+    let violations = verify_dist_plan(&plan, &mutated);
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            ProtocolViolation::OwnershipOverlap { index, .. } if *index == slot
+        )),
+        "the overlapping claim itself must be reported: {violations:?}"
+    );
+    let double = violations
+        .iter()
+        .find_map(|v| match v {
+            ProtocolViolation::DoubleReceive {
+                to,
+                slot: s,
+                first_from,
+                second_from,
+                ..
+            } => Some((*to, *s, *first_from, *second_from)),
+            _ => None,
+        })
+        .expect("the overlap's second shipment must be a double receive");
+    assert_eq!(double.0, genuine.to);
+    assert_eq!(double.1, slot);
+    assert_eq!(
+        {
+            let mut senders = [double.2, double.3];
+            senders.sort_unstable();
+            senders
+        },
+        {
+            let mut senders = [genuine.from, claimer];
+            senders.sort_unstable();
+            senders
+        }
+    );
+}
+
+/// Planted bug #9: an asymmetric P2P pair.  Deleting one direction of a
+/// neighbour pair (with the CSR offsets and stats patched up so nothing
+/// else is wrong) must surface as a symmetry violation naming the pair.
+#[test]
+fn static_verifier_reports_asymmetric_p2p_pair() {
+    let (plan, _) = static_plan_and_dist();
+    assert!(
+        verify_gravity_plan(&plan).is_empty(),
+        "baseline must be clean"
+    );
+    let (mutated, desc) =
+        mutate_plan(&plan, PlanMutationKind::AsymmetricP2p, 42).expect("level-2 plans have pairs");
+    let violations = verify_gravity_plan(&mutated);
+    let pair = violations
+        .iter()
+        .find_map(|v| match v {
+            PlanViolation::P2p { a, b, detail } if detail.contains("asymmetric") => Some((*a, *b)),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("asymmetry must be named ({desc}): {violations:?}"));
+    assert!(
+        desc.contains(&pair.0.to_string()) && desc.contains(&pair.1.to_string()),
+        "report ({pair:?}) must name the mutated pair ({desc})"
+    );
+}
+
+/// Planted bug #10: a heap allocation inside a kernel body.  The
+/// allocation lint must flag it with the exact line and the kernel entry
+/// it sits in — and the allocation-free rewrite of the same kernel must
+/// scan clean.
+#[test]
+fn alloc_lint_catches_kernel_body_allocation() {
+    let dirty = r#"
+fn combine(space: &ExecSpace, out: &mut [f64]) {
+    parallel_for_mut(space, policy, out, |i, out| {
+        let scratch: Vec<f64> = Vec::new();
+        out[i] = scratch.iter().sum();
+    });
+}
+"#;
+    let findings = scan_source_allocs("crates/core/src/fake.rs", dirty);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].line, 4);
+    assert_eq!(findings[0].lint, "alloc");
+    assert_eq!(findings[0].pattern, "Vec::new");
+    assert_eq!(findings[0].context, "parallel_for_mut");
+    let text = findings[0].to_string();
+    assert!(text.contains("crates/core/src/fake.rs:4"), "{text}");
+
+    let clean = r#"
+fn combine(space: &ExecSpace, out: &mut [f64]) {
+    let mut scratch = [0.0f64; 8];
+    parallel_for_mut(space, policy, out, |i, out| {
+        scratch[i % 8] = out[i];
+        out[i] = scratch.iter().sum();
+    });
+}
+"#;
+    assert!(scan_source_allocs("crates/core/src/fake.rs", clean).is_empty());
+}
+
+/// Planted bug #11: a shared floating-point accumulator.  Reducing into a
+/// `Mutex<f64>` makes the sum order schedule-dependent — the
+/// FP-determinism lint must flag both the field and the locked `+=`.
+#[test]
+fn fp_lint_catches_shared_float_accumulator() {
+    let dirty = r#"
+struct Reduction {
+    total: std::sync::Mutex<f64>,
+}
+
+impl Reduction {
+    fn accumulate(&self, x: f64) {
+        *self.total.lock().unwrap() += x;
+    }
+}
+"#;
+    let findings = scan_source_fp("crates/core/src/fake.rs", dirty);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.lint == "fp-determinism"));
+    assert!(
+        findings.iter().any(|f| f.context == "field" && f.line == 3),
+        "{findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.context == "lock-accumulate" && f.line == 8),
+        "{findings:?}"
+    );
+
+    // The deterministic shape — per-worker partials, sequential combine —
+    // scans clean.
+    let clean = r#"
+struct Reduction {
+    partials: Vec<f64>,
+}
+
+impl Reduction {
+    fn combine(&self) -> f64 {
+        self.partials.iter().sum()
+    }
+}
+"#;
+    assert!(scan_source_fp("crates/core/src/fake.rs", clean).is_empty());
+}
+
+/// The seeded sweep itself, as an acceptance gate: every mutation kind ×
+/// scenario × locality count must be caught at the default seed.
+#[test]
+fn seeded_mutation_sweep_catches_everything() {
+    match mutation_sweep(2, 1) {
+        Ok(checked) => assert!(checked >= 28, "sweep covered only {checked} mutations"),
+        Err(missed) => panic!(
+            "{} mutation(s) escaped the verifier:\n{}",
+            missed.len(),
+            missed
+                .iter()
+                .map(|m| format!("  {m}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        ),
+    }
 }

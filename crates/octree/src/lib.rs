@@ -35,7 +35,8 @@ pub mod tree;
 pub use ghost::{ghost_link_specs, DistGrid, GhostConfig, LinkSpec, PipelinedExchange};
 pub use index::{Dir, NodeId, Octant, MAX_LEVEL};
 pub use partition::{
-    partition_morton, partition_rcb, partition_rcb_with_cuts, PartitionStats, RcbCut,
+    partition_morton, partition_rcb, partition_rcb_with_cuts, verify_partition, PartitionStats,
+    RcbCut,
 };
 pub use shard::{Shard, ShardMap};
 pub use subgrid::SubGrid;
