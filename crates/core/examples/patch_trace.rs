@@ -1,0 +1,50 @@
+//! Phase-level timing of one plan-patch episode (dev tool).
+//! Run with `OCTO_PATCH_TRACE=1 cargo run --release -p octotiger --example patch_trace [level]`.
+
+use octotiger::gravity::{DistPlan, GravityPlan};
+use octree::{partition_morton, NodeId, Tree};
+use std::time::Instant;
+
+fn main() {
+    let level: u8 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    const THETA: f64 = 0.5;
+    const NLOC: usize = 4;
+    let mut tree = Tree::new_uniform(level);
+    tree.take_regrid_delta();
+    let old_plan = GravityPlan::build(&tree, THETA);
+    let old_owner = partition_morton(&tree, NLOC);
+    let (old_dist, old_ledger) = DistPlan::build_with_ledger(&old_plan, &old_owner, NLOC);
+    let side = 1u32 << level;
+    tree.refine_balanced(NodeId::from_coords(level, [side / 2, side / 2, side / 2]));
+    let delta = tree.take_regrid_delta();
+
+    let t = Instant::now();
+    let (new_plan, report) = GravityPlan::patch(&old_plan, &tree, &delta, THETA).unwrap();
+    eprintln!("gravity patch total: {:?}", t.elapsed());
+    let t = Instant::now();
+    let fresh = GravityPlan::build(&tree, THETA);
+    eprintln!("gravity rebuild total: {:?}", t.elapsed());
+    assert_eq!(new_plan, fresh);
+
+    let owner = partition_morton(&tree, NLOC);
+    for _ in 0..2 {
+        let t = Instant::now();
+        let _ = DistPlan::patch(
+            &old_dist,
+            &old_ledger,
+            &old_plan,
+            &new_plan,
+            &report,
+            &owner,
+            NLOC,
+        )
+        .unwrap();
+        eprintln!("dist patch total: {:?}", t.elapsed());
+    }
+    let t = Instant::now();
+    let _ = DistPlan::build_with_ledger(&new_plan, &owner, NLOC);
+    eprintln!("dist rebuild total: {:?}", t.elapsed());
+}

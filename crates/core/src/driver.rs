@@ -81,6 +81,26 @@ pub struct SimOptions {
     /// is bit-identical either way (see `tests/distributed_equivalence.rs`).
     /// Defaults from `OCTO_LOCALITIES` (CI's distribution axis).
     pub localities: usize,
+    /// Mid-run adaptive regridding: every `Some(k)` steps the driver runs
+    /// the density/shock criterion pass ([`Simulation::regrid`]) before the
+    /// step proper, hands the resulting [`octree::RegridDelta`] to the
+    /// gravity solver (which patches its cached plans subtree-locally
+    /// instead of rebuilding them), and rebuilds only the touched leaves'
+    /// workspaces.  `None` — the default — never regrids mid-run.
+    /// Defaults from `OCTO_REGRID_CADENCE` (CI's adaptive-run axis).
+    pub regrid_cadence: Option<usize>,
+    /// Maximum refinement level the cadence-driven criterion pass may
+    /// create (the `max_level` argument of [`Simulation::regrid`]).
+    pub regrid_max_level: u8,
+    /// Refine a leaf when its peak interior density exceeds this (paper
+    /// Section IV-C: "AMR is based on the density field").
+    pub regrid_refine_threshold: f64,
+    /// Also refine when the relative density jump between adjacent cells
+    /// exceeds this (a shock indicator; `INFINITY` disables it).
+    pub regrid_shock_threshold: f64,
+    /// Coarsen an octet back into its parent when every child's peak
+    /// density falls below this (`0.0` disables coarsening).
+    pub regrid_coarsen_threshold: f64,
 }
 
 impl Default for SimOptions {
@@ -103,6 +123,14 @@ impl Default for SimOptions {
                 .and_then(|v| v.parse().ok())
                 .filter(|&n| n > 0)
                 .unwrap_or(1),
+            regrid_cadence: std::env::var("OCTO_REGRID_CADENCE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&k| k > 0),
+            regrid_max_level: 3,
+            regrid_refine_threshold: 1.0,
+            regrid_shock_threshold: f64::INFINITY,
+            regrid_coarsen_threshold: 0.0,
         }
     }
 }
@@ -154,6 +182,33 @@ pub struct StepStats {
     /// plan (`false` when the plan was rebuilt — first step, post-regrid,
     /// or `cache_gravity_plan = false` — and when gravity is off).
     pub gravity_plan_hit: bool,
+    /// Leaves refined by this step's cadence-driven regrid pass (0 when no
+    /// regrid ran; also exported as `/octotiger/regrid/refined`).
+    pub regrid_refined: u64,
+    /// Octets coarsened by this step's cadence-driven regrid pass (also
+    /// exported as `/octotiger/regrid/derefined`).
+    pub regrid_derefined: u64,
+    /// Whether this step's gravity plans were *patched* subtree-locally
+    /// from the regrid delta instead of rebuilt from scratch (the
+    /// `/octotiger/regrid/plan-patched` path; `false` when no regrid ran,
+    /// the topology was unchanged, or the solver fell back to a rebuild).
+    pub gravity_plan_patched: bool,
+}
+
+/// Breakdown of one [`Simulation::regrid`] criterion pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegridOutcome {
+    /// Leaves split into octets (including 2:1-balance drag-alongs).
+    pub refined: usize,
+    /// Octets collapsed back into their parent leaf.
+    pub derefined: usize,
+}
+
+impl RegridOutcome {
+    /// Did the pass change the topology at all?
+    pub fn changed(&self) -> bool {
+        self.refined > 0 || self.derefined > 0
+    }
 }
 
 /// A running simulation bound to a cluster's localities.
@@ -188,6 +243,11 @@ pub struct Simulation {
 impl Simulation {
     /// Wrap an initialized grid.
     pub fn new(grid: DistGrid, opts: SimOptions) -> Simulation {
+        // The construction-time delta (the scenario's initial refines)
+        // predates every cached plan; drain it so the first mid-run
+        // regrid's delta starts exactly at the version the first gravity
+        // plan is built against — the precondition for patching it.
+        grid.take_regrid_delta();
         let scratch = ScratchArena::new();
         let gravity_solver = GravitySolver::with_scratch(opts.gravity_opts, scratch.clone());
         Simulation {
@@ -347,12 +407,32 @@ impl Simulation {
             // Traverse-every-step reference configuration.
             self.gravity_solver.invalidate_plan();
         }
+        // ---- Mid-run adaptive regrid (every `regrid_cadence` steps). ----
+        // Runs before workspaces are ensured, so both steppers see the new
+        // topology; the delta flows to the solver inside `regrid`, so the
+        // step's gravity solve patches its plans instead of rebuilding.
+        let regrid = match self.opts.regrid_cadence {
+            Some(k) if self.step_count > 0 && self.step_count.is_multiple_of(k as u64) => {
+                let _t = self.apex.timer("regrid:criterion_pass");
+                self.regrid(
+                    self.opts.regrid_max_level,
+                    self.opts.regrid_refine_threshold,
+                )
+            }
+            _ => RegridOutcome::default(),
+        };
+        let patches_before = self.gravity_solver.plan_patch_counters();
         self.ensure_workspaces();
-        if self.opts.pipeline {
+        let mut stats = if self.opts.pipeline {
             self.step_pipelined(cluster)
         } else {
             self.step_barrier(cluster)
-        }
+        };
+        let patches_after = self.gravity_solver.plan_patch_counters();
+        stats.regrid_refined = regrid.refined as u64;
+        stats.regrid_derefined = regrid.derefined as u64;
+        stats.gravity_plan_patched = patches_after.0 > patches_before.0;
+        stats
     }
 
     /// Apex label for the active SIMD backend, so the profile table shows
@@ -575,6 +655,9 @@ impl Simulation {
             scratch_high_water,
             gravity_stats: self.last_gravity_stats,
             gravity_plan_hit,
+            regrid_refined: 0,
+            regrid_derefined: 0,
+            gravity_plan_patched: false,
         }
     }
 
@@ -897,6 +980,9 @@ impl Simulation {
             scratch_high_water,
             gravity_stats,
             gravity_plan_hit: self.opts.gravity && self.gravity_solver.last_plan_hit(),
+            regrid_refined: 0,
+            regrid_derefined: 0,
+            gravity_plan_patched: false,
         }
     }
 
@@ -923,13 +1009,59 @@ impl Simulation {
         self.last_gravity_stats
     }
 
-    /// Octo-Tiger's regrid: refine every leaf whose peak interior density
-    /// exceeds `threshold`, up to `max_level` (paper Section IV-C: "AMR is
-    /// based on the density field").  Payloads are prolonged into the new
-    /// children conservatively; 2:1 balance is maintained.  Returns the
-    /// number of leaves refined.
-    pub fn regrid(&mut self, max_level: u8, threshold: f64) -> usize {
-        let mut refined = 0usize;
+    /// Peak interior density and maximum relative density jump between
+    /// adjacent interior cells of one leaf — the two refinement indicators
+    /// of the criterion pass.
+    fn leaf_density_extrema(&self, leaf: NodeId) -> (f64, f64) {
+        let handle = self.grid.grid(leaf);
+        let g = handle.read();
+        let n = g.n();
+        let mut peak = 0.0f64;
+        let mut jump = 0.0f64;
+        let rel = |a: f64, b: f64| (a - b).abs() / a.min(b).max(1e-300);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let rho = g.get_interior(field::RHO, i, j, k);
+                    peak = peak.max(rho);
+                    if i + 1 < n {
+                        jump = jump.max(rel(rho, g.get_interior(field::RHO, i + 1, j, k)));
+                    }
+                    if j + 1 < n {
+                        jump = jump.max(rel(rho, g.get_interior(field::RHO, i, j + 1, k)));
+                    }
+                    if k + 1 < n {
+                        jump = jump.max(rel(rho, g.get_interior(field::RHO, i, j, k + 1)));
+                    }
+                }
+            }
+        }
+        (peak, jump)
+    }
+
+    /// Octo-Tiger's regrid, both directions of it (paper Section IV-C:
+    /// "AMR is based on the density field"):
+    ///
+    /// * **refine** every leaf below `max_level` whose peak interior
+    ///   density exceeds `threshold` or whose relative cell-to-cell
+    ///   density jump exceeds [`SimOptions::regrid_shock_threshold`],
+    ///   prolonging payloads into the new children conservatively;
+    /// * **coarsen** every octet whose eight children are leaves with peak
+    ///   density below [`SimOptions::regrid_coarsen_threshold`] (and no
+    ///   shock), restricting the children back into the parent — via the
+    ///   polite [`DistGrid::derefine`], which refuses rather than drag
+    ///   still-wanted fine neighbours coarser.
+    ///
+    /// 2:1 balance is maintained throughout.  The accumulated
+    /// [`octree::RegridDelta`] is drained at the end of the pass: touched
+    /// leaves' workspaces are dropped (clean leaves keep theirs — and
+    /// their recycled kernel scratch) and the delta is deposited with the
+    /// gravity solver so the next solve *patches* its cached interaction
+    /// and halo plans subtree-locally instead of rebuilding them.
+    pub fn regrid(&mut self, max_level: u8, threshold: f64) -> RegridOutcome {
+        let shock = self.opts.regrid_shock_threshold;
+        let coarsen = self.opts.regrid_coarsen_threshold;
+        let mut outcome = RegridOutcome::default();
         loop {
             let candidates: Vec<NodeId> = self
                 .grid
@@ -939,29 +1071,68 @@ impl Simulation {
                     if leaf.level() >= max_level {
                         return false;
                     }
-                    let handle = self.grid.grid(leaf);
-                    let g = handle.read();
-                    let n = g.n();
-                    let mut peak = 0.0f64;
-                    for i in 0..n {
-                        for j in 0..n {
-                            for k in 0..n {
-                                peak = peak.max(g.get_interior(field::RHO, i, j, k));
-                            }
-                        }
-                    }
-                    peak > threshold
+                    let (peak, jump) = self.leaf_density_extrema(leaf);
+                    peak > threshold || jump > shock
                 })
                 .collect();
             if candidates.is_empty() {
-                return refined;
+                break;
             }
             for leaf in candidates {
                 // A previous refinement in this round may have consumed it.
                 if self.grid.with_tree(|t| t.is_leaf(leaf)) {
                     self.grid.refine_balanced(leaf);
-                    refined += 1;
+                    outcome.refined += 1;
                 }
+            }
+        }
+        if coarsen > 0.0 {
+            let mut parents: Vec<NodeId> = self
+                .grid
+                .leaves()
+                .into_iter()
+                .filter_map(|l| l.parent())
+                .collect();
+            parents.sort();
+            parents.dedup();
+            for p in parents {
+                let whole_octet_of_leaves = self.grid.with_tree(|t| {
+                    octree::Octant::all()
+                        .into_iter()
+                        .all(|o| t.is_leaf(p.child(o)))
+                });
+                let collapsible = whole_octet_of_leaves
+                    && octree::Octant::all().into_iter().all(|o| {
+                        let (peak, jump) = self.leaf_density_extrema(p.child(o));
+                        peak < coarsen && jump < shock
+                    });
+                if collapsible && self.grid.derefine(p) {
+                    outcome.derefined += 1;
+                }
+            }
+        }
+        hpx_rt::regrid_counters().note_refined(outcome.refined as u64);
+        hpx_rt::regrid_counters().note_derefined(outcome.derefined as u64);
+        // Drain the episode's delta once: the ghost-payload demand cache is
+        // patched inside `take_regrid_delta`, the workspaces here, and the
+        // solver's plan caches on its next plan miss.
+        let delta = self.grid.take_regrid_delta();
+        self.patch_workspaces(&delta);
+        self.gravity_solver.note_regrid(delta);
+        outcome
+    }
+
+    /// Subtree-local workspace invalidation: drop exactly the workspaces
+    /// whose leaves the delta consumed (refined leaves and collapsed
+    /// children); every clean leaf keeps its recycled workspace across the
+    /// regrid.  New leaves are provisioned lazily by `ensure_workspaces`.
+    fn patch_workspaces(&mut self, delta: &octree::RegridDelta) {
+        for &id in &delta.refined {
+            self.workspaces.remove(&id);
+        }
+        for &id in &delta.derefined {
+            for oct in octree::Octant::all() {
+                self.workspaces.remove(&id.child(oct));
             }
         }
     }
@@ -1098,7 +1269,9 @@ mod tests {
         let before = crate::diag::ConservationLedger::measure(&sim.grid);
         let leaves_before = sim.grid.leaves().len();
         let refined = sim.regrid(3, 1.0);
-        assert!(refined > 0, "the star should trigger refinement");
+        assert!(refined.refined > 0, "the star should trigger refinement");
+        assert_eq!(refined.derefined, 0, "coarsening is off by default");
+        assert!(refined.changed());
         assert!(sim.grid.leaves().len() > leaves_before);
         sim.grid
             .with_tree(|t| t.check_invariants().expect("balanced"));
@@ -1111,6 +1284,76 @@ mod tests {
         // And the refined grid still steps.
         let s = sim.step(&cluster);
         assert!(s.dt > 0.0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn regrid_coarsens_vacuum_octets_and_reports_breakdown() {
+        let cluster = SimCluster::new(1, 2);
+        // Base level 3: the star at the box centre leaves the corner
+        // level-2 octets fully below the floor, so they can collapse
+        // (at level 2 every octet touches the centre and nothing could).
+        let sc = Scenario::build(ScenarioKind::RotatingStar, &cluster, 3, 0, 4);
+        let mut opts = SimOptions::default();
+        opts.gravity = false;
+        opts.omega = sc.omega;
+        opts.regrid_coarsen_threshold = 1e-6;
+        let mut sim = Simulation::new(sc.grid, opts);
+        let before = crate::diag::ConservationLedger::measure(&sim.grid);
+        let leaves_before = sim.grid.leaves().len();
+        // An infinite refine threshold isolates the coarsen direction: the
+        // far-field octets (floor density) collapse, the star stays put.
+        let out = sim.regrid(3, f64::INFINITY);
+        assert_eq!(out.refined, 0);
+        assert!(out.derefined > 0, "vacuum octets should collapse");
+        assert!(out.changed());
+        assert!(sim.grid.leaves().len() < leaves_before);
+        sim.grid
+            .with_tree(|t| t.check_invariants().expect("balanced"));
+        let after = crate::diag::ConservationLedger::measure(&sim.grid);
+        assert!(
+            after.mass_drift(&before) < 1e-12,
+            "restriction must conserve mass: {}",
+            after.mass_drift(&before)
+        );
+        // And the coarsened grid still steps.
+        let s = sim.step(&cluster);
+        assert!(s.dt > 0.0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn cadence_regrid_patches_gravity_plans_mid_run() {
+        let cluster = SimCluster::new(1, 2);
+        let sc = Scenario::build(ScenarioKind::RotatingStar, &cluster, 2, 0, 4);
+        let mut opts = SimOptions::default();
+        opts.gravity = true;
+        opts.omega = sc.omega;
+        opts.regrid_cadence = Some(1);
+        let mut sim = Simulation::new(sc.grid, opts);
+        let snap = hpx_rt::regrid_counters().snapshot();
+        // Step 0 never regrids (there is nothing mid-run about it yet).
+        let s0 = sim.step(&cluster);
+        assert_eq!(s0.regrid_refined, 0);
+        assert!(!s0.gravity_plan_patched);
+        // The cadence fires before step 1: the star refines, and the solve
+        // that follows must *patch* the cached interaction plan from the
+        // deposited delta (every patched plan is verified and, in debug
+        // builds, byte-compared against a from-scratch rebuild).
+        let s1 = sim.step(&cluster);
+        assert!(s1.regrid_refined > 0, "the star should trigger refinement");
+        assert!(
+            s1.gravity_plan_patched,
+            "post-regrid solve must patch the plan, not rebuild it"
+        );
+        assert!(s1.dt > 0.0);
+        let (patches, _) = sim.gravity_solver.plan_patch_counters();
+        assert!(patches >= 1);
+        // The global counters are shared with concurrently running tests,
+        // so only lower-bound them.
+        let d = hpx_rt::regrid_counters().snapshot().since(&snap);
+        assert!(d.refined >= s1.regrid_refined);
+        assert!(d.plan_patched >= 1);
         cluster.shutdown();
     }
 

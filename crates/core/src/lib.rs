@@ -46,7 +46,7 @@ pub mod units;
 pub mod workspace;
 
 pub use diag::ConservationLedger;
-pub use driver::{SimOptions, Simulation, StepStats};
+pub use driver::{RegridOutcome, SimOptions, Simulation, StepStats};
 pub use eos::{Eos, IdealGas, Polytrope};
 pub use scenario::{Scenario, ScenarioKind};
 pub use state::{field, NF};

@@ -1,0 +1,154 @@
+//! Mid-run adaptive regridding must be a pure performance feature.
+//!
+//! Two layers of evidence:
+//!
+//! * **Plan patching is exact** — over randomized refine/derefine
+//!   sequences, the incrementally patched [`GravityPlan`] / [`DistPlan`]
+//!   (and its halo ledger) are byte-identical to from-scratch rebuilds at
+//!   every episode (proptest below).
+//! * **Physics is unchanged by distribution and width** — a 10-step run
+//!   with cadence-driven regridding (both refine and coarsen firing) is
+//!   bit-identical across 1 vs 4 simulated localities and scalar vs SVE
+//!   vector modes.  The debug-build solver additionally byte-compares every
+//!   patched plan against a rebuild inside these runs.
+
+use hpx_rt::SimCluster;
+use octotiger::gravity::{DistPlan, GravityPlan};
+use octotiger::{Scenario, ScenarioKind, SimOptions, Simulation, NF};
+use octree::{partition_morton, NodeId, Tree};
+use proptest::prelude::*;
+use sve_simd::VectorMode;
+
+const THETA: f64 = 0.5;
+
+proptest! {
+    // Each case replays a whole multi-episode regrid history, so the
+    // default case count covers hundreds of patch episodes.
+    #[test]
+    fn random_regrid_patches_match_rebuilds(
+        seq in prop::collection::vec((0usize..4096, any::<bool>()), 1..10),
+    ) {
+        const NLOC: usize = 4;
+        let mut tree = Tree::new_uniform(2);
+        tree.take_regrid_delta();
+        let mut plan = GravityPlan::build(&tree, THETA);
+        let mut owner = partition_morton(&tree, NLOC);
+        let (mut dist, mut ledger) = DistPlan::build_with_ledger(&plan, &owner, NLOC);
+        for (s, deref) in seq {
+            if deref {
+                // Collapse a random leaf's parent octet (dragging finer
+                // neighbours coarser as needed); may refuse entirely.
+                let leaves = tree.leaves();
+                let pick = leaves[s % leaves.len()];
+                if let Some(parent) = pick.parent() {
+                    tree.derefine_balanced(parent);
+                }
+            } else {
+                let leaves = tree.leaves();
+                let pick = leaves[s % leaves.len()];
+                if pick.level() < 4 {
+                    tree.refine_balanced(pick);
+                }
+            }
+            prop_assert!(tree.check_invariants().is_ok());
+            let delta = tree.take_regrid_delta();
+            if delta.is_empty() {
+                continue;
+            }
+            let (new_plan, report) = GravityPlan::patch(&plan, &tree, &delta, THETA)
+                .expect("a spanning delta must patch");
+            let fresh = GravityPlan::build(&tree, THETA);
+            prop_assert_eq!(&new_plan, &fresh, "patched GravityPlan differs from a rebuild");
+            let new_owner = partition_morton(&tree, NLOC);
+            let (pd, pl) =
+                DistPlan::patch(&dist, &ledger, &plan, &new_plan, &report, &new_owner, NLOC)
+                    .expect("a consistent report must patch the halo plan");
+            let (fd, fl) = DistPlan::build_with_ledger(&new_plan, &new_owner, NLOC);
+            prop_assert_eq!(&pd, &fd, "patched DistPlan differs from a rebuild");
+            prop_assert_eq!(&pl, &fl, "patched DistLedger differs from a rebuild");
+            plan = new_plan;
+            dist = pd;
+            ledger = pl;
+            owner = new_owner;
+        }
+        let _ = owner;
+    }
+}
+
+/// What [`adaptive_run`] fingerprints: the Δt bit sequence, the final
+/// per-leaf state bits, and whether any step actually patched a plan.
+type RunFingerprint = (Vec<u64>, Vec<(NodeId, Vec<u64>)>, bool);
+
+/// One adaptive run: 10 steps, regrid every 3rd, refine on the star and
+/// coarsen the far-field floor.
+fn adaptive_run(localities: usize, mode: VectorMode) -> RunFingerprint {
+    let cluster = SimCluster::new(4, 2);
+    // Level 1 base kept deliberately small: 10 steps × 4 configurations,
+    // and every patched plan is byte-compared against a rebuild in debug.
+    let sc = Scenario::build(ScenarioKind::RotatingStar, &cluster, 1, 0, 4);
+    let mut opts = SimOptions::default();
+    opts.gravity = true;
+    opts.omega = sc.omega;
+    opts.localities = localities;
+    opts.vector_mode = mode;
+    opts.regrid_cadence = Some(3);
+    opts.regrid_max_level = 2;
+    opts.regrid_refine_threshold = 1.0;
+    opts.regrid_coarsen_threshold = 1e-8;
+    let mut sim = Simulation::new(sc.grid, opts);
+    let mut dts = Vec::new();
+    let mut patched = false;
+    for _ in 0..10 {
+        let s = sim.step(&cluster);
+        patched |= s.gravity_plan_patched;
+        dts.push(s.dt.to_bits());
+    }
+    let mut leaves = sim.grid.leaves();
+    leaves.sort();
+    let state = leaves
+        .iter()
+        .map(|&l| {
+            let handle = sim.grid.grid(l);
+            let g = handle.read();
+            let mut bits = Vec::new();
+            for f in 0..NF {
+                bits.extend(g.field(f).iter().map(|v| v.to_bits()));
+            }
+            (l, bits)
+        })
+        .collect();
+    cluster.shutdown();
+    (dts, state, patched)
+}
+
+#[test]
+fn adaptive_runs_bit_identical_across_localities_and_widths() {
+    let (base_dts, base_state, base_patched) = adaptive_run(1, VectorMode::Scalar);
+    assert!(
+        base_patched,
+        "the adaptive run must actually exercise plan patching"
+    );
+    for (nloc, mode) in [
+        (4, VectorMode::Scalar),
+        (1, VectorMode::Sve512),
+        (4, VectorMode::Sve512),
+    ] {
+        let (dts, state, _) = adaptive_run(nloc, mode);
+        assert_eq!(
+            base_dts, dts,
+            "Δt sequence diverged at {nloc} localities, {mode:?}"
+        );
+        assert_eq!(
+            base_state.len(),
+            state.len(),
+            "leaf count diverged at {nloc} localities, {mode:?}"
+        );
+        for ((la, ba), (lb, bb)) in base_state.iter().zip(&state) {
+            assert_eq!(la, lb, "leaf set diverged at {nloc} localities, {mode:?}");
+            assert_eq!(
+                ba, bb,
+                "state diverged at {la} ({nloc} localities, {mode:?})"
+            );
+        }
+    }
+}

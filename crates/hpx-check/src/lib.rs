@@ -55,7 +55,8 @@ pub use scan::{
     Allowlist, SourceFinding, WaitLintFinding,
 };
 pub use verify::{
-    mutate_dist, mutate_plan, mutation_sweep, scenario_trees, verify_real_plans,
-    violations_for_mutation, DistMutationKind, MissedMutation, PlanMutationKind, DIST_MUTATIONS,
-    LOCALITY_COUNTS, MUTATION_LOCALITY_COUNTS, PLAN_MUTATIONS,
+    find_stale_patch_probe, mutate_dist, mutate_plan, mutation_sweep, scenario_trees,
+    stale_patch_probe, verify_real_plans, violations_for_mutation, DistMutationKind,
+    MissedMutation, PlanMutationKind, StalePatchProbe, DIST_MUTATIONS, LOCALITY_COUNTS,
+    MUTATION_LOCALITY_COUNTS, PLAN_MUTATIONS,
 };

@@ -355,6 +355,112 @@ impl std::fmt::Display for GravityPlanSnapshot {
 }
 
 // ---------------------------------------------------------------------
+// Mid-run regrid counters
+// ---------------------------------------------------------------------
+
+/// Process-wide counters of mid-run adaptive regridding, exported in HPX
+/// counter style as `/octotiger/regrid/{refined,derefined,plan-patched,
+/// plan-rebuilt}`.  The driver bumps `refined`/`derefined` once per leaf
+/// changed by a criterion pass; the plan caches bump `plan-patched` every
+/// time a regrid was absorbed by a subtree-local patch (interaction *or*
+/// halo plan) and `plan-rebuilt` every time a topology change forced a
+/// wholesale rebuild instead — the ratio is the observable payoff of
+/// incremental invalidation.
+#[derive(Debug, Default)]
+pub struct RegridCounters {
+    /// Leaves refined by criterion regrids.
+    pub refined: AtomicU64,
+    /// Interior nodes collapsed back into leaves by criterion regrids.
+    pub derefined: AtomicU64,
+    /// Cached plans patched subtree-locally across a regrid.
+    pub plan_patched: AtomicU64,
+    /// Cached plans rebuilt wholesale after a topology change.
+    pub plan_rebuilt: AtomicU64,
+}
+
+impl RegridCounters {
+    /// Record `n` leaves refined in one criterion pass.
+    pub fn note_refined(&self, n: u64) {
+        self.refined.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` interiors derefined in one criterion pass.
+    pub fn note_derefined(&self, n: u64) {
+        self.derefined.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a plan answered by a subtree-local patch.
+    pub fn note_plan_patched(&self) {
+        Counters::bump(&self.plan_patched);
+    }
+
+    /// Record a plan rebuilt wholesale after a topology change.
+    pub fn note_plan_rebuilt(&self) {
+        Counters::bump(&self.plan_rebuilt);
+    }
+
+    /// Consistent-enough snapshot.
+    pub fn snapshot(&self) -> RegridSnapshot {
+        RegridSnapshot {
+            refined: self.refined.load(Ordering::Relaxed),
+            derefined: self.derefined.load(Ordering::Relaxed),
+            plan_patched: self.plan_patched.load(Ordering::Relaxed),
+            plan_rebuilt: self.plan_rebuilt.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all four counters (HPX's `reset_active_counters`).
+    pub fn reset(&self) {
+        self.refined.store(0, Ordering::Relaxed);
+        self.derefined.store(0, Ordering::Relaxed);
+        self.plan_patched.store(0, Ordering::Relaxed);
+        self.plan_rebuilt.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-global [`RegridCounters`] block the driver and the plan
+/// caches report into.
+pub fn regrid_counters() -> &'static RegridCounters {
+    static GLOBAL: RegridCounters = RegridCounters {
+        refined: AtomicU64::new(0),
+        derefined: AtomicU64::new(0),
+        plan_patched: AtomicU64::new(0),
+        plan_rebuilt: AtomicU64::new(0),
+    };
+    &GLOBAL
+}
+
+/// Plain-data snapshot of [`RegridCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegridSnapshot {
+    pub refined: u64,
+    pub derefined: u64,
+    pub plan_patched: u64,
+    pub plan_rebuilt: u64,
+}
+
+impl RegridSnapshot {
+    /// Counter deltas `self - earlier` (saturating, counters are monotonic).
+    pub fn since(&self, earlier: &RegridSnapshot) -> RegridSnapshot {
+        RegridSnapshot {
+            refined: self.refined.saturating_sub(earlier.refined),
+            derefined: self.derefined.saturating_sub(earlier.derefined),
+            plan_patched: self.plan_patched.saturating_sub(earlier.plan_patched),
+            plan_rebuilt: self.plan_rebuilt.saturating_sub(earlier.plan_rebuilt),
+        }
+    }
+}
+
+impl std::fmt::Display for RegridSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "/octotiger/regrid/refined        {}", self.refined)?;
+        writeln!(f, "/octotiger/regrid/derefined      {}", self.derefined)?;
+        writeln!(f, "/octotiger/regrid/plan-patched   {}", self.plan_patched)?;
+        write!(f, "/octotiger/regrid/plan-rebuilt   {}", self.plan_rebuilt)
+    }
+}
+
+// ---------------------------------------------------------------------
 // Distributed parcel-traffic counters
 // ---------------------------------------------------------------------
 
@@ -681,6 +787,47 @@ mod tests {
             }
         );
         assert_eq!(a.since(&b), GravityPlanSnapshot::default());
+    }
+
+    #[test]
+    fn regrid_counters_count_and_display() {
+        let c = RegridCounters::default();
+        c.note_refined(5);
+        c.note_derefined(2);
+        c.note_plan_patched();
+        c.note_plan_patched();
+        c.note_plan_rebuilt();
+        let s = c.snapshot();
+        assert_eq!(s.refined, 5);
+        assert_eq!(s.derefined, 2);
+        assert_eq!(s.plan_patched, 2);
+        assert_eq!(s.plan_rebuilt, 1);
+        let text = format!("{s}");
+        assert!(text.contains("/octotiger/regrid/refined"));
+        assert!(text.contains("/octotiger/regrid/derefined"));
+        assert!(text.contains("/octotiger/regrid/plan-patched"));
+        assert!(text.contains("/octotiger/regrid/plan-rebuilt"));
+        c.reset();
+        assert_eq!(c.snapshot(), RegridSnapshot::default());
+    }
+
+    #[test]
+    fn regrid_snapshot_deltas_saturate() {
+        let a = RegridSnapshot {
+            refined: 3,
+            plan_patched: 1,
+            ..Default::default()
+        };
+        let b = RegridSnapshot {
+            refined: 8,
+            derefined: 2,
+            plan_patched: 4,
+            plan_rebuilt: 1,
+        };
+        let d = b.since(&a);
+        assert_eq!((d.refined, d.derefined), (5, 2));
+        assert_eq!((d.plan_patched, d.plan_rebuilt), (3, 1));
+        assert_eq!(a.since(&b), RegridSnapshot::default());
     }
 
     #[test]

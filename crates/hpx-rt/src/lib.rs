@@ -42,8 +42,9 @@ pub mod runtime;
 pub use apex::{Apex, TimerStats};
 pub use channel::{channel, Receiver, Sender};
 pub use counters::{
-    gravity_plan_counters, parcel_counters, Counters, CountersSnapshot, GravityPlanCounters,
-    GravityPlanSnapshot, ParcelClass, ParcelCounters, ParcelSnapshot,
+    gravity_plan_counters, parcel_counters, regrid_counters, Counters, CountersSnapshot,
+    GravityPlanCounters, GravityPlanSnapshot, ParcelClass, ParcelCounters, ParcelSnapshot,
+    RegridCounters, RegridSnapshot,
 };
 pub use future::{
     dataflow2, make_ready_future, set_blocked_wait_timeout, when_all, when_all_of, when_any,

@@ -27,7 +27,7 @@
 use crate::index::{Dir, NodeId};
 use crate::partition::partition_morton;
 use crate::subgrid::SubGrid;
-use crate::tree::{Neighbor, Tree};
+use crate::tree::{Neighbor, RegridDelta, Tree};
 use hpx_rt::locality::{downcast_payload, ArcPayload};
 use hpx_rt::{LocalityId, SimCluster};
 use kokkos_rs::pool::{BufferPool, Recycled};
@@ -118,6 +118,12 @@ struct DistGridInner {
     /// Recycling arena every ghost payload is checked out of: after the
     /// first exchange warms it up, packing allocates nothing.
     pool: BufferPool<f64>,
+    /// Cached per-bucket payload demand of the current topology
+    /// (`topology_version` → `bucket → count`), patched leaf-locally from
+    /// [`RegridDelta`]s instead of re-walked every exchange.  Counts are
+    /// signed only because patch arithmetic may pass through transients;
+    /// the settled demand is non-negative.
+    payload_demand: parking_lot::Mutex<Option<(u64, HashMap<usize, i64>)>>,
 }
 
 /// A distributed AMR grid: a [`Tree`] whose leaves carry [`SubGrid`]s
@@ -155,6 +161,7 @@ impl DistGrid {
             ghost,
             nfields,
             pool: BufferPool::new(),
+            payload_demand: parking_lot::Mutex::new(None),
         });
         let handler_inner = inner.clone();
         cluster.register_action("ghost_pack", move |arg, _loc| {
@@ -247,6 +254,108 @@ impl DistGrid {
         }
     }
 
+    /// Collapse the octet under `id` back into a leaf if 2:1 balance
+    /// permits (the polite counterpart of [`DistGrid::derefine_balanced`],
+    /// used by criterion-driven coarsening passes that must not drag
+    /// still-wanted fine neighbours coarser).  Returns whether the
+    /// collapse happened.
+    pub fn derefine(&self, id: NodeId) -> bool {
+        if !self.inner.tree.write().derefine(id) {
+            return false;
+        }
+        self.collapse_payload(&[id]);
+        true
+    }
+
+    /// Derefine the parent of `id`'s octet (keeping 2:1 balance), restricting
+    /// the eight children's payloads into the collapsed parent by conservative
+    /// averaging.  The parent inherits the first child's owner.
+    pub fn derefine_balanced(&self, id: NodeId) {
+        let collapsed = self.inner.tree.write().derefine_balanced(id);
+        self.collapse_payload(&collapsed);
+    }
+
+    /// Restrict the eight children's payloads of each collapsed interior
+    /// into a fresh parent grid and swap the grid/owner tables over.
+    fn collapse_payload(&self, collapsed: &[NodeId]) {
+        let mut grids = self.inner.grids.write();
+        let mut owner = self.inner.owner.write();
+        for &c in collapsed {
+            let mut parent = SubGrid::new(self.inner.n, self.inner.ghost, self.inner.nfields);
+            let mut parent_owner = None;
+            for oct in crate::index::Octant::all() {
+                let child = c.child(oct);
+                let child_grid = grids.remove(&child).expect("collapsed child had a grid");
+                let child_owner = owner.remove(&child).expect("collapsed child had an owner");
+                parent.restrict_from_child(oct, &child_grid.read());
+                parent_owner.get_or_insert(child_owner);
+            }
+            grids.insert(c, Arc::new(RwLock::new(parent)));
+            owner.insert(c, parent_owner.expect("octet has eight children"));
+        }
+    }
+
+    /// Drain the tree's accumulated [`RegridDelta`], patching the payload
+    /// demand cache across it first so the next exchange's pool prewarm
+    /// stays tree-walk-free.  The caller hands the delta on to whatever
+    /// plan caches need invalidating (e.g. the gravity solver).
+    pub fn take_regrid_delta(&self) -> RegridDelta {
+        let delta = self.inner.tree.write().take_regrid_delta();
+        self.patch_payload_demand(&delta);
+        delta
+    }
+
+    /// One leaf's contribution to the payload-demand map: one buffer per
+    /// non-boundary direction, bucketed by the receive box's element
+    /// count.  Boundary-ness is a pure function of the leaf's coordinates
+    /// (no tree access), which is what makes the demand patchable from a
+    /// [`RegridDelta`] alone.
+    fn fold_leaf_demand(&self, demand: &mut HashMap<usize, i64>, leaf: NodeId, sign: i64) {
+        for dir in Dir::all26() {
+            if leaf.neighbor(dir).is_none() {
+                continue; // domain boundary: outflow, no payload
+            }
+            let cells =
+                SubGrid::box_cells(&SubGrid::recv_box_of(self.inner.n, self.inner.ghost, dir));
+            *demand.entry(self.inner.nfields * cells).or_default() += sign;
+        }
+    }
+
+    /// Patch the cached payload demand across `delta` (leaf-locally: one
+    /// refined leaf retracts its 26 links and adds its children's, a
+    /// derefine the reverse) instead of invalidating it.  Falls back to
+    /// dropping the cache when the delta does not span the cached version
+    /// — the next exchange then re-walks the tree once.
+    fn patch_payload_demand(&self, delta: &RegridDelta) {
+        let mut guard = self.inner.payload_demand.lock();
+        let Some((version, demand)) = guard.as_mut() else {
+            return;
+        };
+        let current = self.inner.tree.read().topology_version();
+        if *version == current {
+            return;
+        }
+        if !delta.spans(*version, current) {
+            *guard = None;
+            return;
+        }
+        // Refine/derefine contributions are additive counts, so applying
+        // the two op lists out of interleaving order nets the same map.
+        for &id in &delta.refined {
+            self.fold_leaf_demand(demand, id, -1);
+            for oct in crate::index::Octant::all() {
+                self.fold_leaf_demand(demand, id.child(oct), 1);
+            }
+        }
+        for &id in &delta.derefined {
+            for oct in crate::index::Octant::all() {
+                self.fold_leaf_demand(demand, id.child(oct), -1);
+            }
+            self.fold_leaf_demand(demand, id, 1);
+        }
+        *version = current;
+    }
+
     /// Top up the payload arena to this topology's exact per-bucket link
     /// demand (one buffer per non-boundary link, bucketed by the receive
     /// box's cell count) before an exchange fans out.
@@ -258,26 +367,28 @@ impl DistGrid {
     /// allocate.  Prewarming the peak demand makes the steady state
     /// allocation-free deterministically: after the first exchange the
     /// top-up is a no-op and every checkout is a hit.
+    ///
+    /// The demand map is cached per `topology_version` and patched
+    /// leaf-locally across regrids ([`DistGrid::take_regrid_delta`]), so
+    /// the steady state also stops re-walking the tree every exchange.
     fn prewarm_payload_pool(&self) {
-        let mut demand: HashMap<usize, usize> = HashMap::new();
-        {
-            let tree = self.inner.tree.read();
-            for &leaf in &tree.leaves() {
-                for dir in Dir::all26() {
-                    if matches!(tree.neighbor_of(leaf, dir), Neighbor::DomainBoundary) {
-                        continue;
-                    }
-                    let cells = SubGrid::box_cells(&SubGrid::recv_box_of(
-                        self.inner.n,
-                        self.inner.ghost,
-                        dir,
-                    ));
-                    *demand.entry(self.inner.nfields * cells).or_default() += 1;
+        let mut guard = self.inner.payload_demand.lock();
+        let current = self.inner.tree.read().topology_version();
+        let demand = match guard.as_ref() {
+            Some((version, demand)) if *version == current => demand,
+            _ => {
+                let mut demand: HashMap<usize, i64> = HashMap::new();
+                for &leaf in &self.inner.tree.read().leaves() {
+                    self.fold_leaf_demand(&mut demand, leaf, 1);
                 }
+                &guard.insert((current, demand)).1
             }
-        }
-        for (bucket, count) in demand {
-            self.inner.pool.prewarm(bucket, count);
+        };
+        for (&bucket, &count) in demand {
+            debug_assert!(count >= 0, "settled payload demand must be non-negative");
+            if count > 0 {
+                self.inner.pool.prewarm(bucket, count as usize);
+            }
         }
     }
 
@@ -959,6 +1070,98 @@ mod tests {
         }
         // Piecewise-constant prolongation: each parent value appears 8×.
         assert!((child_sum - 8.0 * parent_sum).abs() < 1e-9);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn derefine_restricts_payload_and_collapses_octet() {
+        let cluster = SimCluster::new(2, 1);
+        let dg = DistGrid::new(Tree::new_uniform(1), 4, 1, 1, &cluster);
+        fill_linear(&dg);
+        let target = NodeId::from_coords(1, [0, 0, 0]);
+        let owner_before = dg.owner(target);
+        let sum_before = dg.grid(target).read().interior_sum(0);
+        dg.refine_balanced(target);
+        dg.derefine_balanced(target);
+        // Round trip: the collapsed parent reproduces the linear field
+        // exactly (prolongation is piecewise constant, restriction averages
+        // the 8 copies back) and keeps the octet's owner.
+        assert_eq!(dg.owner(target), owner_before);
+        let sum_after = dg.grid(target).read().interior_sum(0);
+        assert!((sum_after - sum_before).abs() < 1e-9);
+        assert!(dg.leaves().contains(&target));
+        for oct in crate::index::Octant::all() {
+            assert!(!dg.leaves().contains(&target.child(oct)));
+        }
+        cluster.shutdown();
+    }
+
+    /// Full-walk payload demand, the reference the patched cache must match.
+    fn walked_demand(dg: &DistGrid) -> HashMap<usize, i64> {
+        let mut demand = HashMap::new();
+        for leaf in dg.leaves() {
+            dg.fold_leaf_demand(&mut demand, leaf, 1);
+        }
+        demand.retain(|_, c| *c != 0);
+        demand
+    }
+
+    #[test]
+    fn payload_demand_cache_patches_across_regrids() {
+        let cluster = SimCluster::new(1, 1);
+        let dg = DistGrid::new(Tree::new_uniform(2), 4, 2, 3, &cluster);
+        fill_linear(&dg);
+        dg.take_regrid_delta(); // drain the seed delta
+        dg.exchange_ghosts(&cluster, GhostConfig::default()); // populates the cache
+
+        // A mixed episode: refine one corner, round-trip another so the
+        // patch exercises both the refine and derefine arithmetic.
+        dg.refine_balanced(NodeId::from_coords(2, [0, 0, 0]));
+        dg.refine_balanced(NodeId::from_coords(2, [3, 3, 3]));
+        dg.derefine_balanced(NodeId::from_coords(2, [3, 3, 3]));
+        let delta = dg.take_regrid_delta(); // patches the cache leaf-locally
+        assert!(!delta.is_empty());
+
+        let cached = {
+            let guard = dg.inner.payload_demand.lock();
+            let (version, demand) = guard.as_ref().expect("cache survived the patch");
+            assert_eq!(*version, dg.topology_version());
+            let mut demand = demand.clone();
+            demand.retain(|_, c| *c != 0);
+            demand
+        };
+        assert_eq!(cached, walked_demand(&dg));
+
+        // And the next exchange runs off the patched cache without panicking.
+        dg.exchange_ghosts(&cluster, GhostConfig::default());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn unseen_regrid_invalidates_payload_demand_cache() {
+        let cluster = SimCluster::new(1, 1);
+        let dg = DistGrid::new(Tree::new_uniform(1), 4, 2, 1, &cluster);
+        fill_linear(&dg);
+        dg.take_regrid_delta();
+        dg.exchange_ghosts(&cluster, GhostConfig::default());
+
+        // Regrid, then prewarm again WITHOUT draining: the cache version is
+        // stale, so the walk refreshes it in place.
+        dg.refine_balanced(NodeId::from_coords(1, [0, 1, 0]));
+        dg.exchange_ghosts(&cluster, GhostConfig::default());
+        {
+            let guard = dg.inner.payload_demand.lock();
+            let (version, demand) = guard.as_ref().expect("walk refreshed the cache");
+            assert_eq!(*version, dg.topology_version());
+            let mut demand = demand.clone();
+            demand.retain(|_, c| *c != 0);
+            assert_eq!(demand, walked_demand(&dg));
+        }
+
+        // The pending delta no longer spans the cached (current) version's
+        // start, but versions now match, so draining keeps the cache.
+        dg.take_regrid_delta();
+        assert!(dg.inner.payload_demand.lock().is_some());
         cluster.shutdown();
     }
 

@@ -45,8 +45,8 @@ fn refined_tree_accounts_for_every_ghost_link() {
     let cluster = SimCluster::new(2, 2);
     let mut sim = pipelined_sim(&cluster, 2);
     // Refine where the star actually is so the tree becomes mixed-level.
-    let refined = sim.regrid(3, 1.0);
-    assert!(refined > 0, "the star must trigger refinement");
+    let outcome = sim.regrid(3, 1.0);
+    assert!(outcome.refined > 0, "the star must trigger refinement");
     let leaves = sim.grid.leaves().len();
     assert!(leaves > 64, "refinement must add leaves");
     let stats = sim.step(&cluster);
