@@ -1,0 +1,151 @@
+//! `bench_report` — merge every `BENCH_*.json` artifact at the workspace
+//! root into one summary.
+//!
+//! Each benchmark binary (`hpx-check verify --bench-out`, the criterion
+//! harnesses, the autotune closed loop) drops a [`bench::FigureReport`]
+//! as `BENCH_<name>.json`.  CI runs them as separate jobs, so no single
+//! job sees the whole picture; this binary is the merge point.  It prints
+//! a markdown digest (one row per report: series count, point count,
+//! checks passed) followed by every failing check verbatim, and writes
+//! the same digest to `BENCH_SUMMARY.md`.
+//!
+//! Usage: `cargo run -p bench --bin bench_report [-- <file>...]`
+//! With no arguments it globs `BENCH_*.json` in the workspace root.
+//! Exit code: 1 on unreadable/unparsable input, 0 otherwise — a failing
+//! *check* is reported but does not fail the merge (the job that
+//! produced it already failed).
+
+use serde::Content;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+struct ReportDigest {
+    file: String,
+    id: String,
+    title: String,
+    series: usize,
+    points: usize,
+    checks_passed: usize,
+    checks_total: usize,
+    failing: Vec<String>,
+}
+
+fn digest(path: &Path) -> Result<ReportDigest, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let v: Content = serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let str_of = |v: &Content, key: &str| {
+        v.get(key)
+            .and_then(Content::as_str)
+            .unwrap_or("?")
+            .to_owned()
+    };
+    let points = v
+        .get("points")
+        .and_then(Content::as_seq)
+        .unwrap_or_default();
+    let series: BTreeSet<&str> = points
+        .iter()
+        .filter_map(|p| p.get("series").and_then(Content::as_str))
+        .collect();
+    let checks = v
+        .get("checks")
+        .and_then(Content::as_seq)
+        .unwrap_or_default();
+    let passed = checks
+        .iter()
+        .filter(|c| c.get("pass").and_then(Content::as_bool) == Some(true))
+        .count();
+    let failing = checks
+        .iter()
+        .filter(|c| c.get("pass").and_then(Content::as_bool) != Some(true))
+        .map(|c| str_of(c, "claim"))
+        .collect();
+    Ok(ReportDigest {
+        file: path.file_name().map_or_else(
+            || path.display().to_string(),
+            |n| n.to_string_lossy().into_owned(),
+        ),
+        id: str_of(&v, "id"),
+        title: str_of(&v, "title"),
+        series: series.len(),
+        points: points.len(),
+        checks_passed: passed,
+        checks_total: checks.len(),
+        failing,
+    })
+}
+
+fn summarize(digests: &[ReportDigest]) -> String {
+    let mut out = String::from("# Benchmark summary\n\n");
+    out += "| report | id | series | points | checks | title |\n";
+    out += "|---|---|---|---|---|---|\n";
+    for d in digests {
+        let checks = if d.checks_total == 0 {
+            "-".to_owned()
+        } else if d.checks_passed == d.checks_total {
+            format!("{}/{} PASS", d.checks_passed, d.checks_total)
+        } else {
+            format!("{}/{} **FAIL**", d.checks_passed, d.checks_total)
+        };
+        out += &format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            d.file, d.id, d.series, d.points, checks, d.title
+        );
+    }
+    let failing: Vec<(&str, &str)> = digests
+        .iter()
+        .flat_map(|d| d.failing.iter().map(move |f| (d.file.as_str(), f.as_str())))
+        .collect();
+    if failing.is_empty() {
+        out += "\nAll checks pass.\n";
+    } else {
+        out += "\n## Failing checks\n\n";
+        for (file, claim) in failing {
+            out += &format!("- `{file}`: {claim}\n");
+        }
+    }
+    out
+}
+
+fn main() {
+    let root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: Vec<PathBuf> = if args.is_empty() {
+        let mut found: Vec<PathBuf> = std::fs::read_dir(&root)
+            .expect("read workspace root")
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect();
+        found.sort();
+        found
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+    if files.is_empty() {
+        eprintln!("no BENCH_*.json found in {}", root.display());
+        std::process::exit(1);
+    }
+
+    let mut digests = Vec::new();
+    let mut broken = 0;
+    for f in &files {
+        match digest(f) {
+            Ok(d) => digests.push(d),
+            Err(e) => {
+                eprintln!("error: {e}");
+                broken += 1;
+            }
+        }
+    }
+    let summary = summarize(&digests);
+    println!("{summary}");
+    let out = root.join("BENCH_SUMMARY.md");
+    std::fs::write(&out, &summary).expect("write BENCH_SUMMARY.md");
+    println!("wrote {}", out.display());
+    std::process::exit(i32::from(broken > 0));
+}

@@ -16,6 +16,7 @@ fn paper_default_opts() -> RunOptions {
         boost: false,
         comm_opt: true,
         multipole_tasks: 1,
+        hydro_leaves_per_task: 1,
     }
 }
 
@@ -344,7 +345,9 @@ pub fn figure8() -> FigureReport {
     r
 }
 
-/// Figure 9: multipole work splitting (1 vs 16 HPX tasks per kernel).
+/// Figure 9: multipole work splitting (1 vs 16 HPX tasks per kernel),
+/// overlaid with the PR-10 online tuner's converged choice per node count
+/// — the figure's static sweep run as a closed loop.
 pub fn figure9() -> FigureReport {
     let mut r = FigureReport::new(
         "fig9",
@@ -375,6 +378,31 @@ pub fn figure9() -> FigureReport {
             "cells/s",
         );
     }
+    // The tuner overlay: at each node count, hill-climb `multipole_tasks`
+    // over the figure's ladder with the model's step time as the signal
+    // until the family freezes.  The model is deterministic (noise-free),
+    // so the hysteresis band is set well below the paper's smallest
+    // effect (the ~2% crossover gain at 128 nodes).
+    let ladder: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64];
+    let mut tuned = Vec::new();
+    for &n in &counts {
+        let run_at = |tasks: usize| {
+            let mut o = paper_default_opts();
+            o.multipole_tasks = tasks;
+            sweep(&m, &w, &[n], &o, &costs)[0].1.cells_per_second
+        };
+        let mut tuner = hpx_rt::Tuner::with_params(1e-4, u64::MAX);
+        tuner.register("m2l", ladder.clone(), 1);
+        let mut windows = 0;
+        while !tuner.is_frozen("m2l") && windows < 64 {
+            tuner.observe("m2l", 1.0 / run_at(tuner.current("m2l")));
+            windows += 1;
+        }
+        let choice = tuner.current("m2l");
+        let rate = run_at(choice);
+        r.point("TUNED (closed loop)", n as f64, rate, "cells/s");
+        tuned.push((n, choice, rate));
+    }
     let last = counts.len() - 1;
     r.check(
         "one task per kernel is sufficient on a single node (ON does not win)",
@@ -383,6 +411,20 @@ pub fn figure9() -> FigureReport {
     r.check(
         "splitting into 16 tasks yields a noticeable speedup at 128 nodes",
         on[last].1.cells_per_second > off[last].1.cells_per_second * 1.02,
+    );
+    r.check(
+        "the tuner converges to the better static at both endpoints",
+        tuned[0].2 >= off[0].1.cells_per_second.max(on[0].1.cells_per_second) * 0.999
+            && tuned[last].2
+                >= off[last]
+                    .1
+                    .cells_per_second
+                    .max(on[last].1.cells_per_second)
+                    * 0.999,
+    );
+    r.check(
+        "the tuner picks few tasks at one node and many at 128",
+        tuned[0].1 <= 2 && tuned[last].1 >= 8,
     );
     r
 }

@@ -163,6 +163,24 @@ fn build_phases(
         (remote * costs.ghost_bytes_per_link) as u64,
         machine.cores_per_node,
     );
+    // Hydro granularity model (the hydro-side mirror of the multipole
+    // starvation model above): grouping `hydro_leaves_per_task` leaves
+    // into one task saves spawn overhead but leaves cores idle once fewer
+    // than ~2 tasks per core remain.  Expressed as a delta against the
+    // default one-leaf-per-task grouping so `hydro_leaves_per_task == 1`
+    // reproduces the original phase durations bit for bit.
+    let hydro_stage_cost = |leaves_per_task: f64| -> f64 {
+        let tasks = (s / leaves_per_task).max(1.0);
+        let used = cores.min((tasks / 2.0).max(1.0));
+        cells_node * costs.hydro_flops_per_cell_stage / (core_rate * used)
+            + tasks * costs.task_spawn_overhead_s / cores
+    };
+    let lpt = opts.hydro_leaves_per_task.max(1) as f64;
+    let hydro_delta = if use_gpu {
+        0.0
+    } else {
+        hydro_stage_cost(lpt) - hydro_stage_cost(1.0)
+    };
     for stage in 0..3 {
         phases.push(Phase {
             duration: host_cost,
@@ -177,7 +195,9 @@ fn build_phases(
             0.0
         };
         phases.push(Phase {
-            duration: cells_node * costs.hydro_flops_per_cell_stage / bulk_rate + extra,
+            duration: cells_node * costs.hydro_flops_per_cell_stage / bulk_rate
+                + extra
+                + hydro_delta,
             sync: false,
             wire: 0.0,
             kind: PhaseKind::Hydro,
@@ -593,6 +613,94 @@ mod tests {
         assert!(r.events_processed > 512);
         assert!(r.events_processed < 2_000_000);
         assert!(r.step_time_s.is_finite());
+    }
+
+    #[test]
+    fn hydro_grouping_is_unimodal_with_a_clear_worst_end() {
+        // The hydro-side granularity tradeoff: grouping a few leaves per
+        // task shaves spawn overhead, grouping too many starves cores.
+        let (opts0, costs) = defaults();
+        let m = Machine::get(MachineId::Ookami);
+        let w = Workload::rotating_star(5);
+        let hydro = |lpt: usize| {
+            let mut o = opts0;
+            o.hydro_leaves_per_task = lpt;
+            simulate_step(&m, 8, &w, &o, &costs).compute_time_s
+        };
+        let ladder = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+        let times: Vec<f64> = ladder.iter().map(|&l| hydro(l)).collect();
+        let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let worst = times.iter().cloned().fold(0.0, f64::max);
+        assert!(hydro(4) < hydro(1), "small groups amortize spawn overhead");
+        assert!(worst > 1.5 * best, "starved end is clearly worst");
+        // Unimodal: strictly falls to the minimum, never falls after it.
+        let arg = times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        for i in 1..times.len() {
+            if i <= arg {
+                assert!(times[i] < times[i - 1], "falling before the min");
+            } else {
+                assert!(times[i] >= times[i - 1], "never falls after the min");
+            }
+        }
+    }
+
+    #[test]
+    fn hydro_grouping_leaves_other_phases_untouched() {
+        // The knob models a hydro-only tradeoff: gravity and comm phase
+        // durations must be bit-identical for every grouping, and a GPU
+        // machine (which never task-splits on the host) ignores it fully.
+        let (opts0, costs) = defaults();
+        let w = Workload::rotating_star(5);
+        let base = simulate_step(&fugaku(), 8, &w, &opts0, &costs);
+        for lpt in [2usize, 64, 512] {
+            let mut o = opts0;
+            o.hydro_leaves_per_task = lpt;
+            let r = simulate_step(&fugaku(), 8, &w, &o, &costs);
+            assert_eq!(r.gravity_time_s, base.gravity_time_s);
+            assert_eq!(r.comm_time_s, base.comm_time_s);
+        }
+        let gpu = Machine::get(MachineId::Perlmutter);
+        let gbase = simulate_step(&gpu, 4, &Workload::dwd(), &opts0, &costs);
+        let mut o = opts0;
+        o.hydro_leaves_per_task = 512;
+        assert_eq!(simulate_step(&gpu, 4, &Workload::dwd(), &o, &costs), gbase);
+    }
+
+    #[test]
+    fn multipole_ladder_is_unimodal_at_scale() {
+        // The Figure 9 tradeoff as seen by the online tuner at 512 nodes:
+        // unimodal in `multipole_tasks` with >= 1.5x between the starved
+        // single-task end and the optimum.
+        let (opts0, costs) = defaults();
+        let m = Machine::get(MachineId::Ookami);
+        let w = Workload::rotating_star(5);
+        let gravity = |mt: usize| {
+            let mut o = opts0;
+            o.multipole_tasks = mt;
+            simulate_step(&m, 512, &w, &o, &costs).gravity_time_s
+        };
+        let ladder = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
+        let times: Vec<f64> = ladder.iter().map(|&t| gravity(t)).collect();
+        let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(times[0] > 1.5 * best, "one task per kernel starves cores");
+        let arg = times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        for i in 1..times.len() {
+            if i <= arg {
+                assert!(times[i] < times[i - 1], "falling before the min");
+            } else {
+                assert!(times[i] >= times[i - 1], "never falls after the min");
+            }
+        }
     }
 
     #[test]

@@ -113,6 +113,11 @@ pub struct RunOptions {
     pub comm_opt: bool,
     /// HPX tasks per multipole-kernel launch: 1 = OFF, 16 = ON (Figure 9).
     pub multipole_tasks: usize,
+    /// Leaf sub-grids grouped into one hydro RHS task: 1 = Octo-Tiger's
+    /// default one-task-per-sub-grid granularity.  Larger groups amortize
+    /// task-spawn overhead but starve cores once fewer than ~2 tasks per
+    /// core remain — the hydro-side mirror of `multipole_tasks`.
+    pub hydro_leaves_per_task: usize,
 }
 
 impl Default for RunOptions {
@@ -122,6 +127,7 @@ impl Default for RunOptions {
             boost: false,
             comm_opt: true,
             multipole_tasks: 1,
+            hydro_leaves_per_task: 1,
         }
     }
 }

@@ -101,6 +101,15 @@ pub struct SimOptions {
     /// Coarsen an octet back into its parent when every child's peak
     /// density falls below this (`0.0` disables coarsening).
     pub regrid_coarsen_threshold: f64,
+    /// Online auto-tuning of task granularity (the closed-loop Figure 9):
+    /// an [`hpx_rt::Tuner`] reads the step's apex timer windows and
+    /// adaptively picks `tasks_per_kernel` for the gravity kernel families,
+    /// the hydro-RHS leaves-per-task grouping, and the pipelined-vs-barrier
+    /// stepper.  Every knob flows through the chunk-count-independent
+    /// launch paths, so physics is bit-identical tuner-on vs tuner-off
+    /// (see `tests/autotune_equivalence.rs`).  Defaults from
+    /// `OCTO_AUTOTUNE` (`1`/`true`/`on`).
+    pub autotune: bool,
 }
 
 impl Default for SimOptions {
@@ -131,9 +140,21 @@ impl Default for SimOptions {
             regrid_refine_threshold: 1.0,
             regrid_shock_threshold: f64::INFINITY,
             regrid_coarsen_threshold: 0.0,
+            autotune: std::env::var("OCTO_AUTOTUNE")
+                .map(|v| v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on"))
+                .unwrap_or(false),
         }
     }
 }
+
+// Kernel-family names the driver registers with the tuner.  The three
+// gravity knobs share one apex signal (`gravity:kernels`), so they are
+// observed through `Tuner::observe_shared`.
+const TUNE_M2L: &str = "gravity:m2l";
+const TUNE_P2P: &str = "gravity:p2p";
+const TUNE_SLOT: &str = "gravity:slot";
+const TUNE_HYDRO: &str = "hydro:rhs";
+const TUNE_STEPPER: &str = "stepper";
 
 /// Telemetry of one step.
 #[derive(Debug, Clone, Copy)]
@@ -193,6 +214,9 @@ pub struct StepStats {
     /// `/octotiger/regrid/plan-patched` path; `false` when no regrid ran,
     /// the topology was unchanged, or the solver fell back to a rebuild).
     pub gravity_plan_patched: bool,
+    /// The granularity tuner's chosen configs and activity counts after
+    /// this step (`None` unless [`SimOptions::autotune`] is on).
+    pub tuner: Option<hpx_rt::TunerSnapshot>,
 }
 
 /// Breakdown of one [`Simulation::regrid`] criterion pass.
@@ -238,6 +262,12 @@ pub struct Simulation {
     /// expansion buffers) survive across steps, so a solve on an unchanged
     /// tree skips the dual-tree traversal entirely.
     gravity_solver: GravitySolver,
+    /// The online granularity tuner ([`SimOptions::autotune`]); its chosen
+    /// configs override the static launch knobs at the start of each step.
+    tuner: Option<hpx_rt::Tuner>,
+    /// Leaves grouped per hydro task in [`Simulation::for_each_leaf`]
+    /// (tuner-controlled; 1 = the default one-task-per-leaf launch).
+    hydro_leaves_per_task: usize,
 }
 
 impl Simulation {
@@ -250,6 +280,7 @@ impl Simulation {
         grid.take_regrid_delta();
         let scratch = ScratchArena::new();
         let gravity_solver = GravitySolver::with_scratch(opts.gravity_opts, scratch.clone());
+        let tuner = opts.autotune.then(|| Self::build_tuner(&opts));
         Simulation {
             grid,
             opts,
@@ -261,7 +292,40 @@ impl Simulation {
             scratch,
             workspaces: HashMap::new(),
             gravity_solver,
+            tuner,
+            hydro_leaves_per_task: 1,
         }
+    }
+
+    /// Register the step's kernel families with a fresh tuner.  Ladders are
+    /// bounded powers of two; each family starts at the static default so
+    /// switching the tuner on never jumps away from a hand-tuned value.
+    fn build_tuner(opts: &SimOptions) -> hpx_rt::Tuner {
+        let mut tuner = hpx_rt::Tuner::new();
+        // The Figure 9 knob proper: tasks per M2L kernel launch.
+        tuner.register(
+            TUNE_M2L,
+            vec![1, 2, 4, 8, 16, 32],
+            opts.gravity_opts.tasks_per_multipole_kernel.max(1),
+        );
+        // P2P/evaluation and the lane-aligned slot-table passes; their
+        // static default is `Auto` (0), so start mid-ladder.
+        let start_or = |knob: usize, auto: usize| if knob == 0 { auto } else { knob };
+        tuner.register(
+            TUNE_P2P,
+            vec![1, 2, 4, 8, 16],
+            start_or(opts.gravity_opts.tasks_per_p2p_kernel, 4),
+        );
+        tuner.register(
+            TUNE_SLOT,
+            vec![1, 2, 4, 8, 16],
+            start_or(opts.gravity_opts.tasks_per_slot_kernel, 4),
+        );
+        // Hydro RHS: leaves grouped per task (1 = one task per leaf).
+        tuner.register(TUNE_HYDRO, vec![1, 2, 4, 8, 16], 1);
+        // The stepper switch: 0 = barrier, 1 = pipelined.
+        tuner.register(TUNE_STEPPER, vec![0, 1], usize::from(opts.pipeline));
+        tuner
     }
 
     /// Per-run (plan-hit, plan-rebuild) counts of the persistent gravity
@@ -312,8 +376,15 @@ impl Simulation {
 
     /// Leaf-parallel execution: each locality runs its own leaves as tasks
     /// on its own worker pool, mirroring HPX's per-locality scheduling.
+    ///
+    /// Leaves are grouped `hydro_leaves_per_task` per task (the tuner's
+    /// hydro-RHS granularity knob; default 1 = one task per leaf).  Each
+    /// leaf's work is independent — per-leaf workspace, per-leaf output
+    /// slot — so the grouping is bitwise neutral to the physics; it only
+    /// trades spawn overhead against parallelism.
     fn for_each_leaf(&self, cluster: &SimCluster, f: impl Fn(NodeId) + Send + Sync + 'static) {
         let f = Arc::new(f);
+        let group = self.hydro_leaves_per_task.max(1);
         let mut futures: Vec<Future<()>> = Vec::new();
         for loc in cluster.localities() {
             let leaves = self.grid.leaves_of(loc.id());
@@ -325,9 +396,14 @@ impl Simulation {
             let rt_inner = rt.clone();
             futures.push(rt.async_call(move || {
                 rt_inner.scope(|s| {
-                    for leaf in leaves {
+                    for chunk in leaves.chunks(group) {
                         let f = f.clone();
-                        s.spawn(move || f(leaf));
+                        let chunk = chunk.to_vec();
+                        s.spawn(move || {
+                            for leaf in chunk {
+                                f(leaf);
+                            }
+                        });
                     }
                 });
             }));
@@ -421,9 +497,26 @@ impl Simulation {
             }
             _ => RegridOutcome::default(),
         };
+        // ---- Online granularity tuner (apply phase). ----
+        // Runs after the regrid so `note_topology` sees the post-regrid
+        // version: a topology change unfreezes every family for exactly one
+        // re-probe cycle.  Applying launch knobs here — at a step boundary,
+        // before any kernel of the step launches — is the safety argument:
+        // no kernel is ever re-split mid-launch (see DESIGN.md and the
+        // hpx-check `tuner-resplit` race model).
+        let mut pipeline = self.opts.pipeline;
+        if let Some(t) = &mut self.tuner {
+            let ver = self.grid.with_tree(|tr| tr.topology_version());
+            t.note_topology(ver);
+            self.gravity_solver.opts.tasks_per_multipole_kernel = t.current(TUNE_M2L);
+            self.gravity_solver.opts.tasks_per_p2p_kernel = t.current(TUNE_P2P);
+            self.gravity_solver.opts.tasks_per_slot_kernel = t.current(TUNE_SLOT);
+            self.hydro_leaves_per_task = t.current(TUNE_HYDRO).max(1);
+            pipeline = t.current(TUNE_STEPPER) == 1;
+        }
         let patches_before = self.gravity_solver.plan_patch_counters();
         self.ensure_workspaces();
-        let mut stats = if self.opts.pipeline {
+        let mut stats = if pipeline {
             self.step_pipelined(cluster)
         } else {
             self.step_barrier(cluster)
@@ -432,6 +525,28 @@ impl Simulation {
         stats.regrid_refined = regrid.refined as u64;
         stats.regrid_derefined = regrid.derefined as u64;
         stats.gravity_plan_patched = patches_after.0 > patches_before.0;
+        // ---- Online granularity tuner (observe phase). ----
+        // Feed the step's windowed kernel timings back, then close the
+        // windows so the next step's observation is not diluted by this
+        // one.  The three gravity knobs share one apex signal
+        // (`gravity:kernels`); `observe_shared` attributes it to whichever
+        // family is actively probing.  The pipelined stepper fuses RK
+        // stages into continuations and records no `hydro:rk_stage` timer,
+        // hence the window_count guards.
+        if let Some(tuner) = self.tuner.as_mut() {
+            let g = self.apex.stats("gravity:kernels");
+            if g.window_count > 0 {
+                tuner.observe_shared(&[TUNE_M2L, TUNE_SLOT, TUNE_P2P], g.window_mean_s());
+            }
+            let h = self.apex.stats("hydro:rk_stage");
+            if h.window_count > 0 {
+                tuner.observe(TUNE_HYDRO, h.window_mean_s());
+            }
+            tuner.observe(TUNE_STEPPER, stats.elapsed_seconds);
+            self.apex.reset_window("gravity:kernels");
+            self.apex.reset_window("hydro:rk_stage");
+            stats.tuner = Some(tuner.snapshot());
+        }
         stats
     }
 
@@ -658,6 +773,7 @@ impl Simulation {
             regrid_refined: 0,
             regrid_derefined: 0,
             gravity_plan_patched: false,
+            tuner: None,
         }
     }
 
@@ -983,6 +1099,7 @@ impl Simulation {
             regrid_refined: 0,
             regrid_derefined: 0,
             gravity_plan_patched: false,
+            tuner: None,
         }
     }
 

@@ -1043,13 +1043,15 @@ impl GravitySolver {
             let (plan, dist, sources, rts) =
                 (plan.clone(), dist.clone(), sources.clone(), rts.clone());
             let mode = self.opts.vector_mode;
+            let p2p_tasks = self.opts.tasks_per_p2p_kernel;
             let arena = arena.clone();
             run_phase(&rts.clone(), &cells, move |loc, b| {
                 let owned = &dist.owned_leaves[loc];
                 b.fields.clear();
                 b.fields.resize_with(owned.len(), LeafField::default);
                 let space = ExecSpace::hpx(rts[loc].clone());
-                let policy = RangePolicy::new(0, owned.len()).with_chunk(ChunkSpec::Auto);
+                let policy = RangePolicy::new(0, owned.len())
+                    .with_chunk(ChunkSpec::tasks_or_auto(p2p_tasks));
                 let (halo, locals, fields) = (&b.halo_points, &b.locals, &mut b.fields);
                 parallel_for_mut(&space, policy, fields, |i, out| {
                     let li = owned[i];

@@ -52,6 +52,14 @@ pub struct GravityOptions {
     pub use_octupole: bool,
     /// HPX tasks per multipole-kernel launch (Figure 9: 1 = OFF, 16 = ON).
     pub tasks_per_multipole_kernel: usize,
+    /// HPX tasks per P2P/evaluation kernel launch; 0 = `ChunkSpec::Auto`
+    /// (one task per worker).  An online-tuner knob — any value is bitwise
+    /// neutral because each leaf's output slot is computed independently.
+    pub tasks_per_p2p_kernel: usize,
+    /// HPX tasks per slot-table (upward/downward) kernel launch; 0 =
+    /// `ChunkSpec::Auto`.  Task boundaries stay lane-aligned regardless
+    /// (the `SplitsVectorLane` invariant), so any value is bitwise neutral.
+    pub tasks_per_slot_kernel: usize,
     /// SIMD width for the P2P kernels (Figure 7).
     pub vector_mode: VectorMode,
 }
@@ -62,6 +70,8 @@ impl Default for GravityOptions {
             theta: 0.5,
             use_octupole: true,
             tasks_per_multipole_kernel: 1,
+            tasks_per_p2p_kernel: 0,
+            tasks_per_slot_kernel: 0,
             // SVE unless the OCTO_VECTOR_MODE env override says otherwise
             // (how CI runs the suite once per backend).
             vector_mode: VectorMode::env_default(),
@@ -471,7 +481,12 @@ impl GravitySolver {
         self.multipole_kernel(plan, &bufs.soa, &mut bufs.locals, &mut bufs.m2l_acc, space);
 
         // ---- Phase 3: top-down (L2L) + evaluation + P2P. ---------------
-        downward_pass(plan, &mut bufs.locals, space);
+        downward_pass(
+            plan,
+            &mut bufs.locals,
+            space,
+            self.opts.tasks_per_slot_kernel,
+        );
         let fields = self.evaluate(plan, sources, &bufs.locals, space);
 
         let stats = plan.stats;
@@ -510,7 +525,7 @@ impl GravitySolver {
             // stores touch the same block (`hpx-check races` validates this
             // carving against the plan's launch sequence).
             let policy = RangePolicy::new(0, e - b)
-                .with_chunk(ChunkSpec::Auto)
+                .with_chunk(ChunkSpec::tasks_or_auto(self.opts.tasks_per_slot_kernel))
                 .with_lanes(sve_simd::SVE_LANES_F64);
             parallel_for_mut(space, policy, level_slice, |i, out| {
                 let s = b + i;
@@ -591,7 +606,8 @@ impl GravitySolver {
         let mut fields: Vec<LeafField> = Vec::with_capacity(nleaves);
         fields.resize_with(nleaves, LeafField::default);
         let mode = self.opts.vector_mode;
-        let policy = RangePolicy::new(0, nleaves).with_chunk(ChunkSpec::Auto);
+        let policy = RangePolicy::new(0, nleaves)
+            .with_chunk(ChunkSpec::tasks_or_auto(self.opts.tasks_per_p2p_kernel));
         parallel_for_mut(space, policy, &mut fields, |li, out| {
             let pts = pts_by_leaf[li];
             let ncells = pts.len();
@@ -629,6 +645,43 @@ impl GravitySolver {
         });
         plan.leaves.iter().copied().zip(fields).collect()
     }
+
+    /// Freeze the M2L phase's inputs (upward pass + SoA transpose, run
+    /// once) so [`GravitySolver::m2l_bench_run`] can time the multipole
+    /// kernel alone — the Figure 9 sweep, without the other phases
+    /// diluting the granularity signal.
+    pub fn m2l_bench_inputs(
+        &self,
+        plan: &GravityPlan,
+        sources: &HashMap<NodeId, LeafSources>,
+    ) -> M2lBench {
+        let mut multipoles = Vec::new();
+        self.upward_pass(plan, sources, &mut multipoles, &ExecSpace::Serial);
+        let mut soa = MultipoleSoA::default();
+        soa.fill(&multipoles);
+        M2lBench {
+            soa,
+            locals: Vec::new(),
+            acc: Vec::new(),
+        }
+    }
+
+    /// Run exactly one M2L kernel launch over frozen inputs, split per the
+    /// solver's current [`GravityOptions::tasks_per_multipole_kernel`].
+    /// Buffers persist inside `bench`, so repeated calls measure the
+    /// kernel, not allocation.
+    pub fn m2l_bench_run(&self, plan: &GravityPlan, bench: &mut M2lBench, space: &ExecSpace) {
+        self.multipole_kernel(plan, &bench.soa, &mut bench.locals, &mut bench.acc, space);
+    }
+}
+
+/// Frozen M2L-phase inputs and reusable output buffers for the
+/// closed-loop granularity bench (see [`GravitySolver::m2l_bench_inputs`]).
+#[derive(Debug, Default)]
+pub struct M2lBench {
+    soa: MultipoleSoA,
+    locals: Vec<LocalExpansion>,
+    acc: Vec<LocalExpansion>,
 }
 
 /// Phase 3a: propagate local expansions down the tree (L2L), in *gather*
@@ -636,7 +689,12 @@ impl GravitySolver {
 /// each per-level launch writes disjoint `&mut` chunks of the child range
 /// while reading the (finalized, shallower) parent range.  One addition
 /// per child, same arithmetic as the scatter form.
-fn downward_pass(plan: &GravityPlan, locals: &mut [LocalExpansion], space: &ExecSpace) {
+fn downward_pass(
+    plan: &GravityPlan,
+    locals: &mut [LocalExpansion],
+    space: &ExecSpace,
+    tasks_per_slot_kernel: usize,
+) {
     let max_level = plan.max_level();
     for level in 0..max_level {
         let (b, e) = plan.level_ranges[level as usize + 1];
@@ -649,7 +707,7 @@ fn downward_pass(plan: &GravityPlan, locals: &mut [LocalExpansion], space: &Exec
         let child_slice = &mut rest[b..];
         // Lane-aligned carving, same invariant as the upward pass.
         let policy = RangePolicy::new(0, e - b)
-            .with_chunk(ChunkSpec::Auto)
+            .with_chunk(ChunkSpec::tasks_or_auto(tasks_per_slot_kernel))
             .with_lanes(sve_simd::SVE_LANES_F64);
         parallel_for_mut(space, policy, child_slice, |i, out| {
             let s = b + i;

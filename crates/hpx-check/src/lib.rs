@@ -41,6 +41,7 @@ pub mod gravity;
 pub mod model;
 pub mod pipeline;
 pub mod scan;
+pub mod tuner;
 pub mod verify;
 
 pub use dag::{lint_pipeline, DagNode, DagSummary, FutureDag, LintFinding};
@@ -54,6 +55,7 @@ pub use scan::{
     scan_source, scan_source_allocs, scan_source_fp, scan_workspace, scan_workspace_invariants,
     Allowlist, SourceFinding, WaitLintFinding,
 };
+pub use tuner::{race_model_tuner_resplit, TunerRaceBug};
 pub use verify::{
     find_stale_patch_probe, mutate_dist, mutate_plan, mutation_sweep, scenario_trees,
     stale_patch_probe, verify_real_plans, violations_for_mutation, DistMutationKind,

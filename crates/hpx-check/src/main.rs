@@ -15,9 +15,9 @@
 
 use hpx_check::{
     exercise_dist_solve, exercise_pipeline, find_stale_patch_probe, lint_pipeline, mutation_sweep,
-    race_model_dist_regrid, race_model_gravity_plan, race_model_pipeline, scan_workspace,
-    scan_workspace_invariants, verify_real_plans, Allowlist, DistRaceBug, DistScheduleBug,
-    GravityRaceBug, ModelChecker, RaceBug, ScheduleBug,
+    race_model_dist_regrid, race_model_gravity_plan, race_model_pipeline, race_model_tuner_resplit,
+    scan_workspace, scan_workspace_invariants, verify_real_plans, Allowlist, DistRaceBug,
+    DistScheduleBug, GravityRaceBug, ModelChecker, RaceBug, ScheduleBug, TunerRaceBug,
 };
 use octree::{ghost_link_specs, LinkSpec, Tree};
 use std::path::PathBuf;
@@ -233,7 +233,43 @@ fn run_races(opts: &Options) -> bool {
             true
         }
     };
-    pipeline_ok & gravity_ok & lanes_ok & run_dist_models(opts)
+    // The online tuner's re-split protocol (PR-10): moving a kernel
+    // family's task count at the step boundary must be race-free for any
+    // ladder move, and the boundary must be load-bearing — a mid-launch
+    // re-split of the same range must collide as a write-write race.
+    let tuner_ok = match race_model_tuner_resplit(&plan, 4, 16, TunerRaceBug::None) {
+        Ok(summary) => {
+            println!(
+                "races: tuner step-boundary re-split clean — {} launches over {} views",
+                summary.launches, summary.views
+            );
+            true
+        }
+        Err(report) => {
+            eprintln!("races: tuner step-boundary re-split {report}");
+            false
+        }
+    };
+    let resplit_ok = match race_model_tuner_resplit(&plan, 4, 16, TunerRaceBug::ResplitMidLaunch) {
+        Ok(_) => {
+            eprintln!(
+                "races: mid-launch re-split did NOT race — the tuner boundary check lost its witness"
+            );
+            false
+        }
+        Err(report) if report.conflict == "write-write" && report.site.starts_with("resplit(") => {
+            println!(
+                "races: mid-launch re-split races as expected ({} on {}: {} vs {})",
+                report.conflict, report.view_label, report.prior_site, report.site
+            );
+            true
+        }
+        Err(report) => {
+            eprintln!("races: mid-launch re-split raced but named the wrong sites: {report}");
+            false
+        }
+    };
+    pipeline_ok & gravity_ok & lanes_ok & tuner_ok & resplit_ok & run_dist_models(opts)
 }
 
 /// The distributed-solve models: the multi-locality phase graph must drain

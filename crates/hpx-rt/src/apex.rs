@@ -23,6 +23,10 @@ pub struct TimerStats {
     pub total_s: f64,
     /// Longest single measurement.
     pub max_s: f64,
+    /// Measurements since the last [`Apex::reset_window`].
+    pub window_count: u64,
+    /// Seconds accumulated since the last [`Apex::reset_window`].
+    pub window_total_s: f64,
 }
 
 impl TimerStats {
@@ -32,6 +36,20 @@ impl TimerStats {
             0.0
         } else {
             self.total_s / self.count as f64
+        }
+    }
+
+    /// Mean seconds per measurement inside the current window (0 when the
+    /// window is empty).  The lifetime [`mean_s`](Self::mean_s) dilutes
+    /// recent samples into the whole history, so a consumer changing a
+    /// launch configuration could never see the change take effect; the
+    /// window mean is the feedback signal an online tuner reads, with
+    /// [`Apex::reset_window`] closing one observation window per decision.
+    pub fn window_mean_s(&self) -> f64 {
+        if self.window_count == 0 {
+            0.0
+        } else {
+            self.window_total_s / self.window_count as f64
         }
     }
 }
@@ -96,6 +114,27 @@ impl Apex {
         entry.total_s += seconds;
         if seconds > entry.max_s {
             entry.max_s = seconds;
+        }
+        entry.window_count += 1;
+        entry.window_total_s += seconds;
+    }
+
+    /// Close the current observation window of one timer: zero its window
+    /// fields while leaving the lifetime aggregate untouched.  No-op for a
+    /// timer that never fired.
+    pub fn reset_window(&self, name: &str) {
+        if let Some(entry) = self.inner.stats.lock().get_mut(name) {
+            entry.window_count = 0;
+            entry.window_total_s = 0.0;
+        }
+    }
+
+    /// Close the observation window of every timer at once (an
+    /// end-of-step barrier for windowed consumers).
+    pub fn reset_windows(&self) {
+        for entry in self.inner.stats.lock().values_mut() {
+            entry.window_count = 0;
+            entry.window_total_s = 0.0;
         }
     }
 
@@ -334,6 +373,55 @@ mod tests {
             }
             *p += 1;
         }
+    }
+
+    #[test]
+    fn window_mean_observes_recent_changes_the_lifetime_mean_hides() {
+        let apex = Apex::new(false);
+        // A long "slow config" history...
+        for _ in 0..100 {
+            apex.record("k", 1.0);
+        }
+        apex.reset_window("k");
+        // ...then a config change makes the kernel 10x faster.
+        for _ in 0..3 {
+            apex.record("k", 0.1);
+        }
+        let st = apex.stats("k");
+        // The lifetime mean barely moves — it can never tell the tuner
+        // that the change helped.
+        assert!(st.mean_s() > 0.9, "lifetime mean = {}", st.mean_s());
+        // The window mean is exactly the post-change behaviour.
+        assert_eq!(st.window_count, 3);
+        assert!((st.window_mean_s() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_window_keeps_lifetime_aggregate() {
+        let apex = Apex::new(false);
+        apex.record("x", 1.0);
+        apex.record("x", 3.0);
+        apex.reset_window("x");
+        let st = apex.stats("x");
+        assert_eq!(st.count, 2);
+        assert_eq!(st.total_s, 4.0);
+        assert_eq!(st.window_count, 0);
+        assert_eq!(st.window_mean_s(), 0.0);
+        // Unknown names are a no-op, not an insertion.
+        apex.reset_window("never-fired");
+        assert_eq!(apex.stats("never-fired"), TimerStats::default());
+    }
+
+    #[test]
+    fn reset_windows_closes_every_timer() {
+        let apex = Apex::new(false);
+        apex.record("a", 1.0);
+        apex.record("b", 2.0);
+        apex.reset_windows();
+        assert_eq!(apex.stats("a").window_count, 0);
+        assert_eq!(apex.stats("b").window_count, 0);
+        assert_eq!(apex.stats("a").count, 1);
+        assert_eq!(apex.stats("b").count, 1);
     }
 
     #[test]

@@ -461,6 +461,118 @@ impl std::fmt::Display for RegridSnapshot {
 }
 
 // ---------------------------------------------------------------------
+// Online granularity-tuner counters
+// ---------------------------------------------------------------------
+
+/// Process-wide counters of the online granularity tuner, exported in HPX
+/// counter style as `/octotiger/tuner/{probes,moves,frozen,
+/// regressions-rejected}`.  `probes` counts observation windows spent at a
+/// candidate configuration, `moves` counts accepted configuration changes
+/// (the candidate beat the incumbent beyond the hysteresis band), `frozen`
+/// counts kernel families that finished their hill-climb, and
+/// `regressions-rejected` counts candidates reverted because they did not
+/// clear the band — the tuner's evidence that hysteresis is doing work.
+#[derive(Debug, Default)]
+pub struct TunerCounters {
+    /// Observation windows spent at a probe configuration.
+    pub probes: AtomicU64,
+    /// Accepted configuration moves.
+    pub moves: AtomicU64,
+    /// Kernel families frozen after a converged hill-climb.
+    pub frozen: AtomicU64,
+    /// Probe configurations reverted for not clearing the hysteresis band.
+    pub regressions_rejected: AtomicU64,
+}
+
+impl TunerCounters {
+    /// Record one probe window.
+    pub fn note_probe(&self) {
+        Counters::bump(&self.probes);
+    }
+
+    /// Record one accepted configuration move.
+    pub fn note_move(&self) {
+        Counters::bump(&self.moves);
+    }
+
+    /// Record one family freezing.
+    pub fn note_frozen(&self) {
+        Counters::bump(&self.frozen);
+    }
+
+    /// Record one rejected (reverted) probe.
+    pub fn note_regression_rejected(&self) {
+        Counters::bump(&self.regressions_rejected);
+    }
+
+    /// Consistent-enough snapshot.
+    pub fn snapshot(&self) -> TunerCountersSnapshot {
+        TunerCountersSnapshot {
+            probes: self.probes.load(Ordering::Relaxed),
+            moves: self.moves.load(Ordering::Relaxed),
+            frozen: self.frozen.load(Ordering::Relaxed),
+            regressions_rejected: self.regressions_rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all four counters (HPX's `reset_active_counters`).
+    pub fn reset(&self) {
+        self.probes.store(0, Ordering::Relaxed);
+        self.moves.store(0, Ordering::Relaxed);
+        self.frozen.store(0, Ordering::Relaxed);
+        self.regressions_rejected.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-global [`TunerCounters`] block every [`crate::tuner::Tuner`]
+/// instance reports into.
+pub fn tuner_counters() -> &'static TunerCounters {
+    static GLOBAL: TunerCounters = TunerCounters {
+        probes: AtomicU64::new(0),
+        moves: AtomicU64::new(0),
+        frozen: AtomicU64::new(0),
+        regressions_rejected: AtomicU64::new(0),
+    };
+    &GLOBAL
+}
+
+/// Plain-data snapshot of [`TunerCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TunerCountersSnapshot {
+    pub probes: u64,
+    pub moves: u64,
+    pub frozen: u64,
+    pub regressions_rejected: u64,
+}
+
+impl TunerCountersSnapshot {
+    /// Counter deltas `self - earlier` (saturating, counters are monotonic).
+    pub fn since(&self, earlier: &TunerCountersSnapshot) -> TunerCountersSnapshot {
+        TunerCountersSnapshot {
+            probes: self.probes.saturating_sub(earlier.probes),
+            moves: self.moves.saturating_sub(earlier.moves),
+            frozen: self.frozen.saturating_sub(earlier.frozen),
+            regressions_rejected: self
+                .regressions_rejected
+                .saturating_sub(earlier.regressions_rejected),
+        }
+    }
+}
+
+impl std::fmt::Display for TunerCountersSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "/octotiger/tuner/probes               {}", self.probes)?;
+        writeln!(f, "/octotiger/tuner/moves                {}", self.moves)?;
+        writeln!(f, "/octotiger/tuner/frozen               {}", self.frozen)?;
+        write!(
+            f,
+            "/octotiger/tuner/regressions-rejected {}",
+            self.regressions_rejected
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
 // Distributed parcel-traffic counters
 // ---------------------------------------------------------------------
 
@@ -828,6 +940,49 @@ mod tests {
         assert_eq!((d.refined, d.derefined), (5, 2));
         assert_eq!((d.plan_patched, d.plan_rebuilt), (3, 1));
         assert_eq!(a.since(&b), RegridSnapshot::default());
+    }
+
+    #[test]
+    fn tuner_counters_count_and_display() {
+        let c = TunerCounters::default();
+        c.note_probe();
+        c.note_probe();
+        c.note_probe();
+        c.note_move();
+        c.note_frozen();
+        c.note_regression_rejected();
+        c.note_regression_rejected();
+        let s = c.snapshot();
+        assert_eq!(s.probes, 3);
+        assert_eq!(s.moves, 1);
+        assert_eq!(s.frozen, 1);
+        assert_eq!(s.regressions_rejected, 2);
+        let text = format!("{s}");
+        assert!(text.contains("/octotiger/tuner/probes"));
+        assert!(text.contains("/octotiger/tuner/moves"));
+        assert!(text.contains("/octotiger/tuner/frozen"));
+        assert!(text.contains("/octotiger/tuner/regressions-rejected"));
+        c.reset();
+        assert_eq!(c.snapshot(), TunerCountersSnapshot::default());
+    }
+
+    #[test]
+    fn tuner_snapshot_deltas_saturate() {
+        let a = TunerCountersSnapshot {
+            probes: 4,
+            moves: 1,
+            ..Default::default()
+        };
+        let b = TunerCountersSnapshot {
+            probes: 9,
+            moves: 3,
+            frozen: 2,
+            regressions_rejected: 1,
+        };
+        let d = b.since(&a);
+        assert_eq!((d.probes, d.moves), (5, 2));
+        assert_eq!((d.frozen, d.regressions_rejected), (2, 1));
+        assert_eq!(a.since(&b), TunerCountersSnapshot::default());
     }
 
     #[test]

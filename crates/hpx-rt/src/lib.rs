@@ -29,6 +29,9 @@
 //!   specification the paper added HPX support for (HPX PR #5870).
 //! * [`apex`] — APEX-style autonomic performance instrumentation, the
 //!   analysis layer the paper's conclusion points to for future work.
+//! * [`tuner`] — the closed loop over that layer: online auto-tuning of
+//!   task granularity per kernel family (the paper's Figure 9 knob),
+//!   driven by apex window means.
 
 pub mod apex;
 pub mod channel;
@@ -38,13 +41,14 @@ pub mod locality;
 pub mod parcel;
 pub mod pjm;
 pub mod runtime;
+pub mod tuner;
 
 pub use apex::{Apex, TimerStats};
 pub use channel::{channel, Receiver, Sender};
 pub use counters::{
-    gravity_plan_counters, parcel_counters, regrid_counters, Counters, CountersSnapshot,
-    GravityPlanCounters, GravityPlanSnapshot, ParcelClass, ParcelCounters, ParcelSnapshot,
-    RegridCounters, RegridSnapshot,
+    gravity_plan_counters, parcel_counters, regrid_counters, tuner_counters, Counters,
+    CountersSnapshot, GravityPlanCounters, GravityPlanSnapshot, ParcelClass, ParcelCounters,
+    ParcelSnapshot, RegridCounters, RegridSnapshot, TunerCounters, TunerCountersSnapshot,
 };
 pub use future::{
     dataflow2, make_ready_future, set_blocked_wait_timeout, when_all, when_all_of, when_any,
@@ -54,6 +58,7 @@ pub use locality::{ActionRegistry, Locality, LocalityId, Parcel, SimCluster};
 pub use parcel::{ParcelTransport, TypedParcel};
 pub use pjm::JobSpec;
 pub use runtime::{Runtime, Scope};
+pub use tuner::{FamilyPhase, FamilySnapshot, Tuner, TunerSnapshot, TuningState};
 
 #[cfg(test)]
 mod tests {

@@ -36,7 +36,7 @@ pub use hpx_kokkos::{
 };
 pub use parallel::{
     parallel_for, parallel_for_md3, parallel_for_mut, parallel_for_team, parallel_reduce,
-    parallel_scan,
+    parallel_scan, planned_tasks,
 };
 pub use policy::{ChunkSpec, MDRangePolicy3, RangePolicy, TeamPolicy};
 pub use pool::{BufferPool, Recycled, ScratchArena};

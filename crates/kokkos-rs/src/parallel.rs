@@ -56,6 +56,27 @@ where
     }
 }
 
+/// Number of scheduler tasks a launch of `policy` on `space` actually
+/// carves — `ChunkSpec` resolution plus lane-alignment merging, exactly as
+/// [`parallel_for`] / [`parallel_for_mut`] perform it.  This is the
+/// launch-site truth an online granularity tuner observes: a requested
+/// split can come back smaller on short or lane-constrained ranges, and a
+/// tuner comparing candidate configurations that resolve to the *same*
+/// plan here is measuring pure noise.
+pub fn planned_tasks(space: &ExecSpace, policy: RangePolicy) -> usize {
+    let tasks = policy.chunk.resolve(policy.len(), space.concurrency());
+    match space {
+        ExecSpace::Serial | ExecSpace::Device(_) => usize::from(!policy.is_empty()),
+        ExecSpace::Hpx(_) => {
+            if tasks <= 1 {
+                usize::from(!policy.is_empty())
+            } else {
+                policy.split(tasks).len()
+            }
+        }
+    }
+}
+
 /// Execute `kernel(i, &mut data[i])` for every element, handing each HPX
 /// task a *disjoint* `&mut` chunk of `data` — the lock-free alternative to
 /// `Vec<Mutex<T>>` slot vectors for kernels whose outputs are per-index.
@@ -356,6 +377,28 @@ mod tests {
             },
         );
         assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn planned_tasks_reports_launch_site_truth() {
+        let rt = Runtime::new(4);
+        let hpx = ExecSpace::hpx(rt.clone());
+        // Requested splits resolve on the HPX space...
+        let p = RangePolicy::new(0, 1024).with_chunk(ChunkSpec::Tasks(16));
+        assert_eq!(planned_tasks(&hpx, p), 16);
+        // ...but serial/device spaces always run one task.
+        assert_eq!(planned_tasks(&ExecSpace::Serial, p), 1);
+        // Lane alignment merges sub-lane chunks: 64 slots at lane 8 cannot
+        // carve more than 8 tasks however many were requested.
+        let lanes = RangePolicy::new(0, 64)
+            .with_chunk(ChunkSpec::Tasks(16))
+            .with_lanes(8);
+        assert_eq!(planned_tasks(&hpx, lanes), 8);
+        // Short ranges cap at one task per index; empty ranges at zero.
+        let short = RangePolicy::new(0, 3).with_chunk(ChunkSpec::Tasks(16));
+        assert_eq!(planned_tasks(&hpx, short), 3);
+        assert_eq!(planned_tasks(&hpx, RangePolicy::new(5, 5)), 0);
         rt.shutdown();
     }
 

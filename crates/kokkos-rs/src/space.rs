@@ -127,6 +127,23 @@ impl ExecSpace {
         }
     }
 
+    /// The bounded power-of-two ladder of `tasks_per_kernel` candidates an
+    /// online tuner should search on this space: `1, 2, 4, …` up to 4×
+    /// the space's concurrency (oversplitting beyond that only adds spawn
+    /// overhead), capped at `cap`.  Serial and device spaces still expose
+    /// a multi-point ladder so the tuner can *measure* that splitting does
+    /// not help there, rather than assuming it.
+    pub fn task_ladder(&self, cap: usize) -> Vec<usize> {
+        let top = (self.concurrency() * 4).min(cap.max(1));
+        let mut ladder = Vec::new();
+        let mut v = 1usize;
+        while v <= top {
+            ladder.push(v);
+            v *= 2;
+        }
+        ladder
+    }
+
     /// Space name, matching Kokkos nomenclature.
     pub fn name(&self) -> &'static str {
         match self {
@@ -152,6 +169,18 @@ mod tests {
         assert_eq!(ExecSpace::hpx(rt.clone()).concurrency(), 3);
         assert_eq!(ExecSpace::device(DeviceKind::P100).concurrency(), 1);
         rt.shutdown();
+    }
+
+    #[test]
+    fn task_ladder_is_power_of_two_and_scales_with_concurrency() {
+        assert_eq!(ExecSpace::Serial.task_ladder(64), vec![1, 2, 4]);
+        let rt = Runtime::new(4);
+        let ladder = ExecSpace::hpx(rt.clone()).task_ladder(64);
+        assert_eq!(ladder, vec![1, 2, 4, 8, 16]);
+        assert_eq!(ExecSpace::hpx(rt.clone()).task_ladder(8), vec![1, 2, 4, 8]);
+        rt.shutdown();
+        // Degenerate cap still yields a searchable ladder of one point.
+        assert_eq!(ExecSpace::Serial.task_ladder(0), vec![1]);
     }
 
     #[test]

@@ -36,6 +36,7 @@ fn main() {
         boost: spec.boost_mode,
         comm_opt: true,
         multipole_tasks: 1,
+        hydro_leaves_per_task: 1,
     };
     let faults = FaultModel::default();
 

@@ -36,6 +36,53 @@ impl Content {
             _ => None,
         }
     }
+
+    /// Map-entry lookup (`None` for non-maps and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Sequence view.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+// `Content` is its own serialization: this lets schema-agnostic consumers
+// (e.g. the benchmark-report merger) parse arbitrary JSON via
+// `serde_json::from_str::<Content>` — the stand-in for `serde_json::Value`.
+impl Serialize for Content {
+    fn serialize_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize_content(content: &Content) -> Result<Self, String> {
+        Ok(content.clone())
+    }
 }
 
 /// A value that can lower itself into [`Content`].
